@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Every module in this directory regenerates one of the paper's figures (or an
+ablation called out in DESIGN.md) under pytest-benchmark timing, using
+reduced workloads so the whole suite completes in a few minutes, and asserts
+the *shape* of the result — who wins, by roughly what factor, and where the
+crossovers fall — matches the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator so benchmark workloads are identical across runs."""
+    return np.random.default_rng(2018)

@@ -1,0 +1,63 @@
+"""Ablation benchmarks for the extension experiments.
+
+These cover the directions the paper's concluding remarks point at (and that
+DESIGN.md lists as ablations): the output-side DP constraint, the L1/L2
+constrained-design study, and range queries over histogram releases built on
+the count mechanisms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_l1_l2_study, ext_output_dp, ext_range_queries
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_output_dp_extension(benchmark):
+    result = benchmark(lambda: ext_output_dp.run(alphas=(0.5, 0.7, 0.9), n=6))
+    for row in result.rows:
+        # Shape: GM never meets the symmetric output-side requirement, EM
+        # always does, and enforcing it costs at most EM's L0.
+        assert not row["gm_satisfies_output_dp"]
+        assert row["em_output_alpha"] >= row["alpha"] - 1e-9
+        assert row["gm_l0"] - 1e-9 <= row["l0_with_output_dp"] <= row["em_l0"] + 1e-6
+        assert row["relative_cost_of_output_dp"] <= 1.1
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_l1_l2_constrained_study(benchmark):
+    result = benchmark(lambda: ext_l1_l2_study.run(group_sizes=(5, 7)))
+    unconstrained = [row for row in result.rows if row["properties"] == "unconstrained"]
+    constrained = [row for row in result.rows if row["properties"] == "all seven"]
+    # Shape: the Figure-1 pathologies appear under L1/L2 and disappear under
+    # the full constraint set, at a bounded relative cost.
+    assert all(row["has_gap"] for row in unconstrained)
+    assert all(not row["has_gap"] for row in constrained)
+    assert all(row["relative_to_unconstrained"] < 3.0 for row in constrained)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_range_query_extension(benchmark):
+    result = benchmark(
+        lambda: ext_range_queries.run(
+            alphas=(0.67, 0.9),
+            num_buckets=12,
+            population=1500,
+            zipf_exponents=(0.0, 1.0),
+            num_queries=40,
+            repetitions=5,
+            seed=2,
+        )
+    )
+    # Shape: the informative mechanisms answer range queries far better than
+    # the uniform baseline, and stronger privacy costs accuracy.
+    for alpha in (0.67, 0.9):
+        for exponent in (0.0, 1.0):
+            cells = {
+                row["mechanism"]: row["range_mae"]
+                for row in result.rows
+                if row["alpha"] == alpha and row["zipf_exponent"] == exponent
+            }
+            assert cells["EM"] < cells["UM"]
+            assert cells["GM"] < cells["UM"]

@@ -1,0 +1,53 @@
+"""Benchmarks for Figures 1 and 2: unconstrained vs constrained LP designs.
+
+Regenerates the four LP panels of each figure and checks the paper's shape:
+every unconstrained optimum has gaps and spikes; adding the structural
+constraints removes every gap at a bounded increase in objective value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig01_unconstrained, fig02_constrained
+
+
+@pytest.mark.benchmark(group="figure-1")
+def test_figure1_unconstrained_designs(benchmark):
+    result = benchmark(lambda: fig01_unconstrained.run(include_heatmaps=False))
+    assert len(result.rows) == 4
+    # Shape: every unconstrained optimum exhibits the gap pathology.
+    assert all(row["num_gap_outputs"] > 0 for row in result.rows)
+    # Shape: the L2 design is (nearly) degenerate - one output dominates.
+    l2_row = next(row for row in result.rows if row["case"] == "L2, n=7")
+    assert l2_row["spike_ratio"] > 1.5
+
+
+@pytest.mark.benchmark(group="figure-2")
+def test_figure2_constrained_designs(benchmark):
+    result = benchmark(lambda: fig02_constrained.run(include_heatmaps=False))
+    assert len(result.rows) == 4
+    # Shape: the constraints eliminate every gap and tame the spikes.
+    assert all(row["num_gap_outputs"] == 0 for row in result.rows)
+    assert all(row["spike_ratio"] < 1.6 for row in result.rows)
+    # Shape: outputs stay within one step of the truth with probability > 1/2
+    # for every input (the paper quotes ~2/3 for the L2 instance).
+    assert all(row["min_within_1_probability"] > 0.5 for row in result.rows)
+
+
+@pytest.mark.benchmark(group="figure-2")
+def test_figure2_cost_of_constraints_is_bounded(benchmark):
+    """Ablation: how much objective value do the seven properties cost?"""
+
+    def run_both():
+        unconstrained = fig01_unconstrained.run(include_heatmaps=False)
+        constrained = fig02_constrained.run(include_heatmaps=False)
+        return unconstrained, constrained
+
+    unconstrained, constrained = benchmark(run_both)
+    unconstrained_by_case = {row["case"]: row["objective_value"] for row in unconstrained.rows}
+    for row in constrained.rows:
+        # Constraints can only increase the objective, and for these panels the
+        # increase stays within a factor ~2 (no blow-up).
+        assert row["objective_value"] >= unconstrained_by_case[row["case"]] - 1e-9
+        assert row["objective_value"] <= 2.5 * unconstrained_by_case[row["case"]] + 0.5

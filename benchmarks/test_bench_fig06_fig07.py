@@ -1,0 +1,40 @@
+"""Benchmarks for Figures 6 and 7: the named-mechanism table and heatmaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import em_l0_score, gm_l0_score
+from repro.experiments import fig06_property_table, fig07_heatmaps
+
+
+@pytest.mark.benchmark(group="figure-6")
+def test_figure6_property_table(benchmark):
+    result = benchmark(lambda: fig06_property_table.run(n=8, alpha=0.9))
+    by_name = {row["mechanism"]: row for row in result.rows}
+    # Shape: the property table of Figure 6.
+    assert by_name["GM"]["S"] and by_name["GM"]["RM"] and not by_name["GM"]["F"]
+    assert by_name["EM"]["F"] and by_name["EM"]["CM"] and by_name["EM"]["WH"]
+    assert by_name["UM"]["F"]
+    # Shape: the L0 column - GM at 2a/(1+a), EM a factor ~(n+1)/n above, UM at 1.
+    assert by_name["GM"]["l0_measured"] == pytest.approx(gm_l0_score(0.9))
+    assert by_name["EM"]["l0_measured"] == pytest.approx(em_l0_score(8, 0.9))
+    assert by_name["UM"]["l0_measured"] == pytest.approx(1.0)
+    assert (
+        by_name["GM"]["l0_measured"]
+        <= by_name["WM"]["l0_measured"] + 1e-9
+        <= by_name["EM"]["l0_measured"] + 1e-7
+    )
+
+
+@pytest.mark.benchmark(group="figure-7")
+def test_figure7_heatmaps(benchmark):
+    result = benchmark(lambda: fig07_heatmaps.run(n=4, alpha=0.9, include_heatmaps=False))
+    by_name = {row["mechanism"]: row for row in result.rows}
+    # Shape: GM piles mass on the extremes, EM along the diagonal, WM between.
+    assert by_name["GM"]["extreme_output_mass"] > by_name["WM"]["extreme_output_mass"]
+    assert by_name["WM"]["extreme_output_mass"] > by_name["EM"]["extreme_output_mass"] - 1e-9
+    # Shape: truth probabilities ~0.238 (GM) vs ~0.224 (EM), a small margin.
+    assert by_name["GM"]["truth_probability"] == pytest.approx(0.238, abs=0.01)
+    assert by_name["EM"]["truth_probability"] == pytest.approx(0.224, abs=0.01)
+    assert by_name["GM"]["truth_probability"] - by_name["EM"]["truth_probability"] < 0.03

@@ -1,0 +1,43 @@
+"""Benchmark for Figure 8: the L0 cost of weak honesty plus other properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import gm_l0_score
+from repro.experiments import fig08_wh_combinations
+
+
+@pytest.mark.benchmark(group="figure-8")
+def test_figure8_wh_combination_sweep(benchmark):
+    result = benchmark(
+        lambda: fig08_wh_combinations.run(
+            alpha=0.76,
+            group_sizes=(4, 8),
+            alphas=(0.5, 0.91),
+            panel_b_group_size=6,
+        )
+    )
+    rows = result.rows
+    # Shape (panel a): at n = 8 > 2a/(1-a) = 6.33, every WH+row-only
+    # combination costs exactly GM's 2a/(1+a); column combinations cost more.
+    at_n8 = [row for row in rows if row["panel"] == "a" and row["group_size"] == 8]
+    row_only = [row for row in at_n8 if not row["includes_column_property"]]
+    with_column = [row for row in at_n8 if row["includes_column_property"]]
+    assert all(row["l0_score"] == pytest.approx(gm_l0_score(0.76), abs=1e-6) for row in row_only)
+    assert min(row["l0_score"] for row in with_column) > gm_l0_score(0.76) + 1e-6
+
+    # Shape (panel a): below the threshold (n = 4) even WH alone costs more than GM.
+    at_n4_row_only = [
+        row
+        for row in rows
+        if row["panel"] == "a" and row["group_size"] == 4 and not row["includes_column_property"]
+    ]
+    assert all(row["l0_score"] > row["gm_l0"] + 1e-7 for row in at_n4_row_only)
+
+    # Shape (panel b): at alpha = 0.5 every combination collapses onto GM
+    # (Lemma 3), while at alpha = 0.91 the two-level structure appears.
+    at_low_alpha = [row for row in rows if row["panel"] == "b" and row["alpha"] == 0.5]
+    assert all(row["matches"] == "GM" for row in at_low_alpha)
+    at_high_alpha = [row for row in rows if row["panel"] == "b" and row["alpha"] == 0.91]
+    assert any(row["l0_score"] > gm_l0_score(0.91) + 1e-6 for row in at_high_alpha)

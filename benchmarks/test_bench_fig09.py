@@ -1,0 +1,48 @@
+"""Benchmark for Figure 9: L0 of GM / WM / EM / UM against group size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import em_l0_score, gm_l0_score, weak_honesty_threshold
+from repro.experiments import fig09_l0_vs_n
+
+
+@pytest.mark.benchmark(group="figure-9")
+def test_figure9_l0_series(benchmark):
+    alphas = (2.0 / 3.0, 10.0 / 11.0)
+    group_sizes = (2, 4, 8, 12, 16, 20, 24)
+    result = benchmark(lambda: fig09_l0_vs_n.run(alphas=alphas, group_sizes=group_sizes))
+
+    def series(mechanism, alpha):
+        return {
+            row["group_size"]: row["l0_score"]
+            for row in result.rows
+            if row["mechanism"] == mechanism and row["alpha"] == pytest.approx(alpha)
+        }
+
+    # Shape (9a, alpha = 2/3, threshold 4): WM coincides with GM over almost
+    # the whole range while EM carries a shrinking premium.
+    alpha = 2.0 / 3.0
+    wm = series("WM", alpha)
+    for n, value in wm.items():
+        if n >= weak_honesty_threshold(alpha):
+            assert value == pytest.approx(gm_l0_score(alpha), abs=1e-6)
+    em = series("EM", alpha)
+    assert em[24] < em[2]
+
+    # Shape (9b, alpha = 10/11, threshold 20): the WM curve converges onto GM
+    # exactly at n = 20 and not before.
+    alpha = 10.0 / 11.0
+    wm = series("WM", alpha)
+    assert wm[20] == pytest.approx(gm_l0_score(alpha), abs=1e-6)
+    assert wm[24] == pytest.approx(gm_l0_score(alpha), abs=1e-6)
+    assert wm[12] > gm_l0_score(alpha) + 1e-6
+
+    # Shape (all panels): GM <= WM <= EM <= UM = 1 everywhere.
+    for row in result.rows:
+        if row["mechanism"] == "WM":
+            assert gm_l0_score(row["alpha"]) - 1e-7 <= row["l0_score"]
+            assert row["l0_score"] <= em_l0_score(row["group_size"], row["alpha"]) + 1e-6
+        if row["mechanism"] == "UM":
+            assert row["l0_score"] == pytest.approx(1.0)

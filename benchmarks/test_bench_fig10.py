@@ -1,0 +1,34 @@
+"""Benchmark for Figure 10: empirical error on (synthetic) Adult data, α = 0.9."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.adult import generate_adult_like
+from repro.experiments import fig10_adult
+
+
+@pytest.mark.benchmark(group="figure-10")
+def test_figure10_adult_error_rates(benchmark):
+    dataset = generate_adult_like(num_records=8000, seed=10)
+
+    result = benchmark(
+        lambda: fig10_adult.run(
+            group_sizes=(4, 8, 12),
+            repetitions=20,
+            dataset=dataset,
+            seed=10,
+        )
+    )
+    # Shape: UM's wrong-answer rate is the data-independent 1 - 1/(n+1).
+    for row in result.rows:
+        if row["mechanism"] == "UM":
+            assert row["error_rate"] == pytest.approx(row["um_reference"], abs=0.03)
+
+    # Shape: GM is worse than uniform guessing on this mid-heavy data, while
+    # EM is the best (or tied best) mechanism for every target and group size.
+    for target in ("young", "gender", "income"):
+        for group_size in (4, 8, 12):
+            ranking = fig10_adult.mechanism_ranking(result, target, group_size)
+            assert ranking["GM"] >= ranking["UM"] - 0.02, (target, group_size)
+            assert ranking["EM"] <= min(ranking.values()) + 0.02, (target, group_size)

@@ -1,0 +1,49 @@
+"""Benchmark for Figure 11: empirical L0,1 on Binomial data across (p, n, α)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11_l01_binomial
+
+
+@pytest.mark.benchmark(group="figure-11")
+def test_figure11_l01_sweep(benchmark):
+    result = benchmark(
+        lambda: fig11_l01_binomial.run(
+            alphas=(0.91, 0.67),
+            group_sizes=(4, 8),
+            probabilities=(0.1, 0.3, 0.5),
+            repetitions=10,
+            population=6000,
+            seed=11,
+        )
+    )
+
+    def cell(mechanism, alpha, group_size, probability):
+        rows = [
+            row
+            for row in result.rows
+            if row["mechanism"] == mechanism
+            and row["alpha"] == pytest.approx(alpha)
+            and row["group_size"] == group_size
+            and row["probability"] == pytest.approx(probability)
+        ]
+        assert len(rows) == 1
+        return rows[0]["exceeds_1_rate"]
+
+    # Shape: input skew matters.  GM is competitive only for biased inputs
+    # (p near 0); for balanced inputs the constrained mechanisms win.
+    for group_size in (4, 8):
+        assert cell("GM", 0.91, group_size, 0.1) < cell("GM", 0.91, group_size, 0.5)
+        assert cell("EM", 0.91, group_size, 0.5) < cell("GM", 0.91, group_size, 0.5)
+
+    # Shape: EM is much less sensitive to the input distribution than GM.
+    for group_size in (4, 8):
+        gm_spread = abs(cell("GM", 0.91, group_size, 0.5) - cell("GM", 0.91, group_size, 0.1))
+        em_spread = abs(cell("EM", 0.91, group_size, 0.5) - cell("EM", 0.91, group_size, 0.1))
+        assert em_spread < gm_spread
+
+    # Shape: lowering alpha reduces the error and pulls WM towards GM.
+    assert cell("GM", 0.67, 8, 0.5) < cell("GM", 0.91, 8, 0.5)
+    assert abs(cell("WM", 0.67, 8, 0.5) - cell("GM", 0.67, 8, 0.5)) <= 0.08

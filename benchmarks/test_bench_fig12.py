@@ -1,0 +1,55 @@
+"""Benchmark for Figure 12: L0,d tail histograms on Binomial data (n = 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig12_l0d_histograms
+
+
+@pytest.mark.benchmark(group="figure-12")
+def test_figure12_tail_histograms(benchmark):
+    result = benchmark(
+        lambda: fig12_l0d_histograms.run(
+            alphas=(0.91, 0.67),
+            group_size=8,
+            probabilities=(0.5, 0.1),
+            repetitions=10,
+            population=6000,
+            seed=12,
+        )
+    )
+
+    def tail(mechanism, alpha, probability):
+        rows = sorted(
+            (row["d"], row["empirical_rate"])
+            for row in result.rows
+            if row["mechanism"] == mechanism
+            and row["alpha"] == pytest.approx(alpha)
+            and row["probability"] == pytest.approx(probability)
+        )
+        return [rate for _, rate in rows]
+
+    # Shape (top row, balanced input, strong privacy): EM beats GM and the
+    # margin grows with d (GM's tail is fat because it favours the extremes).
+    gm = tail("GM", 0.91, 0.5)
+    em = tail("EM", 0.91, 0.5)
+    assert all(e <= g + 0.02 for e, g in zip(em, gm))
+    margins = [g - e for g, e in zip(gm[:5], em[:5])]
+    assert margins[3] > margins[0]
+
+    # Shape: GM is worse than uniform guessing over much of the range for
+    # the balanced input at alpha = 0.91.
+    um = tail("UM", 0.91, 0.5)
+    assert sum(g > u for g, u in zip(gm[:5], um[:5])) >= 3
+
+    # Shape (bottom row, skewed input): GM recovers, but EM does not collapse -
+    # it stays within a modest factor of GM.
+    gm_skewed = tail("GM", 0.91, 0.1)
+    em_skewed = tail("EM", 0.91, 0.1)
+    assert gm_skewed[1] < gm[1]
+    assert em_skewed[1] < gm_skewed[1] + 0.35
+
+    # Shape: lower alpha improves GM dramatically.
+    gm_low = tail("GM", 0.67, 0.5)
+    assert gm_low[1] < gm[1]

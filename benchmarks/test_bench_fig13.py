@@ -1,0 +1,50 @@
+"""Benchmark for Figure 13: RMSE of released counts on Binomial data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13_rmse
+
+
+@pytest.mark.benchmark(group="figure-13")
+def test_figure13_rmse_sweep(benchmark):
+    result = benchmark(
+        lambda: fig13_rmse.run(
+            alphas=(0.91, 0.67),
+            group_sizes=(4, 8),
+            probabilities=(0.1, 0.5, 0.9),
+            repetitions=10,
+            population=6000,
+            seed=13,
+        )
+    )
+
+    def cell(mechanism, alpha, group_size, probability):
+        rows = [
+            row
+            for row in result.rows
+            if row["mechanism"] == mechanism
+            and row["alpha"] == pytest.approx(alpha)
+            and row["group_size"] == group_size
+            and row["probability"] == pytest.approx(probability)
+        ]
+        assert len(rows) == 1
+        return rows[0]["rmse"]
+
+    # Shape: RMSE grows with the group size for every mechanism.
+    for mechanism in ("GM", "EM", "UM"):
+        assert cell(mechanism, 0.91, 8, 0.5) > cell(mechanism, 0.91, 4, 0.5)
+
+    # Shape: at strong privacy GM is worse than uniform guessing in many
+    # cells, and EM gives the lowest error on balanced inputs.
+    assert cell("GM", 0.91, 8, 0.5) > cell("UM", 0.91, 8, 0.5) - 0.05
+    assert cell("EM", 0.91, 8, 0.5) < cell("GM", 0.91, 8, 0.5)
+    assert cell("EM", 0.91, 8, 0.5) <= cell("UM", 0.91, 8, 0.5) + 0.05
+
+    # Shape: at the weaker privacy level GM becomes competitive again.
+    assert cell("GM", 0.67, 8, 0.5) < cell("UM", 0.67, 8, 0.5)
+
+    # Shape: empirical RMSE tracks the analytic value under the same prior.
+    for row in result.rows:
+        assert row["rmse"] == pytest.approx(row["analytic_rmse"], rel=0.2)

@@ -1,0 +1,46 @@
+"""Micro-benchmarks for the operations a deployment performs repeatedly.
+
+These are not tied to a single paper figure; they time the building blocks
+behind every experiment — constructing the explicit mechanisms, applying a
+mechanism to a large batch of group counts, and the property checks — so
+regressions in the hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.properties import check_all_properties
+from repro.data.synthetic import binomial_group_counts
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+
+
+@pytest.mark.benchmark(group="mechanism-ops")
+def test_construct_geometric_mechanism(benchmark):
+    mechanism = benchmark(lambda: geometric_mechanism(64, 0.9))
+    assert mechanism.n == 64
+
+
+@pytest.mark.benchmark(group="mechanism-ops")
+def test_construct_fair_mechanism(benchmark):
+    mechanism = benchmark(lambda: explicit_fair_mechanism(64, 0.9))
+    assert mechanism.n == 64
+
+
+@pytest.mark.benchmark(group="mechanism-ops")
+def test_apply_mechanism_to_population(benchmark, rng):
+    mechanism = explicit_fair_mechanism(16, 0.9)
+    counts = binomial_group_counts(10_000, 16, 0.5, rng=rng)
+
+    released = benchmark(lambda: mechanism.apply(counts, rng=np.random.default_rng(0)))
+    assert released.shape == counts.shape
+    assert released.min() >= 0 and released.max() <= 16
+
+
+@pytest.mark.benchmark(group="mechanism-ops")
+def test_property_check_suite(benchmark):
+    mechanism = explicit_fair_mechanism(32, 0.9)
+    report = benchmark(lambda: check_all_properties(mechanism))
+    assert all(report.values())

@@ -1,0 +1,94 @@
+"""Longitudinal release: weekly private counts under a fixed privacy budget.
+
+A realistic deployment of the paper's mechanisms: a clinic reports, every
+week, how many of the n patients in each small care group currently test
+positive for a condition.  The same individuals are observed week after
+week, so the releases compose *sequentially* — each weekly release spends
+part of a fixed overall privacy budget.
+
+This example shows the full workflow:
+
+1. split an overall budget (α_target) across the planned number of weeks
+   with :func:`repro.privacy.per_release_alpha`;
+2. design the weekly mechanism (the fair mechanism EM) at that per-week α;
+3. run the weekly releases through a :class:`repro.privacy.PrivacyAccountant`
+   that refuses to overrun the budget;
+4. recover the weekly positive-rate trend from the noisy counts with the
+   estimator in :mod:`repro.eval.estimation`.
+
+Run with::
+
+    python examples/longitudinal_release.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.eval.estimation import estimate_true_mean
+from repro.eval.reporting import format_table
+from repro.privacy import PrivacyAccountant, per_release_alpha
+
+GROUP_SIZE = 10
+NUM_GROUPS = 3000
+NUM_WEEKS = 6
+ALPHA_TARGET = 0.05  # overall guarantee over the whole study (epsilon = 3)
+
+
+def weekly_positive_probability(week: int) -> float:
+    """A slowly rising then falling outbreak curve for the simulation."""
+    peak = NUM_WEEKS / 2
+    return 0.15 + 0.25 * np.exp(-((week - peak) ** 2) / 6.0)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+
+    alpha_per_week = per_release_alpha(ALPHA_TARGET, NUM_WEEKS)
+    print(
+        f"Overall budget alpha={ALPHA_TARGET} (epsilon={-np.log(ALPHA_TARGET):.3f}) over "
+        f"{NUM_WEEKS} weekly releases -> per-week alpha={alpha_per_week:.4f} "
+        f"(epsilon={-np.log(alpha_per_week):.3f})"
+    )
+
+    mechanism, decision = repro.choose_mechanism(GROUP_SIZE, alpha_per_week, properties="F")
+    print(f"Weekly mechanism: {decision.branch} ({decision.reason})\n")
+
+    accountant = PrivacyAccountant(alpha_target=ALPHA_TARGET)
+    rows = []
+    for week in range(1, NUM_WEEKS + 1):
+        rate = weekly_positive_probability(week)
+        true_counts = rng.binomial(GROUP_SIZE, rate, size=NUM_GROUPS)
+
+        accountant.record(alpha_per_week, label=f"week {week}")
+        released = mechanism.apply(true_counts, rng=rng)
+
+        estimated_mean = estimate_true_mean(mechanism, released)
+        rows.append(
+            {
+                "week": week,
+                "true rate": rate,
+                "true mean count": float(true_counts.mean()),
+                "released mean": float(released.mean()),
+                "estimated mean": estimated_mean,
+                "abs error": abs(estimated_mean - true_counts.mean()),
+                "budget spent (eps)": accountant.spent_epsilon(),
+            }
+        )
+
+    print(format_table(rows, title="Weekly private releases and recovered trend"))
+    print(
+        f"\nBudget after {NUM_WEEKS} weeks: spent alpha={accountant.spent_alpha():.4f} "
+        f"vs target {ALPHA_TARGET} - further releases this period: "
+        f"{accountant.remaining_releases(alpha_per_week)}"
+    )
+    print(
+        "\nThe raw released means are biased towards n/2 by the strongly private"
+        "\nweekly mechanism; the matrix-inversion estimator recovers the outbreak"
+        "\ncurve while the accountant guarantees the study never exceeds its budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Mechanism gallery: see the paper's heatmap figures in your terminal.
+
+Reproduces, as ASCII art and tables:
+
+* Figure 1 — the pathological unconstrained LP optima (gaps and spikes);
+* Figure 2 — the same designs with all seven structural constraints;
+* Figure 7 — GM vs WM vs EM at a small group size and strong privacy;
+* Figure 6 — the property/score table of the named mechanisms.
+
+Run with::
+
+    python examples/mechanism_gallery.py [--full]
+
+``--full`` also prints every heatmap of Figures 1 and 2 (longer output).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.reporting import ascii_heatmap, describe_mechanism, format_table
+from repro.experiments import (
+    fig01_unconstrained,
+    fig02_constrained,
+    fig06_property_table,
+    fig07_heatmaps,
+)
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    full = "--full" in sys.argv[1:]
+
+    section("Figure 1 - unconstrained LP optima (alpha = 0.62): gaps and spikes")
+    unconstrained = fig01_unconstrained.run()
+    print(unconstrained.to_table(
+        columns=["case", "objective", "num_gap_outputs", "gap_outputs", "spike_ratio",
+                 "most_popular_output", "most_popular_mass"]))
+    cases = [row["case"] for row in unconstrained.rows] if full else ["L2, n=7"]
+    for case in cases:
+        print()
+        print(unconstrained.artefacts[f"heatmap:{case}"])
+
+    section("Figure 2 - the same designs with all structural constraints")
+    constrained = fig02_constrained.run()
+    print(constrained.to_table(
+        columns=["case", "num_gap_outputs", "spike_ratio", "min_within_1_probability"]))
+    for case in cases:
+        print()
+        print(constrained.artefacts[f"heatmap:{case}"])
+
+    section("Figure 7 - GM vs WM vs EM at n = 4, alpha = 0.9")
+    comparison = fig07_heatmaps.run()
+    print(comparison.to_table(
+        columns=["mechanism", "truth_probability", "extreme_output_mass",
+                 "within_1_mass", "l0_score"]))
+    for name in ("GM", "WM", "EM"):
+        print()
+        print(comparison.artefacts[f"heatmap:{name}"])
+
+    section("Figure 6 - properties and L0 scores of the named mechanisms (n = 8, alpha = 0.9)")
+    table = fig06_property_table.run()
+    print(table.to_table(
+        columns=["mechanism", "S", "RM", "CM", "F", "WH", "l0_measured", "l0_closed_form"]))
+    print()
+    for mechanism in table.artefacts["mechanisms"].values():
+        print(describe_mechanism(mechanism))
+        print()
+
+
+if __name__ == "__main__":
+    main()

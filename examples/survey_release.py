@@ -1,0 +1,87 @@
+"""Survey release: private per-group counts of sensitive attributes.
+
+The scenario motivating the paper's real-data experiment (Figure 10): a data
+owner holds demographic survey records and wants to publish, for each small
+group of respondents, how many members have a sensitive property (high
+income, under 30, gender), under differential privacy.
+
+The script generates a synthetic Adult-like dataset (or loads the real UCI
+Adult file if you pass its path), groups respondents, releases the counts
+through the four paper mechanisms (GM, WM, EM, UM), and compares how often
+each mechanism reports the true count — reproducing the paper's finding that
+the "optimal" GM is beaten by uniform guessing on this kind of data while
+the fair mechanism EM does best.
+
+Run with::
+
+    python examples/survey_release.py [path/to/adult.data]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.data.adult import generate_adult_like, load_adult_csv
+from repro.data.groups import group_counts
+from repro.eval.empirical import evaluate_mechanisms
+from repro.eval.reporting import format_table
+
+GROUP_SIZE = 8
+ALPHA = 0.9
+REPETITIONS = 20
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    if len(sys.argv) > 1:
+        dataset = load_adult_csv(sys.argv[1])
+    else:
+        dataset = generate_adult_like(num_records=10_000, rng=rng)
+    print(f"Loaded {dataset.num_records} records from {dataset.source}")
+    print("Sensitive attribute rates:", {k: round(v, 3) for k, v in dataset.target_rates().items()})
+
+    mechanisms = repro.paper_mechanisms(GROUP_SIZE, ALPHA)
+    rows = []
+    for target in ("young", "gender", "income"):
+        workload = group_counts(
+            dataset.target(target), GROUP_SIZE, label=target, shuffle=True, rng=rng
+        )
+        print(
+            f"\nTarget {target!r}: {workload.num_groups} groups of {GROUP_SIZE}; "
+            f"true-count histogram {np.round(workload.histogram(), 2).tolist()}"
+        )
+        results = evaluate_mechanisms(
+            mechanisms, workload, repetitions=REPETITIONS, seed=7
+        )
+        for name, result in results.items():
+            rows.append(
+                {
+                    "target": target,
+                    "mechanism": name,
+                    "wrong-answer rate": result.mean("error_rate"),
+                    "std err": result.standard_error("error_rate"),
+                    "off-by->1 rate": result.mean("exceeds_1_rate"),
+                    "rmse": result.mean("rmse"),
+                }
+            )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Empirical error per mechanism (n={GROUP_SIZE}, alpha={ALPHA}, "
+            f"{REPETITIONS} repetitions) - lower is better",
+        )
+    )
+    print(
+        "\nNote how GM's wrong-answer rate exceeds UM's (uniform guessing) on this"
+        "\nmid-heavy data, while the fair mechanism EM gives the best rate - the"
+        "\npaper's Figure 10 in table form."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Telemetry collection with local differential privacy (the n = 1 case).
+
+The paper notes that a mechanism for a group of size one is exactly the
+local-differential-privacy setting used by RAPPOR (Chrome) and Apple's iOS
+telemetry: each user perturbs their own bit before it leaves the device, and
+the aggregator only ever sees noisy values.
+
+This example simulates a fleet of devices reporting whether a (sensitive)
+feature flag is enabled, compares three per-user mechanisms — binary
+randomized response, the n = 1 geometric mechanism and the n-ary randomized
+response generalisation — and shows how the aggregator debiases the noisy
+sum into an unbiased population-rate estimate with a confidence interval.
+
+Run with::
+
+    python examples/telemetry_ldp.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.eval.reporting import format_table
+
+NUM_DEVICES = 50_000
+TRUE_RATE = 0.23
+ALPHA = 0.5  # per-user privacy level (epsilon = ln 2)
+
+
+def debiased_estimate(released: np.ndarray, truth_probability: float) -> float:
+    """Invert the randomized-response channel to estimate the population rate.
+
+    For a symmetric binary channel with truth probability ``p``,
+    ``E[released] = p * rate + (1 - p) * (1 - rate)``, so
+    ``rate = (mean - (1 - p)) / (2p - 1)``.
+    """
+    p = truth_probability
+    return float((released.mean() - (1.0 - p)) / (2.0 * p - 1.0))
+
+
+def main() -> None:
+    rng = np.random.default_rng(123)
+    true_bits = (rng.random(NUM_DEVICES) < TRUE_RATE).astype(int)
+    print(f"Simulating {NUM_DEVICES} devices, true enable rate {TRUE_RATE:.3f}, "
+          f"per-user alpha {ALPHA} (epsilon = {repro.theory.epsilon_from_alpha(ALPHA):.3f})")
+
+    rows = []
+
+    # ------------------------------------------------------------------ #
+    # Binary randomized response (the classical LDP mechanism).
+    # ------------------------------------------------------------------ #
+    rr = repro.binary_randomized_response(alpha=ALPHA)
+    released = rr.apply(true_bits, rng=rng)
+    p = rr.metadata["truth_probability"]
+    estimate = debiased_estimate(released, p)
+    # Variance of the debiased estimator: p(1-p) / (m (2p-1)^2) per report.
+    stderr = float(np.sqrt(p * (1 - p) / (NUM_DEVICES * (2 * p - 1) ** 2)))
+    rows.append(
+        {
+            "mechanism": "randomized response",
+            "truth prob": p,
+            "raw mean": released.mean(),
+            "debiased estimate": estimate,
+            "abs error": abs(estimate - TRUE_RATE),
+            "95% CI halfwidth": 1.96 * stderr,
+        }
+    )
+
+    # ------------------------------------------------------------------ #
+    # The n = 1 explicit fair mechanism - identical to randomized response,
+    # which is the paper's observation that RR is the unique n = 1 optimum.
+    # ------------------------------------------------------------------ #
+    em1 = repro.explicit_fair_mechanism(1, ALPHA)
+    released = em1.apply(true_bits, rng=rng)
+    estimate = debiased_estimate(released, em1.matrix[0, 0])
+    rows.append(
+        {
+            "mechanism": "EM with n = 1",
+            "truth prob": float(em1.matrix[0, 0]),
+            "raw mean": released.mean(),
+            "debiased estimate": estimate,
+            "abs error": abs(estimate - TRUE_RATE),
+            "95% CI halfwidth": 1.96 * stderr,
+        }
+    )
+
+    # ------------------------------------------------------------------ #
+    # n-ary randomized response run over a tiny domain, for contrast: it
+    # wastes budget and the estimate degrades.
+    # ------------------------------------------------------------------ #
+    nrr = repro.nary_randomized_response(1, ALPHA)
+    released = nrr.apply(true_bits, rng=rng)
+    estimate = debiased_estimate(released, nrr.metadata["truth_probability"])
+    rows.append(
+        {
+            "mechanism": "n-ary RR (k = 2)",
+            "truth prob": nrr.metadata["truth_probability"],
+            "raw mean": released.mean(),
+            "debiased estimate": estimate,
+            "abs error": abs(estimate - TRUE_RATE),
+            "95% CI halfwidth": 1.96 * stderr,
+        }
+    )
+
+    print()
+    print(format_table(rows, title="Aggregator-side estimates after local perturbation"))
+    print(
+        "\nRandomized response and the n = 1 fair mechanism coincide (the paper's"
+        "\nobservation), and the debiased estimate recovers the true rate to within"
+        "\nthe reported confidence interval despite every individual report being"
+        "\nplausibly deniable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim exists so
+that editable installs also work on older tooling stacks (and in offline
+environments without the ``wheel`` package, via
+``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

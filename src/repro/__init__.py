@@ -1,0 +1,130 @@
+"""repro — constrained differentially private mechanisms for count data.
+
+A full reproduction of *Constrained Private Mechanisms for Count Data*
+(Cormode, Kulkarni, Srivastava, ICDE 2018): the mechanism abstraction, the
+seven structural properties, the LP design framework, the named mechanisms
+GM / EM / WM / UM, the data and evaluation substrates, and drivers for every
+figure in the paper's experimental study.
+
+Quick start
+-----------
+>>> import repro
+>>> gm = repro.geometric_mechanism(n=8, alpha=0.9)
+>>> em = repro.explicit_fair_mechanism(n=8, alpha=0.9)
+>>> mech, decision = repro.choose_mechanism(n=8, alpha=0.9, properties="F")
+>>> decision.branch
+'EM'
+"""
+
+from repro.core.design import design_mechanism, optimal_objective_value
+from repro.core.losses import (
+    Objective,
+    l0_score,
+    l0d_score,
+    l1_score,
+    l2_score,
+    mechanism_rmse,
+    objective_value,
+    truth_probability,
+)
+from repro.core.mechanism import Mechanism, empirical_prior, uniform_prior
+from repro.core.properties import (
+    ALL_PROPERTIES,
+    StructuralProperty,
+    check_all_properties,
+    implied_closure,
+    parse_properties,
+    satisfies_differential_privacy,
+    satisfies_property,
+)
+from repro.core.output_privacy import (
+    bidirectional_private,
+    max_output_alpha,
+    satisfies_output_dp,
+)
+from repro.core.selector import SelectorDecision, choose_mechanism, decide
+from repro.core.transformations import derive_from_geometric, optimal_remap, post_process
+from repro.core import theory
+from repro import privacy
+from repro.eval.estimation import (
+    debias_released_mean,
+    estimate_true_histogram,
+    estimate_true_mean,
+)
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.laplace import laplace_mechanism
+from repro.mechanisms.randomized_response import (
+    binary_randomized_response,
+    nary_randomized_response,
+)
+from repro.mechanisms.registry import (
+    available_mechanisms,
+    create_mechanism,
+    paper_mechanisms,
+)
+from repro.mechanisms.staircase import staircase_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+from repro.mechanisms.weakly_honest import weakly_honest_mechanism
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core types
+    "Mechanism",
+    "Objective",
+    "StructuralProperty",
+    "ALL_PROPERTIES",
+    "SelectorDecision",
+    # Design and selection
+    "design_mechanism",
+    "optimal_objective_value",
+    "choose_mechanism",
+    "decide",
+    # Properties
+    "parse_properties",
+    "implied_closure",
+    "check_all_properties",
+    "satisfies_property",
+    "satisfies_differential_privacy",
+    "satisfies_output_dp",
+    "max_output_alpha",
+    "bidirectional_private",
+    # Post-processing (Ghosh et al. derivations)
+    "post_process",
+    "optimal_remap",
+    "derive_from_geometric",
+    # Losses
+    "objective_value",
+    "l0_score",
+    "l0d_score",
+    "l1_score",
+    "l2_score",
+    "mechanism_rmse",
+    "truth_probability",
+    # Priors
+    "uniform_prior",
+    "empirical_prior",
+    # Named mechanisms
+    "geometric_mechanism",
+    "explicit_fair_mechanism",
+    "uniform_mechanism",
+    "weakly_honest_mechanism",
+    "binary_randomized_response",
+    "nary_randomized_response",
+    "exponential_mechanism",
+    "laplace_mechanism",
+    "staircase_mechanism",
+    "available_mechanisms",
+    "create_mechanism",
+    "paper_mechanisms",
+    # Estimation from released counts
+    "estimate_true_histogram",
+    "estimate_true_mean",
+    "debias_released_mean",
+    # Theory and accounting
+    "theory",
+    "privacy",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface for designing, inspecting and applying mechanisms.
+
+The CLI covers the operations a practitioner needs without writing Python:
+
+``repro-mechanisms design``
+    Solve for (or construct) the optimal mechanism for a group size, privacy
+    level and property set; print its scores, properties and matrix, and
+    optionally save it as JSON for later use.
+
+``repro-mechanisms compare``
+    Print the Figure-6-style comparison table of GM / WM / EM / UM for a
+    given (n, α), with an optional heatmap per mechanism.
+
+``repro-mechanisms release``
+    Apply a mechanism (by name, or a previously saved JSON file) to a list
+    of true counts — from the command line or a single-column CSV — and
+    print or save the released counts.
+
+``repro-mechanisms experiments``
+    Thin wrapper around :mod:`repro.experiments.runner`.
+
+Examples
+--------
+::
+
+    repro-mechanisms design --n 8 --alpha 0.9 --properties F --heatmap
+    repro-mechanisms compare --n 4 --alpha 0.9
+    repro-mechanisms release --mechanism EM --n 8 --alpha 0.9 --counts 3 5 2 8
+    repro-mechanisms experiments --fast --only figure-9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design import design_mechanism
+from repro.core.losses import l0_score, l1_score, mechanism_rmse, truth_probability
+from repro.core.mechanism import Mechanism
+from repro.core.properties import check_all_properties
+from repro.core.selector import choose_mechanism
+from repro.eval.reporting import ascii_heatmap, describe_mechanism, format_table
+from repro.experiments import runner
+from repro.mechanisms.registry import available_mechanisms, create_mechanism
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mechanisms",
+        description="Constrained differentially private mechanisms for count data.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    design = subparsers.add_parser(
+        "design", help="design the optimal mechanism for a property set"
+    )
+    design.add_argument("--n", type=int, required=True, help="group size (outputs are 0..n)")
+    design.add_argument("--alpha", type=float, required=True, help="privacy parameter in [0, 1]")
+    design.add_argument(
+        "--properties",
+        default="",
+        help="property set, e.g. 'F', 'WH+CM', 'all' (empty = unconstrained)",
+    )
+    design.add_argument(
+        "--use-selector",
+        action="store_true",
+        help="use the Figure-5 flowchart (explicit GM/EM where possible) instead of always solving the LP",
+    )
+    design.add_argument("--output-alpha", type=float, default=None,
+                        help="also enforce output-side DP at this level (Section VI extension)")
+    design.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    design.add_argument("--heatmap", action="store_true", help="print an ASCII heatmap")
+    design.add_argument("--matrix", action="store_true", help="print the full probability matrix")
+    design.add_argument("--save", type=Path, default=None, help="write the mechanism to a JSON file")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare the paper's named mechanisms (GM, WM, EM, UM)"
+    )
+    compare.add_argument("--n", type=int, required=True)
+    compare.add_argument("--alpha", type=float, required=True)
+    compare.add_argument("--heatmap", action="store_true")
+    compare.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+
+    release = subparsers.add_parser(
+        "release", help="apply a mechanism to true counts and print the noisy counts"
+    )
+    release.add_argument("--mechanism", default="EM",
+                         help=f"mechanism name ({', '.join(available_mechanisms())}) — ignored with --load")
+    release.add_argument("--load", type=Path, default=None,
+                         help="load a mechanism JSON previously written by 'design --save'")
+    release.add_argument("--n", type=int, default=None, help="group size (required unless --load)")
+    release.add_argument("--alpha", type=float, default=None, help="privacy level (required unless --load)")
+    release.add_argument("--counts", type=int, nargs="*", default=None, help="true counts")
+    release.add_argument("--counts-file", type=Path, default=None,
+                         help="file with one true count per line")
+    release.add_argument("--seed", type=int, default=None, help="random seed")
+    release.add_argument("--output", type=Path, default=None,
+                         help="write released counts to this file (one per line)")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper-figure reproduction experiments"
+    )
+    experiments.add_argument("--fast", action="store_true")
+    experiments.add_argument("--only", nargs="*", default=None)
+    experiments.add_argument("--csv-dir", type=Path, default=None)
+
+    return parser
+
+
+def _print_mechanism(mechanism: Mechanism, show_heatmap: bool, show_matrix: bool) -> None:
+    print(describe_mechanism(mechanism))
+    if show_matrix:
+        print()
+        print(mechanism.render())
+    if show_heatmap:
+        print()
+        print(ascii_heatmap(mechanism))
+
+
+def _command_design(args: argparse.Namespace) -> int:
+    if args.use_selector and args.output_alpha is None:
+        mechanism, decision = choose_mechanism(
+            args.n, args.alpha, properties=args.properties, backend=args.backend
+        )
+        print(decision.describe())
+    else:
+        mechanism = design_mechanism(
+            args.n,
+            args.alpha,
+            properties=args.properties,
+            backend=args.backend,
+            output_alpha=args.output_alpha,
+        )
+    _print_mechanism(mechanism, args.heatmap, args.matrix)
+    if args.save is not None:
+        args.save.write_text(mechanism.to_json())
+        print(f"\nsaved mechanism to {args.save}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.mechanisms.registry import paper_mechanisms
+
+    mechanisms = paper_mechanisms(args.n, args.alpha, backend=args.backend)
+    rows = []
+    for mechanism in mechanisms:
+        properties = check_all_properties(mechanism)
+        row = {
+            "mechanism": mechanism.name,
+            "L0": l0_score(mechanism),
+            "L1": l1_score(mechanism),
+            "RMSE": mechanism_rmse(mechanism),
+            "truth prob": truth_probability(mechanism),
+        }
+        row.update({prop.value: value for prop, value in properties.items()})
+        rows.append(row)
+    print(format_table(rows, title=f"named mechanisms at n={args.n}, alpha={args.alpha}"))
+    if args.heatmap:
+        for mechanism in mechanisms:
+            print()
+            print(ascii_heatmap(mechanism))
+    return 0
+
+
+def _load_counts(args: argparse.Namespace) -> np.ndarray:
+    if args.counts is not None and args.counts_file is not None:
+        raise SystemExit("pass either --counts or --counts-file, not both")
+    if args.counts is not None:
+        return np.asarray(args.counts, dtype=int)
+    if args.counts_file is not None:
+        lines = [line.strip() for line in args.counts_file.read_text().splitlines()]
+        return np.asarray([int(line) for line in lines if line], dtype=int)
+    raise SystemExit("one of --counts or --counts-file is required")
+
+
+def _command_release(args: argparse.Namespace) -> int:
+    if args.load is not None:
+        mechanism = Mechanism.from_json(args.load.read_text())
+    else:
+        if args.n is None or args.alpha is None:
+            raise SystemExit("--n and --alpha are required unless --load is given")
+        mechanism = create_mechanism(args.mechanism, n=args.n, alpha=args.alpha)
+    counts = _load_counts(args)
+    if counts.size == 0:
+        raise SystemExit("no counts supplied")
+    if counts.min() < 0 or counts.max() > mechanism.n:
+        raise SystemExit(
+            f"counts must lie in [0, {mechanism.n}] for this mechanism; got "
+            f"[{counts.min()}, {counts.max()}]"
+        )
+    rng = np.random.default_rng(args.seed)
+    released = mechanism.apply(counts, rng=rng)
+    released = np.atleast_1d(released)
+    if args.output is not None:
+        args.output.write_text("\n".join(str(int(v)) for v in released) + "\n")
+        print(f"wrote {released.size} released counts to {args.output}")
+    else:
+        print(" ".join(str(int(v)) for v in released))
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    runner.run_experiments(names=args.only, fast=args.fast, csv_dir=args.csv_dir)
+    return 0
+
+
+_COMMANDS = {
+    "design": _command_design,
+    "compare": _command_compare,
+    "release": _command_release,
+    "experiments": _command_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Core abstractions for constrained private mechanism design.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.mechanism` — the :class:`Mechanism` matrix abstraction
+  (Definition 1), including sampling and application to data.
+* :mod:`repro.core.properties` — differential privacy (Definition 2) and the
+  seven structural properties of Section IV-A as checkable predicates.
+* :mod:`repro.core.losses` — the objective functions of Definition 3 and the
+  rescaled ``L0`` / ``L0,d`` scores of Equation (1).
+* :mod:`repro.core.constraints` — translation of BASICDP and the structural
+  properties into linear constraints (Section III and Theorem 2).
+* :mod:`repro.core.design` — LP-based constrained mechanism design.
+* :mod:`repro.core.selector` — the Figure-5 flowchart that picks GM / EM /
+  WM without redundant LP solves.
+* :mod:`repro.core.theory` — closed forms, lemma thresholds, the
+  Gupte–Sundararajan derivability test and Theorem-1 symmetrisation.
+"""
+
+from repro.core.mechanism import Mechanism
+from repro.core.properties import (
+    ALL_PROPERTIES,
+    StructuralProperty,
+    check_all_properties,
+    implied_closure,
+    parse_properties,
+    satisfies_differential_privacy,
+    satisfies_property,
+)
+from repro.core.losses import (
+    Objective,
+    l0_score,
+    l0d_score,
+    l1_score,
+    l2_score,
+    mechanism_rmse,
+    objective_value,
+)
+from repro.core.design import design_mechanism
+from repro.core.selector import SelectorDecision, choose_mechanism
+from repro.core import theory
+
+__all__ = [
+    "Mechanism",
+    "StructuralProperty",
+    "ALL_PROPERTIES",
+    "parse_properties",
+    "implied_closure",
+    "check_all_properties",
+    "satisfies_property",
+    "satisfies_differential_privacy",
+    "Objective",
+    "objective_value",
+    "l0_score",
+    "l0d_score",
+    "l1_score",
+    "l2_score",
+    "mechanism_rmse",
+    "design_mechanism",
+    "choose_mechanism",
+    "SelectorDecision",
+    "theory",
+]

@@ -1,0 +1,353 @@
+"""Translation of BASICDP and the structural properties into LP constraints.
+
+Section III of the paper writes the unconstrained design problem as a linear
+program over variables ``ρ_{i,j} = Pr[i | j]`` (constraints 3–6); Theorem 2
+observes that each of the seven structural properties of Section IV-A is
+itself a set of linear constraints, so any subset can be added to the same
+program.  This module performs that translation on top of the
+:class:`~repro.lp.model.LinearProgram` substrate.
+
+The central class is :class:`MechanismLPBuilder`: it creates the variable
+grid, installs BASICDP, adds any requested structural properties, installs
+the objective (including the minimax variant via an auxiliary variable) and
+hands back the finished program together with the variable grid so the
+caller can reconstruct the mechanism matrix from a solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.losses import Objective
+from repro.core.properties import StructuralProperty, parse_properties
+from repro.lp.model import LinearProgram, Variable
+
+
+@dataclass
+class MechanismLP:
+    """A finished mechanism-design LP plus the bookkeeping to read it back.
+
+    ``variables[i][j]`` is the LP variable for ``Pr[i | j]``.
+    """
+
+    program: LinearProgram
+    variables: List[List[Variable]]
+    n: int
+    alpha: float
+    objective: Objective
+    properties: FrozenSet[StructuralProperty]
+    auxiliary: Optional[Variable] = None
+
+    def matrix_from_values(self, values: Sequence[float]) -> np.ndarray:
+        """Assemble the mechanism matrix from a raw LP solution vector."""
+        size = self.n + 1
+        matrix = np.zeros((size, size), dtype=float)
+        for i in range(size):
+            for j in range(size):
+                matrix[i, j] = float(values[self.variables[i][j].index])
+        # Clean tiny numerical noise from the solver and renormalise columns.
+        matrix = np.clip(matrix, 0.0, 1.0)
+        matrix /= matrix.sum(axis=0, keepdims=True)
+        return matrix
+
+
+class MechanismLPBuilder:
+    """Builds the constrained mechanism-design LP of Sections III–IV.
+
+    Typical usage::
+
+        builder = MechanismLPBuilder(n=7, alpha=0.62)
+        builder.add_basic_dp()
+        builder.add_properties(["WH", "CM"])
+        builder.set_objective(Objective.l0())
+        mechanism_lp = builder.build()
+    """
+
+    def __init__(self, n: int, alpha: float, name: Optional[str] = None) -> None:
+        if n < 1:
+            raise ValueError("group size n must be at least 1")
+        if not (0.0 <= alpha <= 1.0):
+            raise ValueError("alpha must lie in [0, 1]")
+        self.n = int(n)
+        self.alpha = float(alpha)
+        self.size = self.n + 1
+        self.program = LinearProgram(name=name or f"mechanism(n={n}, alpha={alpha:.4g})")
+        # Constraint 4: every entry is a probability in [0, 1].
+        self.variables: List[List[Variable]] = [
+            [
+                self.program.add_variable(f"rho_{i}_{j}", lower=0.0, upper=1.0)
+                for j in range(self.size)
+            ]
+            for i in range(self.size)
+        ]
+        self._auxiliary: Optional[Variable] = None
+        self._objective: Optional[Objective] = None
+        self._properties: set = set()
+        self._basic_dp_added = False
+
+    # ------------------------------------------------------------------ #
+    # BASICDP (constraints 4–6)
+    # ------------------------------------------------------------------ #
+    def add_basic_dp(self) -> None:
+        """Install the stochasticity and differential-privacy constraints.
+
+        Constraint 5: each column sums to one.  Constraint 6: for every row
+        ``i`` and neighbouring inputs ``j, j + 1``,
+        ``ρ_{i,j} >= α ρ_{i,j+1}`` and ``ρ_{i,j+1} >= α ρ_{i,j}``.
+        """
+        if self._basic_dp_added:
+            return
+        for j in range(self.size):
+            self.program.add_constraint(
+                {self.variables[i][j]: 1.0 for i in range(self.size)},
+                "==",
+                1.0,
+                name=f"column_sum_{j}",
+            )
+        for i in range(self.size):
+            for j in range(self.size - 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i][j + 1]: -self.alpha},
+                    ">=",
+                    0.0,
+                    name=f"dp_forward_{i}_{j}",
+                )
+                self.program.add_constraint(
+                    {self.variables[i][j + 1]: 1.0, self.variables[i][j]: -self.alpha},
+                    ">=",
+                    0.0,
+                    name=f"dp_backward_{i}_{j}",
+                )
+        self._basic_dp_added = True
+
+    def add_output_dp(self, beta: Optional[float] = None) -> None:
+        """Install the output-side DP constraints (the Section-VI extension).
+
+        For every input ``j`` and neighbouring outputs ``i, i + 1``,
+        ``ρ_{i,j} >= β ρ_{i+1,j}`` and ``ρ_{i+1,j} >= β ρ_{i,j}``.  ``beta``
+        defaults to the mechanism's α, the symmetric requirement the paper
+        suggests in its concluding remarks.
+        """
+        beta = self.alpha if beta is None else float(beta)
+        if not (0.0 <= beta <= 1.0):
+            raise ValueError("beta must lie in [0, 1]")
+        for j in range(self.size):
+            for i in range(self.size - 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -beta},
+                    ">=",
+                    0.0,
+                    name=f"output_dp_down_{i}_{j}",
+                )
+                self.program.add_constraint(
+                    {self.variables[i + 1][j]: 1.0, self.variables[i][j]: -beta},
+                    ">=",
+                    0.0,
+                    name=f"output_dp_up_{i}_{j}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # Structural properties (Section IV-A)
+    # ------------------------------------------------------------------ #
+    def add_properties(
+        self, properties: Iterable[Union[str, StructuralProperty]]
+    ) -> FrozenSet[StructuralProperty]:
+        """Add every property in the given specification; returns the parsed set."""
+        props = parse_properties(properties)
+        for prop in props:
+            self.add_property(prop)
+        return props
+
+    def add_property(self, prop: Union[str, StructuralProperty]) -> None:
+        """Add the linear constraints for a single structural property."""
+        prop = StructuralProperty.coerce(prop)
+        if prop in self._properties:
+            return
+        dispatch = {
+            StructuralProperty.ROW_HONESTY: self._add_row_honesty,
+            StructuralProperty.ROW_MONOTONE: self._add_row_monotonicity,
+            StructuralProperty.COLUMN_HONESTY: self._add_column_honesty,
+            StructuralProperty.COLUMN_MONOTONE: self._add_column_monotonicity,
+            StructuralProperty.FAIRNESS: self._add_fairness,
+            StructuralProperty.WEAK_HONESTY: self._add_weak_honesty,
+            StructuralProperty.SYMMETRY: self._add_symmetry,
+        }
+        dispatch[prop]()
+        self._properties.add(prop)
+
+    def _add_row_honesty(self) -> None:
+        """RH (Eq. 7): ``ρ_{i,i} >= ρ_{i,j}``."""
+        for i in range(self.size):
+            for j in range(self.size):
+                if i == j:
+                    continue
+                self.program.add_constraint(
+                    {self.variables[i][i]: 1.0, self.variables[i][j]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"row_honesty_{i}_{j}",
+                )
+
+    def _add_row_monotonicity(self) -> None:
+        """RM (Eq. 8): row entries decay away from the diagonal."""
+        for i in range(self.size):
+            for j in range(1, i + 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i][j - 1]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"row_monotone_left_{i}_{j}",
+                )
+            for j in range(i, self.size - 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i][j + 1]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"row_monotone_right_{i}_{j}",
+                )
+
+    def _add_column_honesty(self) -> None:
+        """CH (Eq. 9): ``ρ_{j,j} >= ρ_{i,j}``."""
+        for j in range(self.size):
+            for i in range(self.size):
+                if i == j:
+                    continue
+                self.program.add_constraint(
+                    {self.variables[j][j]: 1.0, self.variables[i][j]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"column_honesty_{i}_{j}",
+                )
+
+    def _add_column_monotonicity(self) -> None:
+        """CM (Eq. 10): column entries decay away from the diagonal."""
+        for j in range(self.size):
+            for i in range(1, j + 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i - 1][j]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"column_monotone_up_{i}_{j}",
+                )
+            for i in range(j, self.size - 1):
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -1.0},
+                    ">=",
+                    0.0,
+                    name=f"column_monotone_down_{i}_{j}",
+                )
+
+    def _add_fairness(self) -> None:
+        """F (Eq. 11): every diagonal entry equals ``ρ_{0,0}``."""
+        for i in range(1, self.size):
+            self.program.add_constraint(
+                {self.variables[i][i]: 1.0, self.variables[0][0]: -1.0},
+                "==",
+                0.0,
+                name=f"fairness_{i}",
+            )
+
+    def _add_weak_honesty(self) -> None:
+        """WH (Eq. 13): ``ρ_{i,i} >= 1 / (n + 1)``."""
+        threshold = 1.0 / self.size
+        for i in range(self.size):
+            self.program.add_constraint(
+                {self.variables[i][i]: 1.0},
+                ">=",
+                threshold,
+                name=f"weak_honesty_{i}",
+            )
+
+    def _add_symmetry(self) -> None:
+        """S (Eq. 14): centro-symmetry ``ρ_{i,j} = ρ_{n-i,n-j}``."""
+        seen = set()
+        for i in range(self.size):
+            for j in range(self.size):
+                mirror = (self.n - i, self.n - j)
+                if (i, j) == mirror or ((i, j) in seen) or (mirror in seen):
+                    continue
+                seen.add((i, j))
+                self.program.add_constraint(
+                    {self.variables[i][j]: 1.0, self.variables[mirror[0]][mirror[1]]: -1.0},
+                    "==",
+                    0.0,
+                    name=f"symmetry_{i}_{j}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # Objective (constraint 3)
+    # ------------------------------------------------------------------ #
+    def set_objective(self, objective: Objective) -> None:
+        """Install the loss function as the LP objective.
+
+        For the expectation aggregator the objective is the linear form
+        ``Σ_j w_j Σ_i penalty(i, j) ρ_{i,j}``.  For the minimax aggregator an
+        auxiliary variable ``t`` bounds each per-input loss from above and is
+        itself minimised.
+        """
+        self._objective = objective
+        penalties = objective.penalties(self.size)
+        weights = objective.prior(self.size)
+        if objective.aggregator == "sum":
+            coefficients: Dict[Variable, float] = {}
+            for j in range(self.size):
+                for i in range(self.size):
+                    coeff = weights[j] * penalties[i, j]
+                    if coeff != 0.0:
+                        coefficients[self.variables[i][j]] = coeff
+            self.program.set_objective(coefficients, sense="min")
+            return
+        # Minimax: minimise t subject to per-input loss <= t.
+        self._auxiliary = self.program.add_variable("minimax_bound", lower=0.0)
+        for j in range(self.size):
+            row: Dict[Variable, float] = {self._auxiliary: -1.0}
+            for i in range(self.size):
+                coeff = penalties[i, j]
+                if coeff != 0.0:
+                    row[self.variables[i][j]] = coeff
+            self.program.add_constraint(row, "<=", 0.0, name=f"minimax_bound_{j}")
+        self.program.set_objective({self._auxiliary: 1.0}, sense="min")
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+    def build(self) -> MechanismLP:
+        """Return the finished :class:`MechanismLP` (BASICDP added if missing)."""
+        if not self._basic_dp_added:
+            self.add_basic_dp()
+        if self._objective is None:
+            self.set_objective(Objective.l0())
+        return MechanismLP(
+            program=self.program,
+            variables=self.variables,
+            n=self.n,
+            alpha=self.alpha,
+            objective=self._objective,
+            properties=frozenset(self._properties),
+            auxiliary=self._auxiliary,
+        )
+
+
+def build_mechanism_lp(
+    n: int,
+    alpha: float,
+    properties: Iterable[Union[str, StructuralProperty]] = (),
+    objective: Optional[Objective] = None,
+    output_alpha: Optional[float] = None,
+) -> MechanismLP:
+    """Convenience wrapper assembling BASICDP + properties + objective.
+
+    ``output_alpha`` additionally installs the output-side DP constraints of
+    the Section-VI extension at the given level (pass ``alpha`` itself for
+    the symmetric requirement).
+    """
+    builder = MechanismLPBuilder(n=n, alpha=alpha)
+    builder.add_basic_dp()
+    if output_alpha is not None:
+        builder.add_output_dp(output_alpha)
+    builder.add_properties(properties)
+    builder.set_objective(objective if objective is not None else Objective.l0())
+    return builder.build()

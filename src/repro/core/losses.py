@@ -1,0 +1,262 @@
+"""Objective (loss) functions for mechanisms (Definition 3 and Equation 1).
+
+The paper evaluates a mechanism ``P`` through the family of objectives
+
+    ``O_{p,⊕}(P) = ⊕_j  Σ_i  w_j · Pr[i | j] · |i − j|^p``
+
+where ``⊕`` is either a sum or a maximum over inputs, ``w`` is a prior on
+inputs (uniform by default), and ``p`` selects the error notion: ``p = 0``
+penalises every wrong answer equally, ``p = 1`` is the absolute error and
+``p = 2`` the squared error.
+
+The headline score of the paper is the *rescaled* ``L0`` (Equation 1),
+
+    ``L0(P) = (n + 1) / n − trace(P) / n``
+
+which equals ``(n + 1) / n`` times the probability of a wrong answer under a
+uniform prior, normalised so the uniform mechanism scores exactly 1.  The
+related tail score ``L0,d`` measures the (rescaled) probability of an answer
+more than ``d`` steps from the truth, so that ``L0 = L0,0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism, _normalise_prior
+
+MatrixLike = Union[np.ndarray, Mechanism]
+
+
+def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    matrix = np.asarray(mechanism, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def distance_matrix(size: int) -> np.ndarray:
+    """The ``|i - j|`` matrix used by every objective."""
+    indices = np.arange(size)
+    return np.abs(indices[:, None] - indices[None, :]).astype(float)
+
+
+def penalty_matrix(size: int, p: float, d: int = 0) -> np.ndarray:
+    """Per-entry penalties ``|i - j|^p`` (or the ``L0,d`` indicator when p = 0).
+
+    For ``p = 0`` the penalty is the indicator ``1[|i - j| > d]``: a response
+    within ``d`` of the truth incurs no cost.  ``d = 0`` recovers the plain
+    wrong-answer indicator, matching the paper's use of ``L0``.
+    """
+    distances = distance_matrix(size)
+    if p == 0:
+        return (distances > d).astype(float)
+    if d != 0:
+        raise ValueError("the distance threshold d is only meaningful for p = 0")
+    return distances**p
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A fully specified objective ``O_{p,⊕}`` with optional ``L0,d`` threshold.
+
+    Attributes
+    ----------
+    p:
+        Exponent of the per-entry penalty ``|i - j|^p``; ``0`` selects the
+        wrong-answer indicator.
+    d:
+        Distance threshold for ``p = 0`` (the ``L0,d`` family).  Ignored for
+        ``p > 0``.
+    aggregator:
+        ``"sum"`` for expected loss over the prior, ``"max"`` for the
+        worst-case (minimax) loss over inputs.
+    weights:
+        Optional prior over inputs; uniform when ``None``.
+    """
+
+    p: float = 0.0
+    d: int = 0
+    aggregator: str = "sum"
+    weights: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.p < 0:
+            raise ValueError("p must be non-negative")
+        if self.d < 0:
+            raise ValueError("d must be non-negative")
+        if self.aggregator not in ("sum", "max"):
+            raise ValueError("aggregator must be 'sum' or 'max'")
+        if self.p != 0 and self.d != 0:
+            raise ValueError("d is only meaningful when p = 0")
+
+    def penalties(self, size: int) -> np.ndarray:
+        """Penalty matrix for a mechanism with ``size = n + 1`` outputs."""
+        return penalty_matrix(size, self.p, self.d)
+
+    def prior(self, size: int) -> np.ndarray:
+        """Normalised prior over inputs."""
+        return _normalise_prior(self.weights, size)
+
+    def describe(self) -> str:
+        """Readable description, e.g. ``"L0,1 (sum)"`` or ``"L2 (max)"``."""
+        if self.p == 0:
+            base = "L0" if self.d == 0 else f"L0,{self.d}"
+        else:
+            base = f"L{self.p:g}"
+        return f"{base} ({self.aggregator})"
+
+    # Named constructors for the objectives the paper uses ---------------- #
+    @classmethod
+    def l0(cls, weights: Optional[Sequence[float]] = None) -> "Objective":
+        """The wrong-answer objective (the paper's main objective)."""
+        return cls(p=0.0, d=0, aggregator="sum", weights=weights)
+
+    @classmethod
+    def l0d(cls, d: int, weights: Optional[Sequence[float]] = None) -> "Objective":
+        """The tail objective: probability of an answer more than ``d`` off."""
+        return cls(p=0.0, d=d, aggregator="sum", weights=weights)
+
+    @classmethod
+    def l1(cls, weights: Optional[Sequence[float]] = None) -> "Objective":
+        """Expected absolute error."""
+        return cls(p=1.0, aggregator="sum", weights=weights)
+
+    @classmethod
+    def l2(cls, weights: Optional[Sequence[float]] = None) -> "Objective":
+        """Expected squared error."""
+        return cls(p=2.0, aggregator="sum", weights=weights)
+
+    @classmethod
+    def minimax(cls, p: float = 1.0) -> "Objective":
+        """Worst-case loss over inputs (the Gupte–Sundararajan setting)."""
+        return cls(p=p, aggregator="max")
+
+
+def objective_value(
+    mechanism: MatrixLike,
+    objective: Optional[Objective] = None,
+    p: Optional[float] = None,
+    d: int = 0,
+    weights: Optional[Sequence[float]] = None,
+    aggregator: str = "sum",
+) -> float:
+    """Evaluate ``O_{p,⊕}(P)`` for a mechanism (Definition 3, unrescaled).
+
+    Either pass a fully-specified :class:`Objective` or the individual
+    parameters ``p``, ``d``, ``weights`` and ``aggregator``.
+    """
+    if objective is None:
+        objective = Objective(p=0.0 if p is None else p, d=d, aggregator=aggregator, weights=weights)
+    elif p is not None:
+        raise ValueError("pass either an Objective or raw parameters, not both")
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    penalties = objective.penalties(size)
+    per_input = (penalties * matrix).sum(axis=0)
+    prior = objective.prior(size)
+    if objective.aggregator == "max":
+        return float(per_input.max())
+    return float(np.dot(prior, per_input))
+
+
+def per_input_loss(
+    mechanism: MatrixLike, objective: Optional[Objective] = None
+) -> np.ndarray:
+    """The loss ``Σ_i Pr[i | j] |i - j|^p`` for every input ``j`` separately."""
+    if objective is None:
+        objective = Objective.l0()
+    matrix = _as_matrix(mechanism)
+    penalties = objective.penalties(matrix.shape[0])
+    return (penalties * matrix).sum(axis=0)
+
+
+def l0_score(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """The rescaled ``L0`` score of Equation 1.
+
+    With a uniform prior this equals ``(n + 1) / n − trace(P) / n``; with a
+    general prior the natural generalisation ``(n + 1) / n · (1 − Σ_j w_j
+    P[j, j])`` is used, which agrees in the uniform case.
+    """
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    n = size - 1
+    prior = _normalise_prior(weights, size)
+    weighted_trace = float(np.dot(prior, np.diag(matrix)))
+    return (size / n) * (1.0 - weighted_trace)
+
+
+def l0d_score(
+    mechanism: MatrixLike, d: int, weights: Optional[Sequence[float]] = None
+) -> float:
+    """The rescaled tail score ``L0,d``: probability of missing by more than ``d``.
+
+    ``l0d_score(P, 0)`` equals :func:`l0_score`, matching the paper's
+    statement that ``L0 = L0,0``.
+    """
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    n = size - 1
+    raw = objective_value(matrix, Objective.l0d(d, weights=weights))
+    return (size / n) * raw
+
+
+def l1_score(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """Expected absolute error ``O_{1,Σ}`` (unrescaled)."""
+    return objective_value(mechanism, Objective.l1(weights=weights))
+
+
+def l2_score(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """Expected squared error ``O_{2,Σ}`` (unrescaled)."""
+    return objective_value(mechanism, Objective.l2(weights=weights))
+
+
+def worst_case_loss(mechanism: MatrixLike, p: float = 1.0) -> float:
+    """Minimax loss: the largest per-input expected ``|i - j|^p`` penalty."""
+    return objective_value(mechanism, Objective.minimax(p))
+
+
+def mechanism_rmse(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """Root-mean-square error of the released value under a prior on inputs.
+
+    This is the analytic counterpart of the empirical RMSE of Figure 13:
+    ``sqrt(Σ_j w_j Σ_i P[i, j] (i − j)^2)``.
+    """
+    return float(np.sqrt(l2_score(mechanism, weights=weights)))
+
+
+def mechanism_mae(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """Mean absolute error of the released value under a prior on inputs."""
+    return l1_score(mechanism, weights=weights)
+
+
+def truth_probability(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
+    """Probability of reporting the true answer under a prior on inputs."""
+    matrix = _as_matrix(mechanism)
+    prior = _normalise_prior(weights, matrix.shape[0])
+    return float(np.dot(prior, np.diag(matrix)))
+
+
+def tail_distribution(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Vector of ``L0,d`` values for every ``d`` from 0 to ``n``.
+
+    Entry ``d`` is the (rescaled) probability of reporting an answer more
+    than ``d`` steps from the truth — the analytic counterpart of the
+    Figure-12 histograms.
+    """
+    matrix = _as_matrix(mechanism)
+    n = matrix.shape[0] - 1
+    return np.array([l0d_score(matrix, d, weights=weights) for d in range(n + 1)])
+
+
+def compare_mechanisms(
+    mechanisms: Sequence[Mechanism],
+    score: Callable[[MatrixLike], float] = l0_score,
+) -> dict:
+    """Score a collection of mechanisms with a common loss, keyed by name."""
+    return {mechanism.name: float(score(mechanism)) for mechanism in mechanisms}

@@ -1,0 +1,375 @@
+"""The :class:`Mechanism` abstraction (Definition 1 of the paper).
+
+A mechanism for count queries over a group of ``n`` individuals is an
+``(n + 1) x (n + 1)`` column-stochastic matrix ``P`` with
+``P[i, j] = Pr[output = i | true count = j]``.  This module wraps such a
+matrix with validation, sampling, data application and rendering utilities.
+Everything downstream (properties, losses, LP design, experiments) operates
+on these objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+#: Default numerical tolerance for stochasticity / probability checks.
+DEFAULT_TOLERANCE = 1e-9
+
+ArrayLike = Union[Sequence[Sequence[float]], np.ndarray]
+
+
+class MechanismValidationError(ValueError):
+    """Raised when a matrix does not describe a valid randomized mechanism."""
+
+
+@dataclass
+class Mechanism:
+    """A randomized mechanism for count queries.
+
+    Parameters
+    ----------
+    matrix:
+        Square ``(n + 1) x (n + 1)`` array with ``matrix[i, j] =
+        Pr[output = i | input = j]``.  Columns must sum to one and entries
+        must lie in ``[0, 1]`` (within ``tolerance``).
+    name:
+        Short identifier, e.g. ``"GM"`` or ``"EM"``.
+    alpha:
+        The privacy parameter the mechanism was designed for, if known.  The
+        matrix itself is the source of truth; :meth:`max_alpha` recomputes
+        the strongest guarantee the matrix actually provides.
+    metadata:
+        Free-form provenance (e.g. which LP and properties produced it).
+    """
+
+    matrix: np.ndarray
+    name: str = "mechanism"
+    alpha: Optional[float] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=float)
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation and basic structure
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`MechanismValidationError` if the matrix is not valid."""
+        matrix = self.matrix
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise MechanismValidationError(
+                f"mechanism matrix must be square, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] < 2:
+            raise MechanismValidationError(
+                "mechanism must cover at least the outputs {0, 1} (n >= 1)"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise MechanismValidationError("mechanism matrix contains non-finite entries")
+        tol = self.tolerance
+        if np.any(matrix < -tol) or np.any(matrix > 1.0 + tol):
+            raise MechanismValidationError("mechanism entries must lie in [0, 1]")
+        column_sums = matrix.sum(axis=0)
+        if not np.allclose(column_sums, 1.0, atol=max(tol, 1e-7)):
+            worst = float(np.max(np.abs(column_sums - 1.0)))
+            raise MechanismValidationError(
+                f"mechanism columns must sum to 1 (worst deviation {worst:.3e})"
+            )
+        if self.alpha is not None and not (0.0 <= self.alpha <= 1.0):
+            raise MechanismValidationError("alpha must lie in [0, 1]")
+
+    @property
+    def n(self) -> int:
+        """Group size ``n``; inputs and outputs range over ``{0, …, n}``."""
+        return self.matrix.shape[0] - 1
+
+    @property
+    def size(self) -> int:
+        """Number of distinct inputs/outputs, ``n + 1``."""
+        return self.matrix.shape[0]
+
+    @property
+    def diagonal(self) -> np.ndarray:
+        """The truth-reporting probabilities ``Pr[j | j]``."""
+        return np.diag(self.matrix).copy()
+
+    @property
+    def trace(self) -> float:
+        """Sum of the diagonal (used by the rescaled ``L0`` score, Eq. 1)."""
+        return float(np.trace(self.matrix))
+
+    def probabilities(self, true_count: int) -> np.ndarray:
+        """Output distribution for a given true count (a column of ``P``)."""
+        self._check_count(true_count)
+        return self.matrix[:, true_count].copy()
+
+    def probability(self, output: int, true_count: int) -> float:
+        """``Pr[output | true_count]``."""
+        self._check_count(true_count)
+        self._check_count(output)
+        return float(self.matrix[output, true_count])
+
+    def _check_count(self, value: int) -> None:
+        if not (0 <= int(value) <= self.n) or int(value) != value:
+            raise ValueError(f"count {value!r} outside the mechanism range [0, {self.n}]")
+
+    # ------------------------------------------------------------------ #
+    # Privacy
+    # ------------------------------------------------------------------ #
+    def max_alpha(self) -> float:
+        """The largest α for which the matrix is α-differentially private.
+
+        Definition 2 requires ``α <= P[i, j] / P[i, j + 1] <= 1/α`` for all
+        ``i`` and neighbouring inputs ``j, j + 1``.  The strongest guarantee
+        the matrix supports is the minimum over all adjacent ratios (both
+        directions).  Zero rows force α = 0 unless the paired entry is also
+        zero (a ``0/0`` ratio imposes no constraint).
+        """
+        matrix = self.matrix
+        best = 1.0
+        for j in range(self.n):
+            left = matrix[:, j]
+            right = matrix[:, j + 1]
+            for i in range(self.size):
+                a, b = left[i], right[i]
+                if a == 0.0 and b == 0.0:
+                    continue
+                if a == 0.0 or b == 0.0:
+                    return 0.0
+                ratio = min(a / b, b / a)
+                best = min(best, ratio)
+        return float(best)
+
+    def satisfies_dp(self, alpha: float, tolerance: float = 1e-9) -> bool:
+        """Whether the mechanism is α-differentially private (Definition 2)."""
+        if not (0.0 <= alpha <= 1.0):
+            raise ValueError("alpha must lie in [0, 1]")
+        return self.max_alpha() >= alpha - tolerance
+
+    def epsilon(self) -> float:
+        """The ε-differential-privacy guarantee, ``ε = -ln(max_alpha)``."""
+        alpha = self.max_alpha()
+        if alpha <= 0.0:
+            return float("inf")
+        return float(-np.log(alpha))
+
+    # ------------------------------------------------------------------ #
+    # Sampling and application to data
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        true_count: int,
+        rng: Optional[np.random.Generator] = None,
+        size: Optional[int] = None,
+    ) -> Union[int, np.ndarray]:
+        """Draw noisy outputs for a single true count.
+
+        Returns an ``int`` when ``size`` is ``None``, otherwise an integer
+        array of the requested length.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        probabilities = self.probabilities(true_count)
+        # Guard against tiny negative values introduced by LP solvers.
+        probabilities = np.clip(probabilities, 0.0, None)
+        probabilities /= probabilities.sum()
+        outputs = rng.choice(self.size, size=size, p=probabilities)
+        if size is None:
+            return int(outputs)
+        return np.asarray(outputs, dtype=int)
+
+    def apply(
+        self,
+        true_counts: Union[int, Sequence[int], np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Union[int, np.ndarray]:
+        """Apply the mechanism independently to each true count in a batch.
+
+        This is the primitive the empirical experiments use: every group's
+        true count is perturbed by one independent draw from the mechanism.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        if np.isscalar(true_counts):
+            return self.sample(int(true_counts), rng=rng)
+        counts = np.asarray(true_counts, dtype=int)
+        if counts.ndim != 1:
+            raise ValueError("true_counts must be a scalar or a 1-D sequence")
+        released = np.empty(counts.shape[0], dtype=int)
+        # Group identical counts so each distinct value needs one vectorised draw.
+        for value in np.unique(counts):
+            mask = counts == value
+            released[mask] = self.sample(int(value), rng=rng, size=int(mask.sum()))
+        return released
+
+    # ------------------------------------------------------------------ #
+    # Moments and summary statistics
+    # ------------------------------------------------------------------ #
+    def expected_output(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
+        """Expected released value for one input, or for every input column."""
+        outputs = np.arange(self.size, dtype=float)
+        if true_count is None:
+            return outputs @ self.matrix
+        return float(outputs @ self.probabilities(true_count))
+
+    def output_variance(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
+        """Variance of the released value for one input, or for every column."""
+        outputs = np.arange(self.size, dtype=float)
+        first = outputs @ self.matrix
+        second = (outputs**2) @ self.matrix
+        variances = second - first**2
+        if true_count is None:
+            return variances
+        self._check_count(true_count)
+        return float(variances[true_count])
+
+    def bias(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
+        """Bias ``E[output] - input`` for one input, or for every column."""
+        inputs = np.arange(self.size, dtype=float)
+        biases = np.asarray(self.expected_output()) - inputs
+        if true_count is None:
+            return biases
+        self._check_count(true_count)
+        return float(biases[true_count])
+
+    def truth_probability(self, prior: Optional[Sequence[float]] = None) -> float:
+        """Probability of reporting the true answer under a prior on inputs.
+
+        With no prior the uniform prior ``w_j = 1 / (n + 1)`` is used, as in
+        the paper's comparison of GM (0.238) and EM (0.224) for ``n = 4``.
+        """
+        weights = _normalise_prior(prior, self.size)
+        return float(np.dot(weights, self.diagonal))
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def reversed(self) -> "Mechanism":
+        """The centro-symmetric reflection ``P[i, j] -> P[n - i, n - j]``."""
+        reflected = self.matrix[::-1, ::-1].copy()
+        return Mechanism(
+            reflected,
+            name=f"{self.name}^S",
+            alpha=self.alpha,
+            metadata=dict(self.metadata),
+        )
+
+    def symmetrized(self) -> "Mechanism":
+        """Theorem-1 symmetrisation ``M* = (M + M^S) / 2``.
+
+        The construction preserves differential privacy, every structural
+        property of Section IV-A and the ``L0`` objective value.
+        """
+        averaged = 0.5 * (self.matrix + self.matrix[::-1, ::-1])
+        metadata = dict(self.metadata)
+        metadata["symmetrized_from"] = self.name
+        return Mechanism(averaged, name=f"{self.name}*", alpha=self.alpha, metadata=metadata)
+
+    def allclose(self, other: "Mechanism", tolerance: float = 1e-8) -> bool:
+        """Whether two mechanisms have (numerically) identical matrices."""
+        if self.size != other.size:
+            return False
+        return bool(np.allclose(self.matrix, other.matrix, atol=tolerance))
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and rendering
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "alpha": self.alpha,
+            "matrix": self.matrix.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Mechanism":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            matrix=np.asarray(payload["matrix"], dtype=float),
+            name=str(payload.get("name", "mechanism")),
+            alpha=payload.get("alpha"),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Mechanism":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self, precision: int = 3) -> str:
+        """Plain-text rendering of the probability matrix (rows = outputs)."""
+        width = precision + 3
+        lines = []
+        header = " " * 6 + " ".join(f"j={j:<{width - 2}d}" for j in range(self.size))
+        lines.append(f"{self.name} (n={self.n})")
+        lines.append(header)
+        for i in range(self.size):
+            cells = " ".join(f"{self.matrix[i, j]:{width}.{precision}f}" for j in range(self.size))
+            lines.append(f"i={i:<3d} {cells}")
+        return "\n".join(lines)
+
+    def heatmap(self, levels: str = " .:-=+*#%@") -> str:
+        """ASCII heatmap of the matrix, mirroring the paper's figures."""
+        peak = float(self.matrix.max())
+        if peak <= 0.0:
+            peak = 1.0
+        lines = [f"{self.name} (n={self.n}, darker = higher probability)"]
+        for i in range(self.size):
+            row = ""
+            for j in range(self.size):
+                level = int(round((len(levels) - 1) * self.matrix[i, j] / peak))
+                row += levels[level] * 2
+            lines.append(f"i={i:<3d} |{row}|")
+        lines.append("      " + "".join(f"{j:<2d}" for j in range(self.size)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        alpha = "?" if self.alpha is None else f"{self.alpha:.3f}"
+        return f"Mechanism(name={self.name!r}, n={self.n}, alpha={alpha})"
+
+
+def _normalise_prior(prior: Optional[Sequence[float]], size: int) -> np.ndarray:
+    """Validate and normalise a prior over inputs; default to uniform."""
+    if prior is None:
+        return np.full(size, 1.0 / size)
+    weights = np.asarray(prior, dtype=float)
+    if weights.shape != (size,):
+        raise ValueError(f"prior must have length {size}, got shape {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("prior weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("prior weights must not all be zero")
+    return weights / total
+
+
+def uniform_prior(n: int) -> np.ndarray:
+    """The uniform prior ``w_j = 1 / (n + 1)`` used throughout the paper."""
+    if n < 1:
+        raise ValueError("group size n must be at least 1")
+    return np.full(n + 1, 1.0 / (n + 1))
+
+
+def empirical_prior(true_counts: Iterable[int], n: int) -> np.ndarray:
+    """Prior estimated from observed per-group true counts.
+
+    Useful for evaluating mechanisms against the data distribution actually
+    seen in an experiment (e.g. the Adult groups of Figure 10).
+    """
+    counts = np.bincount(np.asarray(list(true_counts), dtype=int), minlength=n + 1)
+    if counts.shape[0] > n + 1:
+        raise ValueError("observed counts exceed the stated group size")
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("no counts supplied")
+    return counts / total

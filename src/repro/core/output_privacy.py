@@ -1,0 +1,147 @@
+"""Output-side differential privacy — the extension proposed in the paper's
+concluding remarks.
+
+Section VI suggests "taking a version of the DP constraint applied to
+columns of the mechanism (in addition to the rows): this would enforce that
+the ratio of probabilities between neighbouring *outputs* is bounded, as
+well as that of neighbouring inputs."  Intuitively this forbids cliff edges
+in each column's output distribution: if the mechanism can report ``i`` it
+must also be able to report ``i ± 1`` with comparable probability, which
+both smooths the released distribution and limits how much an observer
+learns from the *identity* of the output among its neighbours.
+
+This module provides the property as a checkable predicate
+(:func:`satisfies_output_dp`, :func:`max_output_alpha`) and closed-form
+results for the named mechanisms:
+
+* GM's binding column ratio sits at the clamping corner — ``x`` against
+  ``y α`` — so the strongest output-side level it supports is
+  ``α (1 − α)``, strictly below α; GM therefore *never* meets the symmetric
+  requirement (β = α) for any α in (0, 1).
+* EM's column-adjacent exponents differ by at most one, so EM always meets
+  the symmetric requirement, as does UM trivially.
+
+The constraint is available in LP design through
+``MechanismLPBuilder.add_output_dp`` /
+``design_mechanism(..., output_alpha=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+MatrixLike = Union[np.ndarray, Mechanism]
+
+
+def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    matrix = np.asarray(mechanism, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def _check_level(value: float, name: str) -> float:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1]")
+    return float(value)
+
+
+def satisfies_output_dp(
+    mechanism: MatrixLike, beta: float, tolerance: float = 1e-9
+) -> bool:
+    """Whether ``beta <= P[i, j] / P[i + 1, j] <= 1/beta`` for all i and j.
+
+    ``beta`` plays the same role for neighbouring *outputs* that α plays for
+    neighbouring inputs in Definition 2.
+    """
+    beta = _check_level(beta, "beta")
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    for j in range(size):
+        for i in range(size - 1):
+            a = matrix[i, j]
+            b = matrix[i + 1, j]
+            if a < beta * b - tolerance or b < beta * a - tolerance:
+                return False
+    return True
+
+
+def max_output_alpha(mechanism: MatrixLike) -> float:
+    """The largest β for which the mechanism satisfies output-side DP.
+
+    Mirrors :meth:`Mechanism.max_alpha` but walks down each column instead of
+    along each row.  A zero entry adjacent to a non-zero one forces β = 0.
+    """
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    best = 1.0
+    for j in range(size):
+        column = matrix[:, j]
+        for i in range(size - 1):
+            a, b = column[i], column[i + 1]
+            if a == 0.0 and b == 0.0:
+                continue
+            if a == 0.0 or b == 0.0:
+                return 0.0
+            best = min(best, a / b, b / a)
+    return float(best)
+
+
+def gm_output_alpha(alpha: float) -> float:
+    """The strongest output-side level GM supports: ``α (1 − α)``.
+
+    In the first column GM places ``x = 1/(1+α)`` on output 0 and
+    ``y α = (1−α) α/(1+α)`` on output 1, a ratio of ``1/(α (1 − α))``; every
+    other adjacent pair is at least as balanced, so ``α (1 − α)`` is exactly
+    the value returned by :func:`max_output_alpha` on GM's matrix.
+    """
+    alpha = _check_level(alpha, "alpha")
+    return alpha * (1.0 - alpha)
+
+
+def gm_satisfies_output_dp(alpha: float, beta: Optional[float] = None) -> bool:
+    """Whether GM meets output-side DP at level ``beta`` (default: ``alpha``).
+
+    With the symmetric requirement ``beta = alpha`` this is false for every
+    α in (0, 1): the clamping rows always tower over their interior
+    neighbours by a factor ``1/(α(1−α)) > 1/α``.
+    """
+    alpha = _check_level(alpha, "alpha")
+    beta = alpha if beta is None else _check_level(beta, "beta")
+    return beta <= gm_output_alpha(alpha) + 1e-12
+
+
+def em_satisfies_output_dp(alpha: float, beta: Optional[float] = None) -> bool:
+    """EM meets output-side DP at any level ``beta <= alpha`` (default alpha).
+
+    Column-adjacent exponents in the Equation-16 pattern differ by at most
+    one, so every column ratio lies in ``[α, 1/α]``.
+    """
+    alpha = _check_level(alpha, "alpha")
+    beta = alpha if beta is None else _check_level(beta, "beta")
+    return beta <= alpha + 1e-12
+
+
+def bidirectional_private(
+    mechanism: MatrixLike,
+    alpha: float,
+    beta: Optional[float] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether a mechanism is α-DP along rows *and* β-DP along columns.
+
+    ``beta`` defaults to ``alpha`` (the symmetric requirement suggested by
+    the paper).
+    """
+    from repro.core.properties import satisfies_differential_privacy
+
+    beta = alpha if beta is None else beta
+    return satisfies_differential_privacy(mechanism, alpha, tolerance=tolerance) and (
+        satisfies_output_dp(mechanism, beta, tolerance=tolerance)
+    )

@@ -1,0 +1,359 @@
+"""Structural properties of mechanisms (Section IV-A of the paper).
+
+The paper defines seven properties that a mechanism matrix ``P`` (with
+``P[i, j] = Pr[output = i | input = j]``) may satisfy:
+
+* **Row honesty (RH)** — ``Pr[i | i] >= Pr[i | j]`` for all ``i, j``.
+* **Row monotonicity (RM)** — entries in row ``i`` are non-increasing as the
+  input moves away from ``i``.  RM implies RH.
+* **Column honesty (CH)** — ``Pr[j | j] >= Pr[i | j]`` for all ``i, j``.
+* **Column monotonicity (CM)** — entries in column ``j`` are non-increasing
+  as the output moves away from ``j``.  CM implies CH.
+* **Fairness (F)** — the truth-reporting probability ``Pr[i | i]`` is the
+  same for every input.
+* **Weak honesty (WH)** — ``Pr[i | i] >= 1 / (n + 1)`` for every input.
+  CH implies WH.
+* **Symmetry (S)** — the matrix is centro-symmetric,
+  ``Pr[i | j] = Pr[n - i | n - j]``.
+
+This module provides the properties as an enum, per-property checkers on raw
+matrices or :class:`~repro.core.mechanism.Mechanism` objects, the implication
+lattice, and a canonicaliser that reduces requested property sets to the nine
+meaningful combinations studied in Section V-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+MatrixLike = Union[np.ndarray, Mechanism]
+
+#: Default tolerance for property checks on floating-point matrices.
+DEFAULT_TOLERANCE = 1e-9
+
+
+class StructuralProperty(str, enum.Enum):
+    """The seven structural properties of Section IV-A."""
+
+    ROW_HONESTY = "RH"
+    ROW_MONOTONE = "RM"
+    COLUMN_HONESTY = "CH"
+    COLUMN_MONOTONE = "CM"
+    FAIRNESS = "F"
+    WEAK_HONESTY = "WH"
+    SYMMETRY = "S"
+
+    @classmethod
+    def coerce(cls, value: Union["StructuralProperty", str]) -> "StructuralProperty":
+        """Accept an enum member, its code (``"RH"``) or its full name."""
+        if isinstance(value, StructuralProperty):
+            return value
+        text = str(value).strip().upper().replace("-", "_").replace(" ", "_")
+        for member in cls:
+            if text == member.value or text == member.name:
+                return member
+        aliases = {
+            "ROW_HONEST": cls.ROW_HONESTY,
+            "ROW_MONOTONICITY": cls.ROW_MONOTONE,
+            "COLUMN_HONEST": cls.COLUMN_HONESTY,
+            "COLUMN_MONOTONICITY": cls.COLUMN_MONOTONE,
+            "FAIR": cls.FAIRNESS,
+            "WEAKLY_HONEST": cls.WEAK_HONESTY,
+            "SYMMETRIC": cls.SYMMETRY,
+        }
+        if text in aliases:
+            return aliases[text]
+        raise ValueError(f"unknown structural property: {value!r}")
+
+
+#: All seven properties, in the order the paper lists them.
+ALL_PROPERTIES: Tuple[StructuralProperty, ...] = (
+    StructuralProperty.ROW_HONESTY,
+    StructuralProperty.ROW_MONOTONE,
+    StructuralProperty.COLUMN_HONESTY,
+    StructuralProperty.COLUMN_MONOTONE,
+    StructuralProperty.FAIRNESS,
+    StructuralProperty.WEAK_HONESTY,
+    StructuralProperty.SYMMETRY,
+)
+
+#: Direct implications between single properties: RM ⇒ RH, CM ⇒ CH, CH ⇒ WH.
+DIRECT_IMPLICATIONS: Dict[StructuralProperty, Tuple[StructuralProperty, ...]] = {
+    StructuralProperty.ROW_MONOTONE: (StructuralProperty.ROW_HONESTY,),
+    StructuralProperty.COLUMN_MONOTONE: (StructuralProperty.COLUMN_HONESTY,),
+    StructuralProperty.COLUMN_HONESTY: (StructuralProperty.WEAK_HONESTY,),
+}
+
+
+def parse_properties(
+    spec: Union[None, str, StructuralProperty, Iterable[Union[str, StructuralProperty]]],
+) -> FrozenSet[StructuralProperty]:
+    """Parse a property specification into a frozen set of properties.
+
+    Accepts ``None`` (no properties), a single property or code, a
+    comma/plus/space separated string such as ``"WH+CM"`` or ``"RH, S"``,
+    the keyword ``"all"``, or any iterable of the above.
+    """
+    if spec is None:
+        return frozenset()
+    if isinstance(spec, StructuralProperty):
+        return frozenset({spec})
+    if isinstance(spec, str):
+        text = spec.strip()
+        if not text:
+            return frozenset()
+        if text.lower() in ("all", "*"):
+            return frozenset(ALL_PROPERTIES)
+        tokens = [token for token in text.replace("+", ",").replace(" ", ",").split(",") if token]
+        return frozenset(StructuralProperty.coerce(token) for token in tokens)
+    return frozenset(StructuralProperty.coerce(item) for item in spec)
+
+
+def implied_closure(
+    properties: Iterable[Union[str, StructuralProperty]],
+) -> FrozenSet[StructuralProperty]:
+    """Close a property set under the implication lattice of Section IV-A.
+
+    In addition to the single-property implications (RM ⇒ RH, CM ⇒ CH ⇒ WH)
+    the paper notes two joint implications: a fair and row-honest mechanism
+    is column honest, and a fair and column-honest mechanism is row honest.
+    """
+    current: Set[StructuralProperty] = set(parse_properties(properties))
+    changed = True
+    while changed:
+        changed = False
+        for prop in list(current):
+            for implied in DIRECT_IMPLICATIONS.get(prop, ()):
+                if implied not in current:
+                    current.add(implied)
+                    changed = True
+        if StructuralProperty.FAIRNESS in current:
+            if StructuralProperty.ROW_HONESTY in current and (
+                StructuralProperty.COLUMN_HONESTY not in current
+            ):
+                current.add(StructuralProperty.COLUMN_HONESTY)
+                changed = True
+            if StructuralProperty.COLUMN_HONESTY in current and (
+                StructuralProperty.ROW_HONESTY not in current
+            ):
+                current.add(StructuralProperty.ROW_HONESTY)
+                changed = True
+    return frozenset(current)
+
+
+def minimal_representation(
+    properties: Iterable[Union[str, StructuralProperty]],
+) -> FrozenSet[StructuralProperty]:
+    """Drop properties implied by others, giving a minimal equivalent request.
+
+    For example ``{RM, RH, WH, CM, CH}`` reduces to ``{RM, CM}`` because
+    RM ⇒ RH and CM ⇒ CH ⇒ WH.
+    """
+    requested = implied_closure(properties)
+    minimal: Set[StructuralProperty] = set(requested)
+    for prop in list(minimal):
+        without = minimal - {prop}
+        if prop in implied_closure(without):
+            minimal.discard(prop)
+    return frozenset(minimal)
+
+
+# --------------------------------------------------------------------------- #
+# Checkers
+# --------------------------------------------------------------------------- #
+def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    matrix = np.asarray(mechanism, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def satisfies_differential_privacy(
+    mechanism: MatrixLike, alpha: float, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Definition 2: ``alpha <= P[i, j] / P[i, j + 1] <= 1 / alpha`` for all i, j."""
+    matrix = _as_matrix(mechanism)
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError("alpha must lie in [0, 1]")
+    size = matrix.shape[0]
+    for j in range(size - 1):
+        for i in range(size):
+            a = matrix[i, j]
+            b = matrix[i, j + 1]
+            if a < alpha * b - tolerance or b < alpha * a - tolerance:
+                return False
+    return True
+
+
+def is_row_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """RH (Eq. 7): ``Pr[i | i] >= Pr[i | j]``."""
+    matrix = _as_matrix(mechanism)
+    diagonal = np.diag(matrix)
+    return bool(np.all(matrix <= diagonal[:, None] + tolerance))
+
+
+def is_row_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """RM (Eq. 8): entries in a row are non-increasing away from the diagonal."""
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    for i in range(size):
+        for j in range(1, i + 1):
+            if matrix[i, j - 1] > matrix[i, j] + tolerance:
+                return False
+        for j in range(i, size - 1):
+            if matrix[i, j + 1] > matrix[i, j] + tolerance:
+                return False
+    return True
+
+
+def is_column_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """CH (Eq. 9): ``Pr[j | j] >= Pr[i | j]``."""
+    matrix = _as_matrix(mechanism)
+    diagonal = np.diag(matrix)
+    return bool(np.all(matrix <= diagonal[None, :] + tolerance))
+
+
+def is_column_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """CM (Eq. 10): entries in a column are non-increasing away from the diagonal."""
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    for j in range(size):
+        for i in range(1, j + 1):
+            if matrix[i - 1, j] > matrix[i, j] + tolerance:
+                return False
+        for i in range(j, size - 1):
+            if matrix[i + 1, j] > matrix[i, j] + tolerance:
+                return False
+    return True
+
+
+def is_fair(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """F (Eq. 11): every diagonal entry equals the same value ``y``."""
+    matrix = _as_matrix(mechanism)
+    diagonal = np.diag(matrix)
+    return bool(np.all(np.abs(diagonal - diagonal[0]) <= tolerance))
+
+
+def is_weakly_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """WH (Eq. 13): ``Pr[i | i] >= 1 / (n + 1)``."""
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    return bool(np.all(np.diag(matrix) >= 1.0 / size - tolerance))
+
+
+def is_symmetric(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """S (Eq. 14): centro-symmetry, ``Pr[i | j] = Pr[n - i | n - j]``."""
+    matrix = _as_matrix(mechanism)
+    return bool(np.allclose(matrix, matrix[::-1, ::-1], atol=tolerance))
+
+
+#: Dispatch table from property to checker.
+_CHECKERS = {
+    StructuralProperty.ROW_HONESTY: is_row_honest,
+    StructuralProperty.ROW_MONOTONE: is_row_monotone,
+    StructuralProperty.COLUMN_HONESTY: is_column_honest,
+    StructuralProperty.COLUMN_MONOTONE: is_column_monotone,
+    StructuralProperty.FAIRNESS: is_fair,
+    StructuralProperty.WEAK_HONESTY: is_weakly_honest,
+    StructuralProperty.SYMMETRY: is_symmetric,
+}
+
+
+def satisfies_property(
+    mechanism: MatrixLike,
+    prop: Union[str, StructuralProperty],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Whether a mechanism satisfies a single structural property."""
+    return _CHECKERS[StructuralProperty.coerce(prop)](mechanism, tolerance=tolerance)
+
+
+def satisfies_all(
+    mechanism: MatrixLike,
+    properties: Iterable[Union[str, StructuralProperty]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Whether a mechanism satisfies every property in the given set."""
+    return all(
+        satisfies_property(mechanism, prop, tolerance=tolerance)
+        for prop in parse_properties(properties)
+    )
+
+
+def check_all_properties(
+    mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE
+) -> Dict[StructuralProperty, bool]:
+    """Evaluate all seven structural properties, returning a report dict."""
+    return {
+        prop: checker(mechanism, tolerance=tolerance) for prop, checker in _CHECKERS.items()
+    }
+
+
+def violations(
+    mechanism: MatrixLike,
+    properties: Iterable[Union[str, StructuralProperty]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[StructuralProperty]:
+    """The subset of requested properties that the mechanism violates."""
+    return [
+        prop
+        for prop in sorted(parse_properties(properties), key=lambda p: p.value)
+        if not satisfies_property(mechanism, prop, tolerance=tolerance)
+    ]
+
+
+def has_gap(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether any output is never reported (a zero row — a "gap" in Fig. 1)."""
+    matrix = _as_matrix(mechanism)
+    return bool(np.any(matrix.max(axis=1) <= tolerance))
+
+
+def spike_ratio(mechanism: MatrixLike) -> float:
+    """How spiky the mechanism is: max row mass divided by the uniform row mass.
+
+    A perfectly balanced mechanism (every output equally likely under a
+    uniform prior) scores 1; the degenerate Figure-1 L2 mechanism, which
+    always reports the same value, scores ``n + 1``.
+    """
+    matrix = _as_matrix(mechanism)
+    size = matrix.shape[0]
+    row_mass = matrix.mean(axis=1)
+    return float(row_mass.max() * size)
+
+
+# --------------------------------------------------------------------------- #
+# Meaningful combinations (Section V-A)
+# --------------------------------------------------------------------------- #
+def meaningful_weak_honesty_combinations() -> List[FrozenSet[StructuralProperty]]:
+    """The nine meaningful property sets studied alongside weak honesty.
+
+    Section V-A combines WH with subsets of {RH, RM, CH, CM}; because
+    RM ⇒ RH and CM ⇒ CH, only nine combinations are distinct:
+    ∅, RH, RM, CH, CM, RH+CH, RH+CM, RM+CH, RM+CM (each together with WH).
+    """
+    wh = StructuralProperty.WEAK_HONESTY
+    rh = StructuralProperty.ROW_HONESTY
+    rm = StructuralProperty.ROW_MONOTONE
+    ch = StructuralProperty.COLUMN_HONESTY
+    cm = StructuralProperty.COLUMN_MONOTONE
+    row_options = (frozenset(), frozenset({rh}), frozenset({rm}))
+    column_options = (frozenset(), frozenset({ch}), frozenset({cm}))
+    combos: List[FrozenSet[StructuralProperty]] = []
+    for row_part in row_options:
+        for column_part in column_options:
+            combos.append(frozenset({wh}) | row_part | column_part)
+    return combos
+
+
+def combination_label(properties: Iterable[Union[str, StructuralProperty]]) -> str:
+    """Short label for a property combination, e.g. ``"WH+RM+CM"``."""
+    props = parse_properties(properties)
+    ordered = [prop.value for prop in ALL_PROPERTIES if prop in props]
+    return "+".join(ordered) if ordered else "(none)"

@@ -1,0 +1,41 @@
+"""Data substrates for the experimental study (Section V).
+
+* :mod:`repro.data.synthetic` — populations of individuals with a private
+  bit, Bernoulli/binomial group models, and skew-controlled distributions
+  (Section V-C).
+* :mod:`repro.data.adult` — a synthetic Adult-like demographic dataset
+  with the paper's three binary targets (young / gender / income), replacing
+  the UCI Adult file which is not available offline (Section V-B; see
+  DESIGN.md for the substitution argument).  A loader for the real Adult CSV
+  is provided for users who have the file.
+* :mod:`repro.data.groups` — partitioning individuals into fixed-size
+  groups and computing per-group true counts.
+"""
+
+from repro.data.adult import (
+    ADULT_TARGETS,
+    AdultDataset,
+    generate_adult_like,
+    load_adult_csv,
+)
+from repro.data.groups import GroupedCounts, group_counts, partition_into_groups
+from repro.data.synthetic import (
+    bernoulli_population,
+    binomial_group_counts,
+    population_to_groups,
+    skewed_probabilities,
+)
+
+__all__ = [
+    "ADULT_TARGETS",
+    "AdultDataset",
+    "generate_adult_like",
+    "load_adult_csv",
+    "GroupedCounts",
+    "group_counts",
+    "partition_into_groups",
+    "bernoulli_population",
+    "binomial_group_counts",
+    "population_to_groups",
+    "skewed_probabilities",
+]

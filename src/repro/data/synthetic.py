@@ -1,0 +1,124 @@
+"""Synthetic populations with a private bit (Section V-C).
+
+The paper's synthetic study generates a population of 10,000 individuals,
+each holding a private bit that is one with probability ``p``, and divides
+them into groups of size ``n``; the per-group counts are then Binomial(n, p).
+This module provides that generator, plus helpers for producing the skewed /
+balanced distributions the figures sweep over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Population size used throughout the paper's synthetic experiments.
+DEFAULT_POPULATION = 10_000
+
+
+def _require_probability(p: float, name: str = "p") -> float:
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {p}")
+    return float(p)
+
+
+def bernoulli_population(
+    size: int, p: float, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """A population of private bits, each one with probability ``p``."""
+    if size < 0:
+        raise ValueError("population size must be non-negative")
+    _require_probability(p)
+    rng = rng if rng is not None else np.random.default_rng()
+    return (rng.random(size) < p).astype(int)
+
+
+def population_to_groups(bits: Sequence[int], group_size: int) -> np.ndarray:
+    """Split a population of bits into consecutive groups and sum each group.
+
+    Individuals that do not fill the final group are dropped (matching the
+    paper's "divide them into small groups of the same size").
+    """
+    bits = np.asarray(bits, dtype=int)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a one-dimensional array")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0/1 valued")
+    if group_size < 1 or int(group_size) != group_size:
+        raise ValueError("group size must be a positive integer")
+    usable = (bits.shape[0] // group_size) * group_size
+    if usable == 0:
+        return np.zeros(0, dtype=int)
+    return bits[:usable].reshape(-1, group_size).sum(axis=1)
+
+
+def binomial_group_counts(
+    num_groups: int,
+    group_size: int,
+    p: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Directly draw per-group true counts from Binomial(group_size, p).
+
+    Equivalent in distribution to generating a population with
+    :func:`bernoulli_population` and grouping it, but cheaper for sweeps.
+    """
+    if num_groups < 0:
+        raise ValueError("number of groups must be non-negative")
+    if group_size < 1 or int(group_size) != group_size:
+        raise ValueError("group size must be a positive integer")
+    _require_probability(p)
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.binomial(group_size, p, size=num_groups).astype(int)
+
+
+def groups_from_population(
+    population: int,
+    group_size: int,
+    p: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """The paper's Section V-C workload: a population of ``population``
+    individuals with bit-probability ``p``, split into groups of ``group_size``."""
+    bits = bernoulli_population(population, p, rng=rng)
+    return population_to_groups(bits, group_size)
+
+
+def skewed_probabilities(levels: int = 9) -> List[float]:
+    """A sweep of bit-probabilities from heavily skewed to balanced and back.
+
+    Figure 11/13 vary the input distribution parameter ``p``; this helper
+    returns an evenly spaced sweep over ``(0, 1)`` (endpoints excluded so
+    every group count remains random), e.g. ``[0.1, 0.2, …, 0.9]`` for the
+    default nine levels.
+    """
+    if levels < 1:
+        raise ValueError("levels must be a positive integer")
+    return [round((k + 1) / (levels + 1), 10) for k in range(levels)]
+
+
+def biased_and_balanced_probabilities() -> dict:
+    """Named probability settings used when describing results in the paper.
+
+    "Balanced" inputs concentrate group counts near ``n/2`` (where GM does
+    poorly); "biased" inputs concentrate counts near the extremes (where GM
+    recovers).
+    """
+    return {
+        "balanced": [0.4, 0.5, 0.6],
+        "moderate": [0.2, 0.3, 0.7, 0.8],
+        "biased": [0.05, 0.1, 0.9, 0.95],
+    }
+
+
+def true_count_histogram(counts: Sequence[int], group_size: int) -> np.ndarray:
+    """Empirical distribution of true counts over ``{0, …, n}`` (sums to 1)."""
+    counts = np.asarray(counts, dtype=int)
+    if counts.size and (counts.min() < 0 or counts.max() > group_size):
+        raise ValueError("counts fall outside [0, group_size]")
+    histogram = np.bincount(counts, minlength=group_size + 1).astype(float)
+    total = histogram.sum()
+    if total == 0:
+        return histogram
+    return histogram / total

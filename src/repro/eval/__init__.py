@@ -1,0 +1,42 @@
+"""Empirical evaluation harness for mechanisms (Section V).
+
+* :mod:`repro.eval.metrics` — error metrics computed on released vs true
+  counts (empirical ``L0``, ``L0,d``, RMSE, MAE, bias).
+* :mod:`repro.eval.empirical` — running a mechanism over grouped data for
+  many repetitions and summarising the metrics with error bars.
+* :mod:`repro.eval.sweep` — parameter sweeps over α, group size and data
+  skew, producing tabular results.
+* :mod:`repro.eval.reporting` — plain-text tables, ASCII heatmaps and CSV
+  export for experiment outputs.
+"""
+
+from repro.eval.empirical import EmpiricalResult, evaluate_mechanism, evaluate_mechanisms
+from repro.eval.metrics import (
+    empirical_l0,
+    empirical_l0d,
+    error_rate,
+    exceeds_distance_rate,
+    mean_absolute_error,
+    mean_signed_error,
+    root_mean_square_error,
+)
+from repro.eval.reporting import ascii_heatmap, format_table, rows_to_csv
+from repro.eval.sweep import SweepResult, sweep
+
+__all__ = [
+    "EmpiricalResult",
+    "evaluate_mechanism",
+    "evaluate_mechanisms",
+    "empirical_l0",
+    "empirical_l0d",
+    "error_rate",
+    "exceeds_distance_rate",
+    "mean_absolute_error",
+    "mean_signed_error",
+    "root_mean_square_error",
+    "ascii_heatmap",
+    "format_table",
+    "rows_to_csv",
+    "SweepResult",
+    "sweep",
+]

@@ -1,0 +1,144 @@
+"""Statistical estimation from released counts.
+
+A mechanism's output is a noisy version of each group's true count; analysts
+usually want aggregate statistics of the *true* counts back.  Because the
+mechanism matrix ``P`` is public, the distribution of released counts is a
+known linear transformation of the distribution of true counts
+(``released_dist = P · true_dist``), which makes unbiased estimation
+straightforward:
+
+* :func:`estimate_true_histogram` — invert (or least-squares invert) ``P`` on
+  the empirical released histogram and project back onto the probability
+  simplex, recovering the distribution of true counts across groups;
+* :func:`estimate_true_mean` — the corresponding estimate of the mean true
+  count;
+* :func:`debias_released_mean` — a direct bias correction of the released
+  mean using the mechanism's per-input expected outputs (exact when the
+  expected output is an affine function of the input, as for additive-noise
+  mechanisms away from the clamping region).
+
+These utilities are what the paper's introduction calls "downstream
+processing": they let every experiment close the loop from private release
+back to usable statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+MatrixLike = Union[np.ndarray, Mechanism]
+
+
+def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.matrix
+    matrix = np.asarray(mechanism, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def released_histogram(released_counts: Sequence[int], n: int) -> np.ndarray:
+    """Empirical distribution of released counts over ``{0, …, n}``."""
+    counts = np.asarray(released_counts, dtype=int)
+    if counts.size == 0:
+        raise ValueError("no released counts supplied")
+    if counts.min() < 0 or counts.max() > n:
+        raise ValueError(f"released counts must lie in [0, {n}]")
+    histogram = np.bincount(counts, minlength=n + 1).astype(float)
+    return histogram / histogram.sum()
+
+
+def project_to_simplex(vector: Sequence[float]) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex.
+
+    Used to turn the (possibly negative) inverse estimate into a proper
+    distribution; the standard sort-and-threshold algorithm.
+    """
+    values = np.asarray(vector, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("expected a non-empty vector")
+    sorted_desc = np.sort(values)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    indices = np.arange(1, values.size + 1)
+    feasible = sorted_desc - cumulative / indices > 0
+    rho = int(np.nonzero(feasible)[0][-1]) + 1
+    threshold = cumulative[rho - 1] / rho
+    return np.clip(values - threshold, 0.0, None)
+
+
+def estimate_true_histogram(
+    mechanism: MatrixLike,
+    released_counts: Sequence[int],
+    method: str = "least_squares",
+    ridge: float = 1e-8,
+) -> np.ndarray:
+    """Estimate the distribution of *true* counts from released counts.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism (matrix ``P``) that produced the releases.
+    released_counts:
+        One released count per group.
+    method:
+        ``"least_squares"`` (default): solve ``min ||P q − released_hist||``
+        with a tiny ridge for numerical stability, then project onto the
+        simplex.  ``"inverse"``: multiply by ``P^{-1}`` directly (only
+        sensible when ``P`` is well conditioned) and project.
+    """
+    matrix = _as_matrix(mechanism)
+    n = matrix.shape[0] - 1
+    observed = released_histogram(released_counts, n)
+    if method == "inverse":
+        try:
+            raw = np.linalg.solve(matrix, observed)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("mechanism matrix is singular; use method='least_squares'") from exc
+    elif method == "least_squares":
+        gram = matrix.T @ matrix + ridge * np.eye(matrix.shape[0])
+        raw = np.linalg.solve(gram, matrix.T @ observed)
+    else:
+        raise ValueError("method must be 'least_squares' or 'inverse'")
+    return project_to_simplex(raw)
+
+
+def estimate_true_mean(
+    mechanism: MatrixLike,
+    released_counts: Sequence[int],
+    method: str = "least_squares",
+) -> float:
+    """Estimate the mean true count across groups from the released counts."""
+    matrix = _as_matrix(mechanism)
+    n = matrix.shape[0] - 1
+    distribution = estimate_true_histogram(mechanism, released_counts, method=method)
+    return float(np.dot(np.arange(n + 1), distribution))
+
+
+def debias_released_mean(
+    mechanism: MatrixLike, released_counts: Sequence[int]
+) -> float:
+    """Bias-correct the released mean using the mechanism's expected outputs.
+
+    Fits the affine map ``j -> E[output | j]`` by least squares over the
+    input range and inverts it at the observed mean.  For mechanisms whose
+    expected output is exactly affine in the input (e.g. randomized response
+    or additive noise without clamping) the correction is exact; for clamped
+    mechanisms it removes the bulk of the bias away from the boundary.
+    """
+    matrix = _as_matrix(mechanism)
+    n = matrix.shape[0] - 1
+    counts = np.asarray(released_counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("no released counts supplied")
+    inputs = np.arange(n + 1, dtype=float)
+    expected_outputs = np.arange(n + 1, dtype=float) @ matrix
+    slope, intercept = np.polyfit(inputs, expected_outputs, deg=1)
+    if abs(slope) < 1e-12:
+        raise ValueError("mechanism output carries no information about the input")
+    estimate = (counts.mean() - intercept) / slope
+    return float(np.clip(estimate, 0.0, n))

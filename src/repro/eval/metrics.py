@@ -1,0 +1,117 @@
+"""Error metrics on released versus true counts.
+
+These are the empirical counterparts of the analytic losses in
+:mod:`repro.core.losses`: the paper's experiments apply a mechanism to every
+group's true count and then measure how often (and by how much) the released
+count differs from the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _as_pair(true_counts: Sequence[int], released_counts: Sequence[int]):
+    true = np.asarray(true_counts, dtype=float)
+    released = np.asarray(released_counts, dtype=float)
+    if true.shape != released.shape:
+        raise ValueError(
+            f"true and released counts must have the same shape, got {true.shape} vs {released.shape}"
+        )
+    if true.size == 0:
+        raise ValueError("cannot compute metrics on empty inputs")
+    return true, released
+
+
+def error_rate(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+    """Fraction of groups whose released count differs from the true count.
+
+    This is the quantity plotted in Figure 10 (the empirical ``L0`` before
+    the paper's ``(n+1)/n`` rescaling).
+    """
+    true, released = _as_pair(true_counts, released_counts)
+    return float(np.mean(true != released))
+
+
+def exceeds_distance_rate(
+    true_counts: Sequence[int], released_counts: Sequence[int], d: int
+) -> float:
+    """Fraction of groups whose released count is more than ``d`` away from the truth.
+
+    ``d = 0`` recovers :func:`error_rate`; ``d = 1`` is the measure of
+    Figure 11, and sweeping ``d`` gives the histograms of Figure 12.
+    """
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    true, released = _as_pair(true_counts, released_counts)
+    return float(np.mean(np.abs(true - released) > d))
+
+
+def empirical_l0(
+    true_counts: Sequence[int], released_counts: Sequence[int], group_size: int
+) -> float:
+    """Empirical rescaled ``L0``: the wrong-answer rate scaled by ``(n+1)/n``."""
+    if group_size < 1:
+        raise ValueError("group size must be positive")
+    return (group_size + 1) / group_size * error_rate(true_counts, released_counts)
+
+
+def empirical_l0d(
+    true_counts: Sequence[int], released_counts: Sequence[int], d: int, group_size: int
+) -> float:
+    """Empirical rescaled ``L0,d``: miss-by-more-than-``d`` rate scaled by ``(n+1)/n``."""
+    if group_size < 1:
+        raise ValueError("group size must be positive")
+    return (group_size + 1) / group_size * exceeds_distance_rate(true_counts, released_counts, d)
+
+
+def mean_absolute_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+    """Mean absolute deviation of released counts from true counts."""
+    true, released = _as_pair(true_counts, released_counts)
+    return float(np.mean(np.abs(true - released)))
+
+
+def root_mean_square_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+    """Root-mean-square deviation (the Figure 13 metric)."""
+    true, released = _as_pair(true_counts, released_counts)
+    return float(np.sqrt(np.mean((true - released) ** 2)))
+
+
+def mean_signed_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+    """Mean of (released − true): the empirical bias of the mechanism on this data."""
+    true, released = _as_pair(true_counts, released_counts)
+    return float(np.mean(released - true))
+
+
+def summarise(true_counts: Sequence[int], released_counts: Sequence[int]) -> Dict[str, float]:
+    """All scalar metrics at once, keyed by name."""
+    return {
+        "error_rate": error_rate(true_counts, released_counts),
+        "exceeds_1_rate": exceeds_distance_rate(true_counts, released_counts, 1),
+        "mae": mean_absolute_error(true_counts, released_counts),
+        "rmse": root_mean_square_error(true_counts, released_counts),
+        "bias": mean_signed_error(true_counts, released_counts),
+    }
+
+
+#: Metric registry used by the empirical evaluation harness.  Every metric
+#: maps (true, released) to a scalar; parametrised metrics are provided as
+#: factories below.
+METRICS = {
+    "error_rate": error_rate,
+    "mae": mean_absolute_error,
+    "rmse": root_mean_square_error,
+    "bias": mean_signed_error,
+}
+
+
+def distance_metric(d: int):
+    """A named ``exceeds_distance_rate`` metric for a fixed threshold ``d``."""
+
+    def metric(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+        return exceeds_distance_rate(true_counts, released_counts, d)
+
+    metric.__name__ = f"exceeds_{d}_rate"
+    return metric

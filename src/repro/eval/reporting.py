@@ -1,0 +1,140 @@
+"""Plain-text and CSV reporting for experiment outputs.
+
+The paper presents its results as heatmaps, line plots and bar charts; in a
+library context the same information is rendered as ASCII heatmaps and
+aligned text tables, and exported as CSV rows so users can plot with their
+tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+Row = Mapping[str, Union[str, float, int]]
+
+
+def format_value(value: Union[str, float, int], precision: int = 4) -> str:
+    """Format a cell: floats to fixed precision, everything else via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[format_value(row.get(column, ""), precision) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(
+    rows: Sequence[Row],
+    path: Optional[Union[str, Path]] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialise rows to CSV text; optionally also write them to ``path``."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(columns), extrasaction="ignore", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def ascii_heatmap(
+    matrix: Union[np.ndarray, Mechanism],
+    title: Optional[str] = None,
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """ASCII heatmap of a probability matrix (rows = outputs, columns = inputs).
+
+    The rendering mirrors the paper's Figures 1, 2 and 7: darker cells carry
+    more probability, making gaps (blank rows) and spikes (dark rows far
+    from the diagonal) immediately visible.
+    """
+    if isinstance(matrix, Mechanism):
+        if title is None:
+            title = f"{matrix.name} (n={matrix.n})"
+        matrix = matrix.matrix
+    matrix = np.asarray(matrix, dtype=float)
+    peak = float(matrix.max()) if matrix.size else 1.0
+    if peak <= 0:
+        peak = 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    size_rows, size_cols = matrix.shape
+    for i in range(size_rows):
+        cells = ""
+        for j in range(size_cols):
+            level = int(round((len(levels) - 1) * matrix[i, j] / peak))
+            cells += levels[level] * 2
+        lines.append(f"out {i:>2d} |{cells}|")
+    lines.append("        " + "".join(f"{j:<2d}" for j in range(size_cols)))
+    lines.append("        (columns = true count)")
+    return "\n".join(lines)
+
+
+def describe_mechanism(mechanism: Mechanism, precision: int = 4) -> str:
+    """A compact textual profile of a mechanism: scores, properties, privacy."""
+    from repro.core.losses import l0_score, l1_score, mechanism_rmse
+    from repro.core.properties import check_all_properties
+
+    properties = check_all_properties(mechanism)
+    property_text = ", ".join(
+        f"{prop.value}={'yes' if value else 'no'}" for prop, value in properties.items()
+    )
+    lines = [
+        f"{mechanism.name}: n={mechanism.n}, designed alpha={mechanism.alpha}",
+        f"  achieved alpha={mechanism.max_alpha():.{precision}f} (epsilon={mechanism.epsilon():.{precision}f})",
+        f"  L0={l0_score(mechanism):.{precision}f}  L1={l1_score(mechanism):.{precision}f}  "
+        f"RMSE={mechanism_rmse(mechanism):.{precision}f}",
+        f"  properties: {property_text}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Parameter sweeps over privacy level, group size and data skew.
+
+The paper's evaluation repeatedly runs the same experiment over grids of
+``(α, n, p)``; this module provides a small generic sweep driver used by the
+figure-specific experiment modules and directly usable from user code:
+
+>>> from repro.eval.sweep import sweep
+>>> result = sweep(alphas=[0.67, 0.91], group_sizes=[4, 8], probabilities=[0.5],
+...                mechanisms=("GM", "EM", "UM"), repetitions=5, num_groups=200, seed=1)
+>>> len(result.rows) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.data.groups import GroupedCounts
+from repro.data.synthetic import binomial_group_counts
+from repro.eval.empirical import DEFAULT_METRICS, MetricFunction, evaluate_mechanism
+from repro.eval.reporting import format_table, rows_to_csv
+from repro.mechanisms.registry import create_mechanism
+
+
+@dataclass
+class SweepResult:
+    """Tabular result of a sweep: one row per (mechanism, parameter point)."""
+
+    rows: List[Dict[str, Union[str, float, int]]] = field(default_factory=list)
+
+    def filter(self, **criteria) -> "SweepResult":
+        """Rows matching every key=value criterion (values compared with ==)."""
+        selected = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(rows=selected)
+
+    def column(self, name: str) -> List[Union[str, float, int]]:
+        """Extract one column across all rows."""
+        return [row[name] for row in self.rows]
+
+    def series(
+        self, x: str, y: str, group_by: str = "mechanism"
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Group rows into (x, y) series keyed by ``group_by`` — plot-ready."""
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for row in self.rows:
+            series.setdefault(str(row[group_by]), []).append((row[x], row[y]))
+        for values in series.values():
+            values.sort()
+        return series
+
+    def to_table(self, columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+        """Render as an aligned text table."""
+        return format_table(self.rows, columns=columns, title=title)
+
+    def to_csv(self, path=None, columns: Optional[Sequence[str]] = None) -> str:
+        """Serialise to CSV text (optionally written to ``path``)."""
+        return rows_to_csv(self.rows, path=path, columns=columns)
+
+    def extend(self, other: "SweepResult") -> None:
+        """Append another sweep's rows in place."""
+        self.rows.extend(other.rows)
+
+
+def _resolve_mechanism(
+    name_or_mechanism: Union[str, Mechanism], n: int, alpha: float, backend: str
+) -> Mechanism:
+    if isinstance(name_or_mechanism, Mechanism):
+        return name_or_mechanism
+    if str(name_or_mechanism).upper() in ("WM", "WEAKLY_HONEST", "WEAK_HONEST"):
+        return create_mechanism("WM", n=n, alpha=alpha, backend=backend)
+    return create_mechanism(str(name_or_mechanism), n=n, alpha=alpha)
+
+
+def sweep(
+    alphas: Sequence[float],
+    group_sizes: Sequence[int],
+    probabilities: Sequence[float],
+    mechanisms: Sequence[Union[str, Mechanism]] = ("GM", "WM", "EM", "UM"),
+    repetitions: int = 30,
+    num_groups: int = 1000,
+    metrics: Optional[Mapping[str, MetricFunction]] = None,
+    seed: Optional[int] = None,
+    backend: str = "scipy",
+    data: Optional[Mapping[Tuple[int, float], GroupedCounts]] = None,
+) -> SweepResult:
+    """Run every mechanism over the grid of (α, n, p) and collect metric rows.
+
+    Parameters
+    ----------
+    alphas, group_sizes, probabilities:
+        The parameter grid.  ``probabilities`` controls the Binomial data
+        model; it is ignored for any ``(n, p)`` pair supplied in ``data``.
+    mechanisms:
+        Mechanism names (resolved through the registry; ``"WM"`` triggers an
+        LP solve) or pre-built :class:`Mechanism` objects.
+    repetitions, num_groups:
+        Empirical evaluation parameters.
+    metrics:
+        Metric functions; default set from :mod:`repro.eval.empirical`.
+    seed:
+        Root seed; every grid point / mechanism combination receives an
+        independent child stream.
+    data:
+        Optional pre-computed workloads keyed by ``(group_size, probability)``
+        overriding the Binomial generator (used by the Adult experiments).
+    """
+    result = SweepResult()
+    metric_functions = dict(DEFAULT_METRICS if metrics is None else metrics)
+    seed_sequence = np.random.SeedSequence(seed)
+    for alpha in alphas:
+        for group_size in group_sizes:
+            # Mechanisms depend only on (n, alpha): build them once per pair.
+            built = [
+                _resolve_mechanism(mechanism, group_size, alpha, backend)
+                for mechanism in mechanisms
+            ]
+            for probability in probabilities:
+                if data is not None and (group_size, probability) in data:
+                    workload = data[(group_size, probability)]
+                else:
+                    data_seed, seed_sequence = _split_seed(seed_sequence)
+                    workload = GroupedCounts(
+                        counts=binomial_group_counts(
+                            num_groups, group_size, probability, rng=np.random.default_rng(data_seed)
+                        ),
+                        group_size=group_size,
+                        label=f"binomial(p={probability})",
+                    )
+                for mechanism in built:
+                    eval_seed, seed_sequence = _split_seed(seed_sequence)
+                    evaluation = evaluate_mechanism(
+                        mechanism,
+                        workload,
+                        repetitions=repetitions,
+                        metrics=metric_functions,
+                        rng=np.random.default_rng(eval_seed),
+                    )
+                    row: Dict[str, Union[str, float, int]] = {
+                        "mechanism": mechanism.name,
+                        "alpha": float(alpha),
+                        "group_size": int(group_size),
+                        "probability": float(probability),
+                        "num_groups": evaluation.num_groups,
+                        "repetitions": repetitions,
+                    }
+                    for metric in evaluation.metrics():
+                        row[metric] = evaluation.mean(metric)
+                        row[f"{metric}_std"] = evaluation.std(metric)
+                    result.rows.append(row)
+    return result
+
+
+def _split_seed(seed_sequence: np.random.SeedSequence):
+    """Return (child, advanced parent) so successive calls yield fresh streams."""
+    child, replacement = seed_sequence.spawn(2)
+    return child, replacement

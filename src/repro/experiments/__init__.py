@@ -1,0 +1,25 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function with the paper's parameters as
+defaults (and lighter settings available for quick runs), returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows carry the same
+series the corresponding figure plots.  ``python -m repro.experiments.runner``
+executes all of them and prints text tables.
+
+| Module                     | Paper artefact                                      |
+|----------------------------|-----------------------------------------------------|
+| ``fig01_unconstrained``    | Figure 1 — unconstrained LP mechanisms (pathologies)|
+| ``fig02_constrained``      | Figure 2 — fully constrained LP mechanisms          |
+| ``fig06_property_table``   | Figure 6 — property/score table of GM, WM, EM, UM   |
+| ``fig07_heatmaps``         | Figure 7 — GM / EM / WM heatmaps at n=4, α=0.9      |
+| ``fig08_wh_combinations``  | Figure 8 — L0 of weak honesty + other properties    |
+| ``fig09_l0_vs_n``          | Figure 9 — L0 of GM/WM/EM/UM vs n at three α        |
+| ``fig10_adult``            | Figure 10 — empirical error on (synthetic) Adult    |
+| ``fig11_l01_binomial``     | Figure 11 — empirical L0,1 on Binomial data         |
+| ``fig12_l0d_histograms``   | Figure 12 — L0,d histograms on Binomial data        |
+| ``fig13_rmse``             | Figure 13 — RMSE on Binomial data                   |
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,70 @@
+"""Shared result container for the figure-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.eval.reporting import format_table, rows_to_csv
+
+Row = Dict[str, Union[str, float, int]]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus free-form artefacts produced by one experiment driver.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier such as ``"figure-9"``.
+    description:
+        What the paper figure shows, for self-describing output.
+    parameters:
+        The parameter values the run used (α grid, group sizes, repetitions…).
+    rows:
+        The tabular data corresponding to the figure's plotted series.
+    artefacts:
+        Additional named outputs (e.g. rendered heatmaps, mechanisms).
+    """
+
+    experiment: str
+    description: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    rows: List[Row] = field(default_factory=list)
+    artefacts: Dict[str, Any] = field(default_factory=dict)
+
+    def to_table(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Aligned text table of the experiment rows."""
+        title = f"{self.experiment}: {self.description}"
+        return format_table(self.rows, columns=columns, title=title)
+
+    def to_csv(self, path=None, columns: Optional[Sequence[str]] = None) -> str:
+        """CSV text of the experiment rows (optionally written to ``path``)."""
+        return rows_to_csv(self.rows, path=path, columns=columns)
+
+    def series(self, x: str, y: str, group_by: str = "mechanism") -> Dict[str, List]:
+        """Group rows into plot-ready (x, y) series keyed by ``group_by``."""
+        series: Dict[str, List] = {}
+        for row in self.rows:
+            if x in row and y in row and group_by in row:
+                series.setdefault(str(row[group_by]), []).append((row[x], row[y]))
+        for values in series.values():
+            values.sort()
+        return series
+
+    def filter_rows(self, **criteria) -> List[Row]:
+        """Rows matching every key=value criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def summary(self) -> str:
+        """Table plus any string artefacts (heatmaps etc.)."""
+        parts = [self.to_table()]
+        for name, artefact in self.artefacts.items():
+            if isinstance(artefact, str):
+                parts.append(f"\n[{name}]\n{artefact}")
+        return "\n".join(parts)

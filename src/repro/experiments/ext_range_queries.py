@@ -1,0 +1,118 @@
+"""Extension experiment — range-query accuracy of histogram releases.
+
+The paper's concluding remarks point at "other queries such as range
+queries" as the next application of the constrained-mechanism machinery.
+This experiment builds the obvious baseline for that direction: release a
+categorical histogram by applying a per-bucket count mechanism (GM, EM or
+UM) and measure the error of contiguous range queries answered from the
+released counts, across data skew and privacy levels.
+
+The outcome echoes the single-count findings: because range answers sum many
+per-bucket errors, a mechanism that piles its error onto the extreme outputs
+(GM at strong privacy) produces heavily biased range answers on mid-heavy
+buckets, while the fair mechanism's smaller, more symmetric per-bucket error
+accumulates more slowly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.histogram.queries import evaluate_range_queries, random_range_queries
+from repro.histogram.release import HistogramRelease
+from repro.histogram.workloads import categorical_population, histogram_from_items, zipf_weights
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+DEFAULT_ALPHAS = (0.67, 0.9)
+DEFAULT_NUM_BUCKETS = 16
+DEFAULT_POPULATION = 2_000
+DEFAULT_ZIPF_EXPONENTS = (0.0, 1.0)
+DEFAULT_NUM_QUERIES = 64
+DEFAULT_REPETITIONS = 10
+
+#: Per-bucket mechanism factories compared by the experiment.
+FACTORIES: Dict[str, callable] = {
+    "GM": geometric_mechanism,
+    "EM": explicit_fair_mechanism,
+    "UM": lambda n, alpha: uniform_mechanism(n, alpha=alpha),
+}
+
+
+def run(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    population: int = DEFAULT_POPULATION,
+    zipf_exponents: Sequence[float] = DEFAULT_ZIPF_EXPONENTS,
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    repetitions: int = DEFAULT_REPETITIONS,
+    seed: Optional[int] = 2018,
+) -> ExperimentResult:
+    """Sweep (α, skew) and measure range-query error per mechanism."""
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment="extension-range-queries",
+        description="range-query error of histogram releases built on the count mechanisms",
+        parameters={
+            "alphas": [float(a) for a in alphas],
+            "num_buckets": num_buckets,
+            "population": population,
+            "zipf_exponents": list(zipf_exponents),
+            "num_queries": num_queries,
+            "repetitions": repetitions,
+        },
+    )
+    for exponent in zipf_exponents:
+        weights = zipf_weights(num_buckets, exponent)
+        items = categorical_population(population, weights, rng=rng)
+        true_counts = histogram_from_items(items, num_buckets)
+        capacity = int(true_counts.max())
+        queries = random_range_queries(num_buckets, num_queries, rng=rng)
+        for alpha in alphas:
+            for name, factory in FACTORIES.items():
+                release = HistogramRelease(factory, alpha)
+                per_repetition = []
+                for _ in range(repetitions):
+                    histogram = release.release(true_counts, capacity=capacity, rng=rng)
+                    per_repetition.append(evaluate_range_queries(histogram, queries))
+                result.rows.append(
+                    {
+                        "mechanism": name,
+                        "alpha": float(alpha),
+                        "zipf_exponent": float(exponent),
+                        "num_buckets": num_buckets,
+                        "capacity": capacity,
+                        "range_mae": float(
+                            np.mean([summary["mae"] for summary in per_repetition])
+                        ),
+                        "range_rmse": float(
+                            np.mean([summary["rmse"] for summary in per_repetition])
+                        ),
+                        "range_max_error": float(
+                            np.mean([summary["max_error"] for summary in per_repetition])
+                        ),
+                        "histogram_tv_error": float(
+                            np.mean(
+                                [
+                                    release.release(
+                                        true_counts, capacity=capacity, rng=rng
+                                    ).total_variation_error()
+                                    for _ in range(3)
+                                ]
+                            )
+                        ),
+                    }
+                )
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run().summary())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

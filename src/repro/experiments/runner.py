@@ -1,0 +1,132 @@
+"""Run every figure-reproduction experiment and print (or save) its results.
+
+Usage::
+
+    python -m repro.experiments.runner                # full paper settings
+    python -m repro.experiments.runner --fast         # reduced settings
+    python -m repro.experiments.runner --only figure-9 figure-10
+    python -m repro.experiments.runner --csv-dir out/ # also write CSV files
+
+The ``--fast`` profile shrinks repetitions, population sizes and grids so the
+whole suite completes in a couple of minutes; the qualitative conclusions
+(who wins, where the crossovers fall) are unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.experiments import (
+    ext_l1_l2_study,
+    ext_output_dp,
+    ext_range_queries,
+    fig01_unconstrained,
+    fig02_constrained,
+    fig06_property_table,
+    fig07_heatmaps,
+    fig08_wh_combinations,
+    fig09_l0_vs_n,
+    fig10_adult,
+    fig11_l01_binomial,
+    fig12_l0d_histograms,
+    fig13_rmse,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def _fast_settings() -> Dict[str, Callable[[], ExperimentResult]]:
+    """Reduced-size runs of every experiment (used by --fast and the tests)."""
+    return {
+        "figure-1": lambda: fig01_unconstrained.run(),
+        "figure-2": lambda: fig02_constrained.run(),
+        "figure-6": lambda: fig06_property_table.run(),
+        "figure-7": lambda: fig07_heatmaps.run(),
+        "figure-8": lambda: fig08_wh_combinations.run(
+            group_sizes=(2, 4, 6, 8), alphas=(0.5, 0.76, 0.91), include_panel_b=True
+        ),
+        "figure-9": lambda: fig09_l0_vs_n.run(group_sizes=(2, 4, 8, 12, 20, 24)),
+        "figure-10": lambda: fig10_adult.run(
+            group_sizes=(2, 4, 8), repetitions=10, num_records=4000
+        ),
+        "figure-11": lambda: fig11_l01_binomial.run(
+            group_sizes=(4, 8), probabilities=(0.1, 0.3, 0.5), repetitions=5, population=2000
+        ),
+        "figure-12": lambda: fig12_l0d_histograms.run(
+            probabilities=(0.5, 0.1), repetitions=5, population=2000
+        ),
+        "figure-13": lambda: fig13_rmse.run(
+            group_sizes=(4, 8), probabilities=(0.1, 0.5, 0.9), repetitions=5, population=2000
+        ),
+        "extension-output-dp": lambda: ext_output_dp.run(alphas=(0.5, 0.7, 0.9), n=6),
+        "extension-l1-l2": lambda: ext_l1_l2_study.run(group_sizes=(5,)),
+        "extension-range-queries": lambda: ext_range_queries.run(
+            alphas=(0.9,), population=800, repetitions=3, num_queries=32
+        ),
+    }
+
+
+def _full_settings() -> Dict[str, Callable[[], ExperimentResult]]:
+    """Paper-scale runs of every experiment."""
+    return {
+        "figure-1": lambda: fig01_unconstrained.run(),
+        "figure-2": lambda: fig02_constrained.run(),
+        "figure-6": lambda: fig06_property_table.run(),
+        "figure-7": lambda: fig07_heatmaps.run(),
+        "figure-8": lambda: fig08_wh_combinations.run(),
+        "figure-9": lambda: fig09_l0_vs_n.run(),
+        "figure-10": lambda: fig10_adult.run(),
+        "figure-11": lambda: fig11_l01_binomial.run(),
+        "figure-12": lambda: fig12_l0d_histograms.run(),
+        "figure-13": lambda: fig13_rmse.run(),
+        "extension-output-dp": lambda: ext_output_dp.run(),
+        "extension-l1-l2": lambda: ext_l1_l2_study.run(),
+        "extension-range-queries": lambda: ext_range_queries.run(),
+    }
+
+
+def available_experiments() -> List[str]:
+    """Names accepted by :func:`run_experiments` and the ``--only`` flag."""
+    return list(_full_settings())
+
+
+def run_experiments(
+    names: Optional[Iterable[str]] = None,
+    fast: bool = False,
+    csv_dir: Optional[Path] = None,
+    verbose: bool = True,
+) -> Dict[str, ExperimentResult]:
+    """Run the selected experiments and return their results keyed by name."""
+    settings = _fast_settings() if fast else _full_settings()
+    selected = list(names) if names is not None else list(settings)
+    unknown = [name for name in selected if name not in settings]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; available: {list(settings)}")
+    results: Dict[str, ExperimentResult] = {}
+    for name in selected:
+        result = settings[name]()
+        results[name] = result
+        if verbose:
+            print(result.to_table())
+            print()
+        if csv_dir is not None:
+            csv_dir = Path(csv_dir)
+            csv_dir.mkdir(parents=True, exist_ok=True)
+            result.to_csv(path=csv_dir / f"{name}.csv")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover - CLI glue
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="use reduced-size settings")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiments to run (e.g. figure-9)"
+    )
+    parser.add_argument("--csv-dir", type=Path, default=None, help="directory for CSV output")
+    arguments = parser.parse_args(argv)
+    run_experiments(names=arguments.only, fast=arguments.fast, csv_dir=arguments.csv_dir)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""Histogram release and range queries on top of the count mechanisms.
+
+The paper motivates count queries as the building block for "frequency
+distributions, statistical models and SQL ``COUNT *`` queries", and its
+concluding remarks name range queries as the next target.  This subpackage
+provides that downstream layer:
+
+* :mod:`repro.histogram.release` — release a ``k``-bucket histogram by
+  applying an independent count mechanism to every bucket, with the privacy
+  accounting for both neighbouring-dataset notions (add/remove one
+  individual → parallel composition at full α; change one individual's
+  bucket → two buckets affected → α² overall).
+* :mod:`repro.histogram.queries` — answer range (contiguous-bucket) sum
+  queries from a released histogram and measure their error.
+* :mod:`repro.histogram.workloads` — categorical population generators
+  (uniform / Zipf-skewed) and range-query workloads.
+"""
+
+from repro.histogram.release import HistogramRelease, PrivateHistogram, released_histogram
+from repro.histogram.queries import (
+    RangeQuery,
+    all_range_queries,
+    answer_range_query,
+    evaluate_range_queries,
+    random_range_queries,
+)
+from repro.histogram.workloads import categorical_population, histogram_from_items, zipf_weights
+
+__all__ = [
+    "HistogramRelease",
+    "PrivateHistogram",
+    "released_histogram",
+    "RangeQuery",
+    "all_range_queries",
+    "answer_range_query",
+    "evaluate_range_queries",
+    "random_range_queries",
+    "categorical_population",
+    "histogram_from_items",
+    "zipf_weights",
+]

@@ -1,0 +1,108 @@
+"""Range queries over released histograms.
+
+A range query asks for the number of individuals whose bucket falls in a
+contiguous interval ``[start, end]`` — the building block of CDFs, quantiles
+and "how many users are aged 30–39"-style analytics.  Answering it from a
+privately released histogram simply sums the released bucket counts in the
+range; the error of that answer is what the extension experiment compares
+across the paper's mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.histogram.release import PrivateHistogram
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A contiguous-bucket sum query ``sum(counts[start … end])`` (inclusive)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid range [{self.start}, {self.end}]")
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+    def evaluate(self, counts: Sequence[int]) -> int:
+        """The exact answer of the query on a vector of bucket counts."""
+        counts = np.asarray(counts)
+        if self.end >= counts.shape[0]:
+            raise ValueError(
+                f"range [{self.start}, {self.end}] exceeds histogram with {counts.shape[0]} buckets"
+            )
+        return int(counts[self.start : self.end + 1].sum())
+
+
+def all_range_queries(num_buckets: int, max_width: Optional[int] = None) -> List[RangeQuery]:
+    """Every contiguous range over ``num_buckets`` buckets (optionally width-capped)."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    queries: List[RangeQuery] = []
+    for start in range(num_buckets):
+        for end in range(start, num_buckets):
+            if max_width is not None and end - start + 1 > max_width:
+                continue
+            queries.append(RangeQuery(start, end))
+    return queries
+
+
+def random_range_queries(
+    num_buckets: int,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[RangeQuery]:
+    """A random workload of ``count`` range queries with uniform endpoints."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    queries: List[RangeQuery] = []
+    for _ in range(count):
+        a, b = sorted(rng.integers(0, num_buckets, size=2).tolist())
+        queries.append(RangeQuery(int(a), int(b)))
+    return queries
+
+
+def answer_range_query(histogram: PrivateHistogram, query: RangeQuery) -> int:
+    """Answer a range query from the released bucket counts."""
+    return query.evaluate(histogram.released_counts)
+
+
+def evaluate_range_queries(
+    histogram: PrivateHistogram, queries: Sequence[RangeQuery]
+) -> Dict[str, float]:
+    """Error summary of a query workload answered from a released histogram.
+
+    Returns the mean absolute error, RMSE, maximum absolute error and the
+    mean *relative* error (absolute error divided by ``max(true, 1)``) over
+    the workload.
+    """
+    if not queries:
+        raise ValueError("query workload is empty")
+    absolute_errors = []
+    relative_errors = []
+    for query in queries:
+        true_answer = query.evaluate(histogram.true_counts)
+        noisy_answer = query.evaluate(histogram.released_counts)
+        error = abs(noisy_answer - true_answer)
+        absolute_errors.append(error)
+        relative_errors.append(error / max(true_answer, 1))
+    absolute = np.asarray(absolute_errors, dtype=float)
+    return {
+        "mae": float(absolute.mean()),
+        "rmse": float(np.sqrt((absolute**2).mean())),
+        "max_error": float(absolute.max()),
+        "mean_relative_error": float(np.mean(relative_errors)),
+        "num_queries": float(len(queries)),
+    }

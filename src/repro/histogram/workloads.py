@@ -1,0 +1,53 @@
+"""Categorical populations and histogram workload generators.
+
+Used by the range-query extension experiment and available to users who want
+to stress the histogram layer with realistic (skewed) category frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def zipf_weights(num_buckets: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf(``exponent``) weights over ``num_buckets`` ranked buckets.
+
+    ``exponent = 0`` gives uniform weights; larger exponents concentrate the
+    mass on the first few buckets, the classic shape of categorical web and
+    retail data.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, num_buckets + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def categorical_population(
+    size: int,
+    weights: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Assign ``size`` individuals to buckets according to ``weights``."""
+    if size < 0:
+        raise ValueError("population size must be non-negative")
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0 or np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be a non-empty non-negative vector with positive sum")
+    weights = weights / weights.sum()
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.choice(weights.size, size=size, p=weights).astype(int)
+
+
+def histogram_from_items(items: Sequence[int], num_buckets: int) -> np.ndarray:
+    """Bucket counts of a categorical population (items are bucket indices)."""
+    items = np.asarray(items, dtype=int)
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    if items.size and (items.min() < 0 or items.max() >= num_buckets):
+        raise ValueError("items contain bucket indices outside [0, num_buckets)")
+    return np.bincount(items, minlength=num_buckets).astype(int)

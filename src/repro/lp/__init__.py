@@ -1,0 +1,51 @@
+"""Self-contained linear-programming substrate.
+
+The paper obtains constrained mechanisms by solving linear programs with
+PyLPSolve (a wrapper around ``lp_solve``).  That dependency is not available
+here, so this package provides an equivalent substrate:
+
+* :mod:`repro.lp.model` — a small modelling layer (:class:`LinearProgram`)
+  for declaring variables, linear constraints and a linear objective.
+* :mod:`repro.lp.simplex` — a pure-NumPy two-phase dense simplex solver
+  (Bland's rule), useful for verification and for environments without
+  SciPy.
+* :mod:`repro.lp.scipy_backend` — a backend delegating to
+  ``scipy.optimize.linprog`` (HiGHS), the default for speed.
+* :mod:`repro.lp.solver` — backend dispatch and the :class:`LPSolution`
+  result type.
+
+The two backends solve identical programs; the test-suite cross-checks them
+against each other and against the paper's closed forms.
+"""
+
+from repro.lp.model import (
+    Constraint,
+    ConstraintSense,
+    LinearProgram,
+    ObjectiveSense,
+    Variable,
+)
+from repro.lp.solver import (
+    LPError,
+    LPInfeasibleError,
+    LPSolution,
+    LPStatus,
+    LPUnboundedError,
+    available_backends,
+    solve,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSense",
+    "LinearProgram",
+    "ObjectiveSense",
+    "Variable",
+    "LPError",
+    "LPInfeasibleError",
+    "LPSolution",
+    "LPStatus",
+    "LPUnboundedError",
+    "available_backends",
+    "solve",
+]

@@ -1,0 +1,395 @@
+"""Linear-program modelling layer.
+
+This module defines a small, explicit API for building linear programs:
+
+>>> lp = LinearProgram(name="toy")
+>>> x = lp.add_variable("x", lower=0.0)
+>>> y = lp.add_variable("y", lower=0.0)
+>>> lp.add_constraint({x: 1.0, y: 2.0}, "<=", 4.0)
+>>> lp.add_constraint({x: 1.0, y: -1.0}, ">=", -1.0)
+>>> lp.set_objective({x: 1.0, y: 1.0}, sense="max")
+
+The resulting :class:`LinearProgram` is solver-agnostic; it can be exported
+to dense matrix form (:meth:`LinearProgram.to_standard_arrays`) and solved by
+any backend in :mod:`repro.lp.solver`.
+
+The design mirrors what the paper needed from PyLPSolve: dense programs with
+a few thousand variables (``(n + 1)^2`` mechanism entries), equality and
+inequality constraints, and simple bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float, np.floating, np.integer]
+
+
+class ConstraintSense(str, enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    @classmethod
+    def coerce(cls, value: Union["ConstraintSense", str]) -> "ConstraintSense":
+        """Accept either an enum member or one of ``<=``, ``>=``, ``==``, ``=``."""
+        if isinstance(value, ConstraintSense):
+            return value
+        text = str(value).strip()
+        if text in ("<=", "<"):
+            return cls.LE
+        if text in (">=", ">"):
+            return cls.GE
+        if text in ("==", "="):
+            return cls.EQ
+        raise ValueError(f"unknown constraint sense: {value!r}")
+
+
+class ObjectiveSense(str, enum.Enum):
+    """Whether the objective is minimised or maximised."""
+
+    MIN = "min"
+    MAX = "max"
+
+    @classmethod
+    def coerce(cls, value: Union["ObjectiveSense", str]) -> "ObjectiveSense":
+        if isinstance(value, ObjectiveSense):
+            return value
+        text = str(value).strip().lower()
+        if text in ("min", "minimize", "minimise"):
+            return cls.MIN
+        if text in ("max", "maximize", "maximise"):
+            return cls.MAX
+        raise ValueError(f"unknown objective sense: {value!r}")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable in a :class:`LinearProgram`.
+
+    Variables compare by index so they can be used as dictionary keys in
+    coefficient mappings.
+    """
+
+    index: int
+    name: str
+    lower: Optional[float] = 0.0
+    upper: Optional[float] = None
+
+    def __hash__(self) -> int:
+        return hash(self.index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.index == other.index
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.index}, {self.name!r})"
+
+
+@dataclass
+class Constraint:
+    """A single linear constraint ``sum(coeff * var) sense rhs``."""
+
+    coefficients: Dict[int, float]
+    sense: ConstraintSense
+    rhs: float
+    name: str = ""
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        """Return the left-hand-side value under a candidate assignment."""
+        return float(sum(coeff * values[idx] for idx, coeff in self.coefficients.items()))
+
+    def violation(self, values: Sequence[float]) -> float:
+        """Return how far the constraint is from being satisfied (0 if satisfied)."""
+        lhs = self.evaluate(values)
+        if self.sense is ConstraintSense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is ConstraintSense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+
+class LinearProgram:
+    """A dense linear program with named variables and constraints.
+
+    The class intentionally keeps the interface small and explicit: variables
+    are created with :meth:`add_variable`, constraints with
+    :meth:`add_constraint`, and the objective with :meth:`set_objective`.
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._variables: List[Variable] = []
+        self._names: Dict[str, int] = {}
+        self._constraints: List[Constraint] = []
+        self._objective: Dict[int, float] = {}
+        self._objective_sense: ObjectiveSense = ObjectiveSense.MIN
+        self._objective_constant: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Variables
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables in creation order."""
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def add_variable(
+        self,
+        name: Optional[str] = None,
+        lower: Optional[Number] = 0.0,
+        upper: Optional[Number] = None,
+    ) -> Variable:
+        """Create a new variable and return its handle.
+
+        Parameters
+        ----------
+        name:
+            Optional human-readable name; auto-generated when omitted.  Names
+            must be unique within a program.
+        lower, upper:
+            Simple bounds.  ``None`` means unbounded in that direction.
+        """
+        index = len(self._variables)
+        if name is None:
+            name = f"x{index}"
+        if name in self._names:
+            raise ValueError(f"duplicate variable name: {name!r}")
+        if lower is not None and upper is not None and float(lower) > float(upper):
+            raise ValueError(f"variable {name!r} has lower bound above upper bound")
+        var = Variable(
+            index=index,
+            name=name,
+            lower=None if lower is None else float(lower),
+            upper=None if upper is None else float(upper),
+        )
+        self._variables.append(var)
+        self._names[name] = index
+        return var
+
+    def add_variables(
+        self,
+        count: int,
+        prefix: str = "x",
+        lower: Optional[Number] = 0.0,
+        upper: Optional[Number] = None,
+    ) -> List[Variable]:
+        """Create ``count`` variables named ``prefix0 … prefix(count-1)``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [
+            self.add_variable(f"{prefix}{i + self.num_variables}", lower=lower, upper=upper)
+            for i in range(count)
+        ]
+
+    def variable_by_name(self, name: str) -> Variable:
+        """Look up a variable handle by its name."""
+        try:
+            return self._variables[self._names[name]]
+        except KeyError as exc:
+            raise KeyError(f"no variable named {name!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Constraints
+    # ------------------------------------------------------------------ #
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[Union[Variable, int], Number],
+        sense: Union[ConstraintSense, str],
+        rhs: Number,
+        name: str = "",
+    ) -> Constraint:
+        """Add a constraint ``sum(coeff * var) sense rhs``.
+
+        ``coefficients`` maps variables (or their indices) to coefficients.
+        Zero coefficients are dropped; an empty constraint is rejected unless
+        it is trivially satisfiable, in which case it is recorded as-is so the
+        caller can detect modelling mistakes.
+        """
+        resolved: Dict[int, float] = {}
+        for key, coeff in coefficients.items():
+            index = key.index if isinstance(key, Variable) else int(key)
+            if index < 0 or index >= self.num_variables:
+                raise IndexError(f"constraint references unknown variable index {index}")
+            value = float(coeff)
+            if value != 0.0:
+                resolved[index] = resolved.get(index, 0.0) + value
+        constraint = Constraint(
+            coefficients=resolved,
+            sense=ConstraintSense.coerce(sense),
+            rhs=float(rhs),
+            name=name or f"c{len(self._constraints)}",
+        )
+        self._constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------ #
+    # Objective
+    # ------------------------------------------------------------------ #
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        return self._objective_sense
+
+    @property
+    def objective_constant(self) -> float:
+        return self._objective_constant
+
+    def set_objective(
+        self,
+        coefficients: Mapping[Union[Variable, int], Number],
+        sense: Union[ObjectiveSense, str] = ObjectiveSense.MIN,
+        constant: Number = 0.0,
+    ) -> None:
+        """Set the linear objective ``sense sum(coeff * var) + constant``."""
+        resolved: Dict[int, float] = {}
+        for key, coeff in coefficients.items():
+            index = key.index if isinstance(key, Variable) else int(key)
+            if index < 0 or index >= self.num_variables:
+                raise IndexError(f"objective references unknown variable index {index}")
+            value = float(coeff)
+            if value != 0.0:
+                resolved[index] = resolved.get(index, 0.0) + value
+        self._objective = resolved
+        self._objective_sense = ObjectiveSense.coerce(sense)
+        self._objective_constant = float(constant)
+
+    def objective_vector(self) -> np.ndarray:
+        """Return the objective coefficients as a dense vector (min sense sign)."""
+        c = np.zeros(self.num_variables, dtype=float)
+        for index, coeff in self._objective.items():
+            c[index] = coeff
+        return c
+
+    def objective_value(self, values: Sequence[float]) -> float:
+        """Evaluate the objective (with constant) at a candidate assignment."""
+        total = self._objective_constant
+        for index, coeff in self._objective.items():
+            total += coeff * float(values[index])
+        return float(total)
+
+    # ------------------------------------------------------------------ #
+    # Export and diagnostics
+    # ------------------------------------------------------------------ #
+    def bounds(self) -> List[Tuple[Optional[float], Optional[float]]]:
+        """Per-variable (lower, upper) bounds in index order."""
+        return [(var.lower, var.upper) for var in self._variables]
+
+    def to_standard_arrays(self) -> Dict[str, np.ndarray]:
+        """Export to the dense arrays used by the solver backends.
+
+        Returns a dict with keys ``c`` (minimisation objective), ``A_ub``,
+        ``b_ub``, ``A_eq``, ``b_eq``, ``lower``, ``upper``.  ``>=``
+        constraints are negated into ``<=`` form.  Maximisation objectives
+        are negated so that every backend minimises.
+        """
+        num_vars = self.num_variables
+        c = self.objective_vector()
+        if self._objective_sense is ObjectiveSense.MAX:
+            c = -c
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self._constraints:
+            row = np.zeros(num_vars, dtype=float)
+            for index, coeff in constraint.coefficients.items():
+                row[index] = coeff
+            if constraint.sense is ConstraintSense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense is ConstraintSense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+
+        lower = np.array(
+            [(-np.inf if var.lower is None else var.lower) for var in self._variables],
+            dtype=float,
+        )
+        upper = np.array(
+            [(np.inf if var.upper is None else var.upper) for var in self._variables],
+            dtype=float,
+        )
+        return {
+            "c": c,
+            "A_ub": np.array(ub_rows, dtype=float) if ub_rows else np.zeros((0, num_vars)),
+            "b_ub": np.array(ub_rhs, dtype=float),
+            "A_eq": np.array(eq_rows, dtype=float) if eq_rows else np.zeros((0, num_vars)),
+            "b_eq": np.array(eq_rhs, dtype=float),
+            "lower": lower,
+            "upper": upper,
+        }
+
+    def check_feasible(self, values: Sequence[float], tolerance: float = 1e-7) -> bool:
+        """Check whether an assignment satisfies every constraint and bound."""
+        return not self.violated_constraints(values, tolerance=tolerance)
+
+    def violated_constraints(
+        self, values: Sequence[float], tolerance: float = 1e-7
+    ) -> List[str]:
+        """Return the names of constraints/bounds violated by an assignment."""
+        if len(values) != self.num_variables:
+            raise ValueError(
+                f"assignment has {len(values)} values, expected {self.num_variables}"
+            )
+        violations: List[str] = []
+        for var in self._variables:
+            value = float(values[var.index])
+            if var.lower is not None and value < var.lower - tolerance:
+                violations.append(f"bound:{var.name}:lower")
+            if var.upper is not None and value > var.upper + tolerance:
+                violations.append(f"bound:{var.name}:upper")
+        for constraint in self._constraints:
+            if constraint.violation(values) > tolerance:
+                violations.append(constraint.name)
+        return violations
+
+    def summary(self) -> str:
+        """One-line human-readable description of the program size."""
+        num_eq = sum(1 for c in self._constraints if c.sense is ConstraintSense.EQ)
+        num_ineq = self.num_constraints - num_eq
+        return (
+            f"LinearProgram({self.name!r}: {self.num_variables} variables, "
+            f"{num_ineq} inequalities, {num_eq} equalities, "
+            f"objective={self._objective_sense.value})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.summary()
+
+
+def combination(
+    terms: Iterable[Tuple[Variable, Number]],
+) -> Dict[Variable, float]:
+    """Helper to build a coefficient mapping from (variable, coefficient) pairs.
+
+    Repeated variables have their coefficients summed, which is convenient
+    when assembling constraints programmatically.
+    """
+    result: Dict[Variable, float] = {}
+    for var, coeff in terms:
+        result[var] = result.get(var, 0.0) + float(coeff)
+    return result

@@ -1,0 +1,352 @@
+"""Pure-NumPy two-phase dense simplex solver.
+
+This backend exists for two reasons:
+
+1. The paper solved its mechanism-design LPs with PyLPSolve; to keep the
+   reproduction self-contained we provide our own solver rather than relying
+   solely on SciPy.
+2. Having two independent implementations lets the test-suite cross-check
+   every constrained mechanism: both backends must agree on the optimal
+   objective value.
+
+The implementation is a textbook two-phase primal simplex on the standard
+form ``min c·x  s.t.  A x = b, x >= 0`` with Bland's anti-cycling rule.
+General programs (inequalities, equalities, finite/infinite bounds) are
+converted to standard form by :func:`to_standard_form`.  Dense NumPy tableau
+operations keep it fast enough for the paper's program sizes (a few hundred
+variables); larger programs should use the SciPy backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Default numerical tolerance for pivoting and feasibility decisions.
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass
+class StandardForm:
+    """A program in standard form ``min c·x  s.t.  A x = b, x >= 0``.
+
+    ``recover`` maps a standard-form solution vector back to the original
+    variable space (undoing bound shifts, sign flips and variable splits).
+    """
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    num_original: int
+    shift: np.ndarray
+    positive_part: np.ndarray
+    negative_part: np.ndarray
+
+    def recover(self, x_standard: np.ndarray) -> np.ndarray:
+        """Map a standard-form solution back to the original variables."""
+        x = np.zeros(self.num_original, dtype=float)
+        for j in range(self.num_original):
+            pos = self.positive_part[j]
+            neg = self.negative_part[j]
+            value = x_standard[pos]
+            if neg >= 0:
+                value -= x_standard[neg]
+            x[j] = value + self.shift[j]
+        return x
+
+
+@dataclass
+class SimplexResult:
+    """Raw result of a simplex run."""
+
+    status: str
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+    iterations: int
+    message: str = ""
+
+
+def to_standard_form(
+    c: np.ndarray,
+    A_ub: np.ndarray,
+    b_ub: np.ndarray,
+    A_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> StandardForm:
+    """Convert a general LP to standard equality form with non-negative variables.
+
+    Transformation steps:
+
+    * variables with a finite lower bound ``l`` are shifted (``x = l + x'``);
+    * variables unbounded below are split into a difference of two
+      non-negative variables;
+    * finite upper bounds become explicit ``<=`` rows;
+    * every ``<=`` row gains a slack variable.
+    """
+    c = np.asarray(c, dtype=float)
+    num_vars = c.shape[0]
+    A_ub = np.asarray(A_ub, dtype=float).reshape(-1, num_vars) if np.size(A_ub) else np.zeros((0, num_vars))
+    A_eq = np.asarray(A_eq, dtype=float).reshape(-1, num_vars) if np.size(A_eq) else np.zeros((0, num_vars))
+    b_ub = np.asarray(b_ub, dtype=float).ravel()
+    b_eq = np.asarray(b_eq, dtype=float).ravel()
+    lower = np.asarray(lower, dtype=float).ravel()
+    upper = np.asarray(upper, dtype=float).ravel()
+
+    shift = np.zeros(num_vars, dtype=float)
+    positive_part = np.zeros(num_vars, dtype=int)
+    negative_part = np.full(num_vars, -1, dtype=int)
+
+    # Build the column layout for the shifted/split variables.
+    columns = 0
+    for j in range(num_vars):
+        if np.isfinite(lower[j]):
+            shift[j] = lower[j]
+            positive_part[j] = columns
+            columns += 1
+        else:
+            positive_part[j] = columns
+            negative_part[j] = columns + 1
+            columns += 2
+
+    def expand_matrix(matrix: np.ndarray) -> np.ndarray:
+        """Re-express constraint rows over the shifted/split variables."""
+        if matrix.shape[0] == 0:
+            return np.zeros((0, columns))
+        expanded = np.zeros((matrix.shape[0], columns), dtype=float)
+        for j in range(num_vars):
+            expanded[:, positive_part[j]] += matrix[:, j]
+            if negative_part[j] >= 0:
+                expanded[:, negative_part[j]] -= matrix[:, j]
+        return expanded
+
+    # The shift moves constants to the right-hand side.
+    ub_shifted = b_ub - A_ub @ shift if A_ub.shape[0] else b_ub
+    eq_shifted = b_eq - A_eq @ shift if A_eq.shape[0] else b_eq
+
+    # Finite upper bounds become additional <= rows (in original space the
+    # row is x_j <= upper_j, i.e. x'_j <= upper_j - lower_j after shifting).
+    extra_rows: List[np.ndarray] = []
+    extra_rhs: List[float] = []
+    for j in range(num_vars):
+        if np.isfinite(upper[j]):
+            row = np.zeros(num_vars, dtype=float)
+            row[j] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(upper[j])
+    if extra_rows:
+        A_extra = np.vstack(extra_rows)
+        b_extra = np.array(extra_rhs, dtype=float) - A_extra @ shift
+        A_ub_full = np.vstack([A_ub, A_extra]) if A_ub.shape[0] else A_extra
+        b_ub_full = np.concatenate([ub_shifted, b_extra]) if A_ub.shape[0] else b_extra
+    else:
+        A_ub_full = A_ub
+        b_ub_full = ub_shifted
+
+    A_ub_exp = expand_matrix(A_ub_full)
+    A_eq_exp = expand_matrix(A_eq)
+
+    num_ub = A_ub_exp.shape[0]
+    num_eq = A_eq_exp.shape[0]
+    total_cols = columns + num_ub  # slack variables for every <= row
+
+    A = np.zeros((num_ub + num_eq, total_cols), dtype=float)
+    b = np.zeros(num_ub + num_eq, dtype=float)
+    if num_ub:
+        A[:num_ub, :columns] = A_ub_exp
+        A[:num_ub, columns : columns + num_ub] = np.eye(num_ub)
+        b[:num_ub] = b_ub_full
+    if num_eq:
+        A[num_ub:, :columns] = A_eq_exp
+        b[num_ub:] = eq_shifted
+
+    c_standard = np.zeros(total_cols, dtype=float)
+    for j in range(num_vars):
+        c_standard[positive_part[j]] += c[j]
+        if negative_part[j] >= 0:
+            c_standard[negative_part[j]] -= c[j]
+
+    # Ensure b >= 0 by flipping row signs where needed (simplex phase 1
+    # assumes a non-negative right-hand side).
+    for row_index in range(A.shape[0]):
+        if b[row_index] < 0:
+            A[row_index, :] *= -1.0
+            b[row_index] *= -1.0
+
+    return StandardForm(
+        c=c_standard,
+        A=A,
+        b=b,
+        num_original=num_vars,
+        shift=shift,
+        positive_part=positive_part,
+        negative_part=negative_part,
+    )
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Perform an in-place pivot on ``tableau`` making ``col`` basic in ``row``."""
+    pivot_value = tableau[row, col]
+    tableau[row, :] /= pivot_value
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > 0.0:
+            tableau[r, :] -= tableau[r, col] * tableau[row, :]
+    basis[row] = col
+
+
+def _simplex_iterate(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    num_structural: int,
+    tolerance: float,
+    max_iterations: int,
+) -> Tuple[str, int]:
+    """Run primal simplex iterations on a tableau whose last row is the objective.
+
+    Returns ``(status, iterations)`` where status is ``optimal``, ``unbounded``
+    or ``iteration_limit``.  Bland's rule (lowest eligible index) guarantees
+    termination in the absence of the limit.
+    """
+    num_rows = tableau.shape[0] - 1
+    iterations = 0
+    while iterations < max_iterations:
+        objective_row = tableau[-1, :num_structural]
+        entering_candidates = np.nonzero(objective_row < -tolerance)[0]
+        if entering_candidates.size == 0:
+            return "optimal", iterations
+        entering = int(entering_candidates[0])  # Bland's rule
+
+        column = tableau[:num_rows, entering]
+        positive = column > tolerance
+        if not np.any(positive):
+            return "unbounded", iterations
+        ratios = np.full(num_rows, np.inf)
+        rhs = tableau[:num_rows, -1]
+        ratios[positive] = rhs[positive] / column[positive]
+        min_ratio = ratios.min()
+        # Bland's rule tie-break: among rows achieving the min ratio pick the
+        # one whose basic variable has the smallest index.
+        tied_rows = np.nonzero(ratios <= min_ratio + tolerance)[0]
+        leaving = int(min(tied_rows, key=lambda r: basis[r]))
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+    return "iteration_limit", iterations
+
+
+def solve_standard_form(
+    c: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: Optional[int] = None,
+) -> SimplexResult:
+    """Solve ``min c·x  s.t.  A x = b, x >= 0`` by the two-phase simplex method."""
+    c = np.asarray(c, dtype=float)
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    num_rows, num_cols = A.shape
+    if b.shape[0] != num_rows:
+        raise ValueError("A and b have inconsistent shapes")
+    if c.shape[0] != num_cols:
+        raise ValueError("A and c have inconsistent shapes")
+    if np.any(b < 0):
+        raise ValueError("standard form requires b >= 0")
+    if max_iterations is None:
+        max_iterations = 50 * (num_rows + num_cols + 10)
+
+    # ---------------- Phase 1: find a basic feasible solution -------------- #
+    # Tableau layout: [A | I_artificial | b] with the phase-1 objective
+    # (sum of artificial variables) in the last row.
+    total_cols = num_cols + num_rows
+    tableau = np.zeros((num_rows + 1, total_cols + 1), dtype=float)
+    tableau[:num_rows, :num_cols] = A
+    tableau[:num_rows, num_cols:total_cols] = np.eye(num_rows)
+    tableau[:num_rows, -1] = b
+    basis = np.arange(num_cols, num_cols + num_rows)
+
+    # Phase-1 objective: minimise the sum of artificial variables.  Express it
+    # in terms of the non-basic variables by subtracting the artificial rows.
+    tableau[-1, num_cols:total_cols] = 1.0
+    tableau[-1, :] -= tableau[:num_rows, :].sum(axis=0)
+
+    status, phase1_iters = _simplex_iterate(
+        tableau, basis, total_cols, tolerance, max_iterations
+    )
+    if status == "iteration_limit":
+        return SimplexResult("iteration_limit", None, None, phase1_iters, "phase 1 hit iteration limit")
+    phase1_value = -tableau[-1, -1]
+    if phase1_value > 1e-7:
+        return SimplexResult(
+            "infeasible", None, None, phase1_iters, f"phase-1 objective {phase1_value:.3e} > 0"
+        )
+
+    # Drive any artificial variables that remain basic (at zero) out of the
+    # basis, or drop their rows if they are redundant.
+    for row in range(num_rows):
+        if basis[row] >= num_cols:
+            candidates = np.nonzero(np.abs(tableau[row, :num_cols]) > tolerance)[0]
+            if candidates.size:
+                _pivot(tableau, basis, row, int(candidates[0]))
+            # If no candidate exists the row is redundant; the artificial stays
+            # basic at value zero, which is harmless for phase 2.
+
+    # ---------------- Phase 2: optimise the true objective ----------------- #
+    phase2 = np.zeros((num_rows + 1, num_cols + 1), dtype=float)
+    phase2[:num_rows, :num_cols] = tableau[:num_rows, :num_cols]
+    phase2[:num_rows, -1] = tableau[:num_rows, -1]
+    phase2[-1, :num_cols] = c
+    # Express the objective in terms of non-basic variables.
+    for row in range(num_rows):
+        col = basis[row]
+        if col < num_cols and abs(phase2[-1, col]) > 0.0:
+            phase2[-1, :] -= phase2[-1, col] * phase2[row, :]
+
+    status, phase2_iters = _simplex_iterate(
+        phase2, basis, num_cols, tolerance, max_iterations
+    )
+    iterations = phase1_iters + phase2_iters
+    if status == "unbounded":
+        return SimplexResult("unbounded", None, None, iterations, "phase 2 detected unboundedness")
+    if status == "iteration_limit":
+        return SimplexResult("iteration_limit", None, None, iterations, "phase 2 hit iteration limit")
+
+    x = np.zeros(num_cols, dtype=float)
+    for row in range(num_rows):
+        if basis[row] < num_cols:
+            x[basis[row]] = phase2[row, -1]
+    objective = float(c @ x)
+    return SimplexResult("optimal", x, objective, iterations)
+
+
+def solve_general_form(
+    c: np.ndarray,
+    A_ub: np.ndarray,
+    b_ub: np.ndarray,
+    A_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: Optional[int] = None,
+) -> SimplexResult:
+    """Solve a general-form LP by conversion to standard form.
+
+    The returned solution vector is expressed in the *original* variable
+    space and the objective is the original minimisation objective.
+    """
+    standard = to_standard_form(c, A_ub, b_ub, A_eq, b_eq, lower, upper)
+    result = solve_standard_form(
+        standard.c,
+        standard.A,
+        standard.b,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    if result.status != "optimal" or result.x is None:
+        return result
+    x_original = standard.recover(result.x)
+    objective = float(np.asarray(c, dtype=float) @ x_original)
+    return SimplexResult("optimal", x_original, objective, result.iterations)

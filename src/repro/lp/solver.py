@@ -1,0 +1,167 @@
+"""Backend dispatch for solving :class:`~repro.lp.model.LinearProgram` objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lp import scipy_backend, simplex
+from repro.lp.model import LinearProgram, ObjectiveSense
+
+#: Names of the available solver backends, in priority order.
+BACKENDS: Tuple[str, ...] = ("scipy", "simplex")
+
+#: Default backend used when none is specified.
+DEFAULT_BACKEND = "scipy"
+
+
+class LPError(RuntimeError):
+    """Base class for LP solver failures."""
+
+
+class LPInfeasibleError(LPError):
+    """Raised when the program has no feasible solution."""
+
+
+class LPUnboundedError(LPError):
+    """Raised when the program is unbounded in the optimisation direction."""
+
+
+class LPStatus(str, enum.Enum):
+    """Termination status of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+
+@dataclass
+class LPSolution:
+    """Result of solving a :class:`LinearProgram`.
+
+    ``objective`` is reported in the *original* sense of the program (so a
+    maximisation problem reports the maximum, not its negation) and includes
+    the objective constant.
+    """
+
+    status: LPStatus
+    values: np.ndarray
+    objective: float
+    backend: str
+    iterations: int = 0
+    message: str = ""
+    by_name: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> float:
+        return self.by_name[name]
+
+    def value_of(self, variable) -> float:
+        """Value of a :class:`~repro.lp.model.Variable` handle."""
+        return float(self.values[variable.index])
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of solver backends that can be used with :func:`solve`."""
+    return BACKENDS
+
+
+def solve(
+    program: LinearProgram,
+    backend: str = DEFAULT_BACKEND,
+    tolerance: float = 1e-9,
+    max_iterations: Optional[int] = None,
+    check: bool = True,
+) -> LPSolution:
+    """Solve a linear program and return an :class:`LPSolution`.
+
+    Parameters
+    ----------
+    program:
+        The program to solve.
+    backend:
+        ``"scipy"`` (default, HiGHS) or ``"simplex"`` (pure-NumPy two-phase
+        simplex).
+    tolerance:
+        Numerical tolerance used by the simplex backend and by the optional
+        feasibility check.
+    max_iterations:
+        Optional iteration cap for the chosen backend.
+    check:
+        When true (default), verify that the returned point satisfies every
+        constraint of the original program to within ``100 * tolerance`` and
+        raise :class:`LPError` otherwise.
+
+    Raises
+    ------
+    LPInfeasibleError, LPUnboundedError, LPError
+        On the corresponding failure modes.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown LP backend {backend!r}; available: {BACKENDS}")
+    arrays = program.to_standard_arrays()
+
+    if backend == "scipy":
+        raw = scipy_backend.solve_general_form(
+            arrays["c"],
+            arrays["A_ub"],
+            arrays["b_ub"],
+            arrays["A_eq"],
+            arrays["b_eq"],
+            arrays["lower"],
+            arrays["upper"],
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+        status_text = str(raw["status"])
+        x = raw["x"]
+        iterations = int(raw["iterations"])  # type: ignore[arg-type]
+        message = str(raw["message"])
+    else:
+        result = simplex.solve_general_form(
+            arrays["c"],
+            arrays["A_ub"],
+            arrays["b_ub"],
+            arrays["A_eq"],
+            arrays["b_eq"],
+            arrays["lower"],
+            arrays["upper"],
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+        status_text = result.status
+        x = result.x
+        iterations = result.iterations
+        message = result.message
+
+    if status_text == "infeasible":
+        raise LPInfeasibleError(f"{program.summary()}: infeasible ({message})")
+    if status_text == "unbounded":
+        raise LPUnboundedError(f"{program.summary()}: unbounded ({message})")
+    if status_text != "optimal" or x is None:
+        raise LPError(f"{program.summary()}: solver failed with status {status_text} ({message})")
+
+    values = np.asarray(x, dtype=float)
+    if check:
+        violations = program.violated_constraints(values, tolerance=max(1e-6, 100 * tolerance))
+        if violations:
+            raise LPError(
+                f"{program.summary()}: backend {backend!r} returned an infeasible point; "
+                f"violated: {violations[:5]}"
+            )
+
+    objective = program.objective_value(values)
+    by_name = {var.name: float(values[var.index]) for var in program.variables}
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        values=values,
+        objective=objective,
+        backend=backend,
+        iterations=iterations,
+        message=message,
+        by_name=by_name,
+    )

@@ -1,0 +1,50 @@
+"""Named mechanisms from the paper and standard baselines.
+
+The paper's analysis (Section IV-D, Figure 6) reduces constrained mechanism
+design for the ``L0`` objective to four named mechanisms:
+
+* **GM** — the range-restricted geometric mechanism (:mod:`geometric`),
+  optimal for BASICDP alone.
+* **EM** — the explicit fair mechanism introduced by the paper
+  (:mod:`fair`), optimal among fair mechanisms and satisfying all seven
+  structural properties.
+* **WM** — the weakly honest mechanism found by solving an LP
+  (:mod:`weakly_honest`), sandwiched between GM and EM.
+* **UM** — the uniform mechanism (:mod:`uniform`), the trivial baseline.
+
+For comparison and for the prior-work discussion of Section II-B the package
+also implements binary and n-ary randomized response
+(:mod:`randomized_response`), the exponential mechanism (:mod:`exponential`),
+the rounded/truncated Laplace mechanism (:mod:`laplace`) and a truncated
+discrete staircase mechanism (:mod:`staircase`).  :mod:`registry` exposes all
+of them behind a single ``create(name, n, alpha)`` factory.
+"""
+
+from repro.mechanisms.geometric import geometric_mechanism, two_sided_geometric_noise
+from repro.mechanisms.fair import explicit_fair_mechanism, fair_exponent_matrix
+from repro.mechanisms.uniform import uniform_mechanism
+from repro.mechanisms.weakly_honest import weakly_honest_mechanism
+from repro.mechanisms.randomized_response import (
+    binary_randomized_response,
+    nary_randomized_response,
+)
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.laplace import laplace_mechanism
+from repro.mechanisms.staircase import staircase_mechanism
+from repro.mechanisms.registry import available_mechanisms, create_mechanism
+
+__all__ = [
+    "geometric_mechanism",
+    "two_sided_geometric_noise",
+    "explicit_fair_mechanism",
+    "fair_exponent_matrix",
+    "uniform_mechanism",
+    "weakly_honest_mechanism",
+    "binary_randomized_response",
+    "nary_randomized_response",
+    "exponential_mechanism",
+    "laplace_mechanism",
+    "staircase_mechanism",
+    "available_mechanisms",
+    "create_mechanism",
+]

@@ -1,0 +1,130 @@
+"""The range-restricted (truncated) geometric mechanism GM (Definition 4).
+
+GM adds two-sided geometric noise to the true count and clamps the result to
+``[0, n]``.  Its matrix (Figure 3 of the paper) has truncation rows at the
+extremes, ``x α^j`` and ``x α^{n−j}`` with ``x = 1 / (1 + α)``, and interior
+entries ``y α^{|i−j|}`` with ``y = (1 − α) / (1 + α)``.
+
+Ghosh et al. proved GM is the basis of utility-optimal mechanisms; the paper
+additionally shows (Theorem 3) that GM is the unique optimum of the plain
+``L0`` objective under BASICDP, and uses it as the unconstrained reference
+point that the constrained mechanisms are compared against.
+
+Two views of GM are provided and tested against each other:
+
+* :func:`geometric_mechanism` — the exact probability matrix.
+* :func:`two_sided_geometric_noise` / :func:`sample_geometric_mechanism` —
+  the additive-noise sampling procedure of Definition 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+
+def _check_parameters(n: int, alpha: float) -> None:
+    if int(n) != n or n < 1:
+        raise ValueError("group size n must be a positive integer")
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError("alpha must lie in [0, 1]")
+
+
+def geometric_matrix(n: int, alpha: float) -> np.ndarray:
+    """Exact probability matrix of GM (Figure 3).
+
+    For ``α = 0`` the noise distribution collapses onto zero and GM becomes
+    the identity (truthful) mechanism; for ``α = 1`` the two-sided geometric
+    distribution degenerates and all mass is pushed to the clamping rows, so
+    the limit matrix splits each column evenly between outputs 0 and n.
+    """
+    _check_parameters(n, alpha)
+    size = n + 1
+    if alpha == 0.0:
+        return np.eye(size)
+    if alpha == 1.0:
+        matrix = np.zeros((size, size))
+        matrix[0, :] = 0.5
+        matrix[n, :] = 0.5
+        return matrix
+    x = 1.0 / (1.0 + alpha)
+    y = (1.0 - alpha) / (1.0 + alpha)
+    matrix = np.zeros((size, size))
+    for j in range(size):
+        for i in range(size):
+            if i == 0:
+                matrix[i, j] = x * alpha**j
+            elif i == n:
+                matrix[i, j] = x * alpha ** (n - j)
+            else:
+                matrix[i, j] = y * alpha ** abs(i - j)
+    return matrix
+
+
+def geometric_mechanism(n: int, alpha: float) -> Mechanism:
+    """The range-restricted geometric mechanism GM as a :class:`Mechanism`."""
+    matrix = geometric_matrix(n, alpha)
+    return Mechanism(
+        matrix,
+        name="GM",
+        alpha=alpha,
+        metadata={"source": "closed-form", "definition": "truncated geometric (Def. 4)"},
+    )
+
+
+def two_sided_geometric_noise(
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+    size: Optional[int] = None,
+) -> Union[int, np.ndarray]:
+    """Draw noise from the two-sided geometric distribution of Definition 4.
+
+    ``Pr[X = δ] = (1 − α) α^{|δ|} / (1 + α)`` for integer δ.  Sampling uses
+    the standard decomposition into a sign and two independent geometric
+    tails: with probability ``(1 − α)/(1 + α)`` return 0, otherwise return
+    ``±G`` where ``G`` is geometric with success probability ``1 − α``.
+    """
+    if not (0.0 <= alpha < 1.0):
+        raise ValueError("two-sided geometric noise requires alpha in [0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    scalar = size is None
+    count = 1 if scalar else int(size)
+    if alpha == 0.0:
+        noise = np.zeros(count, dtype=int)
+    else:
+        # Difference of two independent geometric variables (support {0,1,...})
+        # with success probability 1 - alpha is exactly the two-sided
+        # geometric distribution above.
+        first = rng.geometric(1.0 - alpha, size=count) - 1
+        second = rng.geometric(1.0 - alpha, size=count) - 1
+        noise = first - second
+    if scalar:
+        return int(noise[0])
+    return noise.astype(int)
+
+
+def sample_geometric_mechanism(
+    true_count: int,
+    n: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+    size: Optional[int] = None,
+) -> Union[int, np.ndarray]:
+    """Sample GM by its operational definition: add noise, then clamp to ``[0, n]``.
+
+    This is the procedure a deployment would run; the matrix form is its
+    exact distribution (the test-suite verifies the two agree).
+    """
+    _check_parameters(n, alpha)
+    if not (0 <= true_count <= n):
+        raise ValueError(f"true count {true_count} outside [0, {n}]")
+    if alpha == 1.0:
+        raise ValueError("alpha = 1 has no sampling form; use the matrix limit instead")
+    noise = two_sided_geometric_noise(alpha, rng=rng, size=size)
+    released = np.clip(np.asarray(noise) + true_count, 0, n)
+    if size is None:
+        return int(released)
+    return released.astype(int)

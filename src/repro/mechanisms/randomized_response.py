@@ -1,0 +1,98 @@
+"""Randomized response mechanisms (Section II-B, "mechanisms from coin-tossing").
+
+Two variants are implemented:
+
+* **Binary randomized response** — the classical Warner design for a single
+  private bit (the ``n = 1`` case).  The respondent reports the truth with
+  probability ``p > 1/2`` and lies otherwise, achieving ``α = (1 − p)/p``
+  differential privacy.  The paper notes this is the unique optimal
+  mechanism for ``n = 1`` under any objective ``O_{p,Σ}``.
+* **n-ary randomized response** — the extension of Geng et al. used by
+  RAPPOR-style systems: report the true count with probability ``p``,
+  otherwise report a uniformly random *other* value.  The paper remarks it
+  "gives low utility for count queries"; including it lets the experiments
+  quantify that remark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.core.theory import (
+    nary_randomized_response_truth_probability,
+    randomized_response_truth_probability,
+)
+
+
+def binary_randomized_response(
+    alpha: Optional[float] = None, truth_probability: Optional[float] = None
+) -> Mechanism:
+    """Binary randomized response over a single private bit (group size 1).
+
+    Exactly one of ``alpha`` or ``truth_probability`` must be given: either
+    the target privacy level (from which the optimal truth probability
+    ``p = 1 / (1 + α)`` is derived), or the truth probability directly.
+    """
+    if (alpha is None) == (truth_probability is None):
+        raise ValueError("provide exactly one of alpha or truth_probability")
+    if truth_probability is None:
+        if not (0.0 <= alpha <= 1.0):
+            raise ValueError("alpha must lie in [0, 1]")
+        truth_probability = randomized_response_truth_probability(alpha)
+    if not (0.5 <= truth_probability <= 1.0):
+        raise ValueError("truth probability must lie in [0.5, 1]")
+    p = float(truth_probability)
+    matrix = np.array([[p, 1.0 - p], [1.0 - p, p]])
+    achieved_alpha = (1.0 - p) / p if p > 0 else 0.0
+    return Mechanism(
+        matrix,
+        name="RR",
+        alpha=achieved_alpha,
+        metadata={
+            "source": "closed-form",
+            "definition": "binary randomized response",
+            "truth_probability": p,
+        },
+    )
+
+
+def nary_randomized_response(
+    n: int, alpha: float, truth_probability: Optional[float] = None
+) -> Mechanism:
+    """n-ary randomized response of Geng et al. over the outputs ``{0, …, n}``.
+
+    Reports the input with probability ``p`` and otherwise a uniformly
+    random other output.  When ``truth_probability`` is omitted the largest
+    ``p`` compatible with α-DP in our neighbouring-input sense is used,
+    ``p = 1 / (1 + n α)``.
+    """
+    if int(n) != n or n < 1:
+        raise ValueError("group size n must be a positive integer")
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError("alpha must lie in [0, 1]")
+    size = n + 1
+    if truth_probability is None:
+        truth_probability = nary_randomized_response_truth_probability(n, alpha)
+    p = float(truth_probability)
+    if not (0.0 < p <= 1.0):
+        raise ValueError("truth probability must lie in (0, 1]")
+    off_diagonal = (1.0 - p) / n if n > 0 else 0.0
+    matrix = np.full((size, size), off_diagonal)
+    np.fill_diagonal(matrix, p)
+    mechanism = Mechanism(
+        matrix,
+        name="NRR",
+        alpha=None,
+        metadata={
+            "source": "closed-form",
+            "definition": "n-ary randomized response (Geng et al.)",
+            "truth_probability": p,
+        },
+    )
+    # Record the privacy level the matrix actually achieves rather than the
+    # requested one, so callers can see when a supplied p is too aggressive.
+    mechanism.alpha = mechanism.max_alpha()
+    return mechanism

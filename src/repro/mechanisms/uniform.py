@@ -1,0 +1,37 @@
+"""The uniform mechanism UM (Definition 5).
+
+UM ignores its input and reports a uniformly random value from ``{0, …, n}``.
+It is the feasibility witness of Theorem 2 — it satisfies every structural
+property and any α-DP constraint simultaneously — and the trivial baseline
+against which the paper normalises the ``L0`` score (UM scores exactly 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+
+
+def uniform_matrix(n: int) -> np.ndarray:
+    """The constant matrix ``Pr[i | j] = 1 / (n + 1)``."""
+    if int(n) != n or n < 1:
+        raise ValueError("group size n must be a positive integer")
+    size = n + 1
+    return np.full((size, size), 1.0 / size)
+
+
+def uniform_mechanism(n: int, alpha: float = 1.0) -> Mechanism:
+    """The uniform mechanism UM as a :class:`Mechanism`.
+
+    ``alpha`` is accepted (and recorded) only so UM can be constructed
+    through the same factory interface as the other mechanisms; UM satisfies
+    every α ∈ [0, 1].
+    """
+    matrix = uniform_matrix(n)
+    return Mechanism(
+        matrix,
+        name="UM",
+        alpha=alpha,
+        metadata={"source": "closed-form", "definition": "uniform mechanism (Def. 5)"},
+    )

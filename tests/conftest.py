@@ -1,0 +1,48 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20180416)
+
+
+@pytest.fixture
+def gm_small():
+    """GM for a small group at the paper's Figure-7 setting."""
+    return geometric_mechanism(4, 0.9)
+
+
+@pytest.fixture
+def em_small():
+    """EM for a small group at the paper's Figure-7 setting."""
+    return explicit_fair_mechanism(4, 0.9)
+
+
+@pytest.fixture
+def um_small():
+    """UM for a small group."""
+    return uniform_mechanism(4)
+
+
+#: (n, alpha) pairs covering odd/even group sizes and weak/strong privacy;
+#: used by parametrised tests across several modules.
+STANDARD_SETTINGS = [
+    (2, 0.5),
+    (3, 0.62),
+    (4, 0.9),
+    (5, 0.3),
+    (7, 0.62),
+    (8, 0.91),
+    (12, 0.67),
+    (15, 0.99),
+]

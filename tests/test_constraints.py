@@ -1,0 +1,103 @@
+"""Tests for the LP constraint builder (repro.core.constraints)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import MechanismLPBuilder, build_mechanism_lp
+from repro.core.losses import Objective
+from repro.core.properties import ALL_PROPERTIES, StructuralProperty, check_all_properties
+from repro.core.design import solve_mechanism_lp
+from repro.lp.model import ConstraintSense
+from repro.lp.solver import solve
+
+
+class TestBuilderStructure:
+    def test_variable_grid_size(self):
+        builder = MechanismLPBuilder(n=4, alpha=0.7)
+        assert builder.program.num_variables == 25
+        assert len(builder.variables) == 5
+        assert all(len(row) == 5 for row in builder.variables)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MechanismLPBuilder(n=0, alpha=0.5)
+        with pytest.raises(ValueError):
+            MechanismLPBuilder(n=4, alpha=1.5)
+
+    def test_basic_dp_constraint_counts(self):
+        n = 4
+        builder = MechanismLPBuilder(n=n, alpha=0.7)
+        builder.add_basic_dp()
+        size = n + 1
+        # column sums + two DP inequalities per (row, adjacent column pair)
+        expected = size + 2 * size * n
+        assert builder.program.num_constraints == expected
+
+    def test_basic_dp_added_once(self):
+        builder = MechanismLPBuilder(n=3, alpha=0.5)
+        builder.add_basic_dp()
+        count = builder.program.num_constraints
+        builder.add_basic_dp()
+        assert builder.program.num_constraints == count
+
+    def test_property_added_once(self):
+        builder = MechanismLPBuilder(n=3, alpha=0.5)
+        builder.add_property("WH")
+        count = builder.program.num_constraints
+        builder.add_property(StructuralProperty.WEAK_HONESTY)
+        assert builder.program.num_constraints == count
+
+    def test_symmetry_constraints_are_equalities(self):
+        builder = MechanismLPBuilder(n=3, alpha=0.5)
+        builder.add_property("S")
+        senses = {c.sense for c in builder.program.constraints if c.name.startswith("symmetry")}
+        assert senses == {ConstraintSense.EQ}
+
+    def test_build_installs_defaults(self):
+        mechanism_lp = MechanismLPBuilder(n=3, alpha=0.5).build()
+        assert mechanism_lp.objective.describe() == "L0 (sum)"
+        assert mechanism_lp.program.num_constraints > 0
+
+    def test_minimax_objective_adds_auxiliary_variable(self):
+        builder = MechanismLPBuilder(n=3, alpha=0.5)
+        builder.add_basic_dp()
+        builder.set_objective(Objective.minimax(p=1))
+        mechanism_lp = builder.build()
+        assert mechanism_lp.auxiliary is not None
+        assert mechanism_lp.program.num_variables == 16 + 1
+
+
+class TestSolvedConstraints:
+    @pytest.mark.parametrize("prop", [p.value for p in ALL_PROPERTIES])
+    def test_each_property_is_enforced_by_its_constraints(self, prop):
+        mechanism_lp = build_mechanism_lp(n=4, alpha=0.8, properties=[prop])
+        mechanism = solve_mechanism_lp(mechanism_lp)
+        report = check_all_properties(mechanism, tolerance=1e-6)
+        assert report[StructuralProperty.coerce(prop)], prop
+
+    def test_dp_enforced_on_solution(self):
+        mechanism_lp = build_mechanism_lp(n=5, alpha=0.77)
+        mechanism = solve_mechanism_lp(mechanism_lp)
+        assert mechanism.max_alpha() >= 0.77 - 1e-7
+
+    def test_matrix_from_values_is_column_stochastic(self):
+        mechanism_lp = build_mechanism_lp(n=4, alpha=0.6, properties="WH")
+        solution = solve(mechanism_lp.program)
+        matrix = mechanism_lp.matrix_from_values(solution.values)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+        assert matrix.min() >= 0.0
+
+    def test_minimax_l1_no_worse_than_expected_l1_optimum(self):
+        # The minimax optimum bounds every column's loss, so its worst column
+        # is no worse than the worst column of the expectation-optimal design.
+        from repro.core.losses import worst_case_loss
+
+        expectation_lp = build_mechanism_lp(n=4, alpha=0.7, objective=Objective.l1())
+        minimax_lp = build_mechanism_lp(n=4, alpha=0.7, objective=Objective.minimax(p=1))
+        expectation_mechanism = solve_mechanism_lp(expectation_lp)
+        minimax_mechanism = solve_mechanism_lp(minimax_lp)
+        assert worst_case_loss(minimax_mechanism, p=1) <= worst_case_loss(
+            expectation_mechanism, p=1
+        ) + 1e-7

@@ -1,0 +1,117 @@
+"""Tests for the synthetic Adult-like dataset (repro.data.adult)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (
+    ADULT_TARGETS,
+    AdultDataset,
+    generate_adult_like,
+    load_adult_csv,
+)
+from repro.data.groups import group_counts
+
+
+@pytest.fixture(scope="module")
+def adult():
+    """A moderately sized synthetic Adult-like dataset shared by this module."""
+    return generate_adult_like(num_records=20_000, seed=7)
+
+
+class TestGenerator:
+    def test_size_and_targets(self, adult):
+        assert adult.num_records == 20_000
+        for name in ADULT_TARGETS:
+            column = adult.target(name)
+            assert column.shape == (20_000,)
+            assert set(np.unique(column)) <= {0, 1}
+
+    def test_marginals_match_published_adult_statistics(self, adult):
+        rates = adult.target_rates()
+        # UCI Adult: ~27% under 30, ~67% male, ~24% high income.
+        assert rates["young"] == pytest.approx(0.29, abs=0.06)
+        assert rates["gender"] == pytest.approx(0.67, abs=0.03)
+        assert rates["income"] == pytest.approx(0.24, abs=0.05)
+
+    def test_income_correlations_have_right_sign(self, adult):
+        age = adult.attributes["age"]
+        income = adult.income
+        male_rate = income[adult.gender == 1].mean()
+        female_rate = income[adult.gender == 0].mean()
+        assert male_rate > female_rate
+        mid_age = income[(age >= 40) & (age <= 55)].mean()
+        young = income[age < 25].mean()
+        assert mid_age > young
+
+    def test_reproducible_with_seed(self):
+        first = generate_adult_like(num_records=500, seed=11)
+        second = generate_adult_like(num_records=500, seed=11)
+        assert np.array_equal(first.income, second.income)
+        assert np.array_equal(first.young, second.young)
+
+    def test_seed_and_rng_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            generate_adult_like(num_records=10, rng=np.random.default_rng(0), seed=1)
+
+    def test_group_counts_concentrate_in_the_middle(self, adult):
+        # The property Figure 10 relies on: for mid-rate attributes the group
+        # counts cluster around n * rate, far from the extremes 0 and n.
+        workload = group_counts(adult.gender, 8)
+        histogram = workload.histogram()
+        assert histogram[0] + histogram[-1] < 0.05
+        assert histogram[4:7].sum() > 0.5
+
+    def test_unknown_target_rejected(self, adult):
+        with pytest.raises(KeyError):
+            adult.target("salary")
+
+
+class TestSubset:
+    def test_subset_size_and_reproducibility(self, adult):
+        subset = adult.subset(1000, rng=np.random.default_rng(5))
+        assert subset.num_records == 1000
+        again = adult.subset(1000, rng=np.random.default_rng(5))
+        assert np.array_equal(subset.income, again.income)
+
+    def test_subset_bounds(self, adult):
+        with pytest.raises(ValueError):
+            adult.subset(adult.num_records + 1)
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            AdultDataset(young=np.array([0, 1]), gender=np.array([1]), income=np.array([0, 0]))
+
+    def test_non_binary_targets_rejected(self):
+        with pytest.raises(ValueError):
+            AdultDataset(
+                young=np.array([0, 2]), gender=np.array([1, 0]), income=np.array([0, 0])
+            )
+
+
+class TestCsvLoader:
+    def test_load_real_format(self, tmp_path):
+        # Two rows in the UCI adult.data format (15 comma-separated fields).
+        rows = [
+            "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family,"
+            " White, Male, 2174, 0, 40, United-States, <=50K",
+            "28, Private, 338409, Bachelors, 13, Married-civ-spouse, Prof-specialty, Wife,"
+            " Black, Female, 0, 0, 40, Cuba, >50K",
+            "",  # blank line should be ignored
+        ]
+        path = tmp_path / "adult.data"
+        path.write_text("\n".join(rows))
+        dataset = load_adult_csv(path)
+        assert dataset.num_records == 2
+        assert dataset.young.tolist() == [0, 1]
+        assert dataset.gender.tolist() == [1, 0]
+        assert dataset.income.tolist() == [0, 1]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.data"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            load_adult_csv(path)

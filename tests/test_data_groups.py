@@ -1,0 +1,57 @@
+"""Tests for group partitioning (repro.data.groups)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.groups import GroupedCounts, group_counts, partition_into_groups
+
+
+class TestPartition:
+    def test_consecutive_partition(self):
+        bits = np.array([1, 0, 0, 1, 1, 1])
+        groups = partition_into_groups(bits, 2)
+        assert groups.shape == (3, 2)
+        assert groups.sum(axis=1).tolist() == [1, 1, 2]
+
+    def test_shuffle_is_reproducible_and_preserves_multiset(self, rng):
+        bits = np.array([1] * 10 + [0] * 10)
+        first = partition_into_groups(bits, 5, shuffle=True, rng=np.random.default_rng(3))
+        second = partition_into_groups(bits, 5, shuffle=True, rng=np.random.default_rng(3))
+        assert np.array_equal(first, second)
+        assert first.sum() == 10
+
+    def test_partial_group_dropped(self):
+        groups = partition_into_groups(np.ones(7, dtype=int), 3)
+        assert groups.shape == (2, 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_into_groups(np.ones((2, 2), dtype=int), 2)
+        with pytest.raises(ValueError):
+            partition_into_groups(np.ones(4, dtype=int), 0)
+
+
+class TestGroupedCounts:
+    def test_group_counts_from_bits(self):
+        workload = group_counts([1, 1, 0, 0, 1, 0], 3, label="income")
+        assert isinstance(workload, GroupedCounts)
+        assert workload.counts.tolist() == [2, 1]
+        assert workload.group_size == 3
+        assert workload.label == "income"
+        assert workload.num_groups == 2
+
+    def test_histogram_and_empirical_prior(self):
+        workload = GroupedCounts(counts=np.array([0, 1, 1, 2]), group_size=2)
+        histogram = workload.histogram()
+        assert histogram.tolist() == [0.25, 0.5, 0.25]
+        assert np.array_equal(histogram, workload.empirical_prior())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupedCounts(counts=np.array([[1]]), group_size=2)
+        with pytest.raises(ValueError):
+            GroupedCounts(counts=np.array([3]), group_size=2)
+        with pytest.raises(ValueError):
+            GroupedCounts(counts=np.array([1]), group_size=0)

@@ -1,0 +1,117 @@
+"""Tests for the synthetic data generators (repro.data.synthetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    bernoulli_population,
+    biased_and_balanced_probabilities,
+    binomial_group_counts,
+    groups_from_population,
+    population_to_groups,
+    skewed_probabilities,
+    true_count_histogram,
+)
+
+
+class TestBernoulliPopulation:
+    def test_values_are_bits(self, rng):
+        bits = bernoulli_population(1000, 0.3, rng=rng)
+        assert set(np.unique(bits)) <= {0, 1}
+        assert bits.shape == (1000,)
+
+    def test_mean_close_to_p(self, rng):
+        bits = bernoulli_population(50_000, 0.3, rng=rng)
+        assert bits.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_extreme_probabilities(self, rng):
+        assert bernoulli_population(100, 0.0, rng=rng).sum() == 0
+        assert bernoulli_population(100, 1.0, rng=rng).sum() == 100
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_population(-1, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            bernoulli_population(10, 1.5, rng=rng)
+
+
+class TestGrouping:
+    def test_population_to_groups_sums_consecutive_blocks(self):
+        bits = np.array([1, 0, 1, 1, 1, 0, 0, 0, 1])
+        counts = population_to_groups(bits, 3)
+        assert counts.tolist() == [2, 2, 1]
+
+    def test_partial_group_dropped(self):
+        bits = np.ones(10, dtype=int)
+        counts = population_to_groups(bits, 4)
+        assert counts.tolist() == [4, 4]
+
+    def test_empty_result_when_population_smaller_than_group(self):
+        assert population_to_groups(np.ones(2, dtype=int), 5).size == 0
+
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ValueError):
+            population_to_groups(np.array([0, 2, 1]), 2)
+
+    def test_rejects_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            population_to_groups(np.ones(4, dtype=int), 0)
+
+
+class TestBinomialCounts:
+    def test_counts_within_range(self, rng):
+        counts = binomial_group_counts(500, 8, 0.4, rng=rng)
+        assert counts.min() >= 0 and counts.max() <= 8
+        assert counts.shape == (500,)
+
+    def test_mean_matches_np(self, rng):
+        counts = binomial_group_counts(20_000, 10, 0.25, rng=rng)
+        assert counts.mean() == pytest.approx(2.5, abs=0.05)
+
+    def test_matches_population_route_in_distribution(self, rng):
+        # Both construction routes must produce the same distribution of counts.
+        direct = binomial_group_counts(5000, 6, 0.5, rng=np.random.default_rng(1))
+        via_population = groups_from_population(30_000, 6, 0.5, rng=np.random.default_rng(2))
+        assert direct.mean() == pytest.approx(via_population.mean(), abs=0.1)
+        assert direct.std() == pytest.approx(via_population.std(), abs=0.1)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            binomial_group_counts(-1, 4, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            binomial_group_counts(10, 0, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            binomial_group_counts(10, 4, 1.5, rng=rng)
+
+
+class TestProbabilitySweeps:
+    def test_skewed_probabilities_default(self):
+        values = skewed_probabilities(9)
+        assert values == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+
+    def test_skewed_probabilities_excludes_endpoints(self):
+        values = skewed_probabilities(3)
+        assert all(0.0 < value < 1.0 for value in values)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            skewed_probabilities(0)
+
+    def test_named_regimes(self):
+        regimes = biased_and_balanced_probabilities()
+        assert set(regimes) == {"balanced", "moderate", "biased"}
+        assert all(0.0 < p < 1.0 for values in regimes.values() for p in values)
+
+
+class TestHistogram:
+    def test_histogram_sums_to_one(self):
+        histogram = true_count_histogram([0, 1, 1, 2, 4], group_size=4)
+        assert histogram.shape == (5,)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram[1] == pytest.approx(0.4)
+
+    def test_rejects_out_of_range_counts(self):
+        with pytest.raises(ValueError):
+            true_count_histogram([5], group_size=4)

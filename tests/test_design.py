@@ -1,0 +1,118 @@
+"""Tests for LP-based mechanism design (repro.core.design).
+
+These cover the paper's structural theorems: the unconstrained L0 optimum is
+GM (Theorem 3), the fair optimum matches EM's cost (Theorem 4 / Lemma 4),
+constrained optima always satisfy their constraints, and the two LP backends
+agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_mechanism, optimal_objective_value
+from repro.core.losses import Objective, l0_score, l1_score
+from repro.core.properties import (
+    ALL_PROPERTIES,
+    check_all_properties,
+    parse_properties,
+    satisfies_all,
+)
+from repro.core.theory import em_l0_score, gm_l0_score
+from repro.mechanisms.geometric import geometric_mechanism
+
+
+class TestUnconstrainedDesign:
+    @pytest.mark.parametrize("n,alpha", [(3, 0.5), (5, 0.62), (7, 0.62), (4, 0.9)])
+    def test_theorem3_unconstrained_l0_optimum_is_gm(self, n, alpha):
+        mechanism = design_mechanism(n=n, alpha=alpha, properties=())
+        assert l0_score(mechanism) == pytest.approx(gm_l0_score(alpha), abs=1e-7)
+        # The optimum is unique (Theorem 3), so the matrix itself matches GM.
+        assert np.allclose(mechanism.matrix, geometric_mechanism(n, alpha).matrix, atol=1e-6)
+
+    def test_unconstrained_l1_beats_constrained_l1(self):
+        unconstrained = design_mechanism(5, 0.62, properties=(), objective=Objective.l1())
+        constrained = design_mechanism(5, 0.62, properties="all", objective=Objective.l1())
+        assert l1_score(unconstrained) <= l1_score(constrained) + 1e-9
+
+    def test_metadata_records_provenance(self):
+        mechanism = design_mechanism(3, 0.7, properties="WH")
+        assert mechanism.metadata["source"] == "lp"
+        assert mechanism.metadata["properties"] == ["WH"]
+        assert mechanism.metadata["objective"] == "L0 (sum)"
+        assert mechanism.metadata["lp_variables"] == 16
+
+
+class TestConstrainedDesign:
+    def test_all_properties_yields_em_cost(self):
+        for n, alpha in [(4, 0.9), (7, 0.62), (6, 0.8)]:
+            mechanism = design_mechanism(n=n, alpha=alpha, properties="all")
+            assert l0_score(mechanism) == pytest.approx(em_l0_score(n, alpha), abs=1e-7)
+            assert all(check_all_properties(mechanism, tolerance=1e-6).values())
+
+    def test_fairness_alone_yields_em_cost(self):
+        # Theorem 4: the fair optimum achieves the Lemma-4 bound, i.e. EM's cost.
+        mechanism = design_mechanism(n=6, alpha=0.85, properties="F")
+        assert l0_score(mechanism) == pytest.approx(em_l0_score(6, 0.85), abs=1e-7)
+
+    @pytest.mark.parametrize("properties", ["WH", "WH+CM", "F+S", "RM+CH", "all"])
+    def test_requested_properties_always_satisfied(self, properties):
+        mechanism = design_mechanism(n=5, alpha=0.88, properties=properties)
+        assert satisfies_all(mechanism, parse_properties(properties), tolerance=1e-6)
+        assert mechanism.max_alpha() >= 0.88 - 1e-6
+
+    def test_costs_are_monotone_in_constraint_set(self):
+        # Adding constraints can only increase the optimal objective value.
+        base = optimal_objective_value(5, 0.9, properties="WH")
+        more = optimal_objective_value(5, 0.9, properties="WH+CM")
+        most = optimal_objective_value(5, 0.9, properties="all")
+        assert base <= more + 1e-9 <= most + 2e-9
+
+    def test_constrained_l2_is_not_degenerate(self):
+        # Figure 1 vs Figure 2: the unconstrained L2 optimum ignores its input;
+        # the constrained one must not (its diagonal is strictly above zero).
+        constrained = design_mechanism(7, 0.62, properties="all", objective=Objective.l2())
+        assert constrained.diagonal.min() > 0.01
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("properties", [(), "WH", "F", "WH+CM"])
+    def test_simplex_and_scipy_same_objective(self, properties):
+        scipy_value = optimal_objective_value(4, 0.75, properties=properties, backend="scipy")
+        simplex_value = optimal_objective_value(4, 0.75, properties=properties, backend="simplex")
+        assert scipy_value == pytest.approx(simplex_value, abs=1e-7)
+
+    def test_simplex_backend_produces_valid_mechanism(self):
+        mechanism = design_mechanism(3, 0.9, properties="all", backend="simplex")
+        assert all(check_all_properties(mechanism, tolerance=1e-6).values())
+        assert mechanism.max_alpha() >= 0.9 - 1e-6
+
+
+class TestWeightedAndMinimaxObjectives:
+    def test_point_prior_concentrates_design_effort(self):
+        # With all the weight on input 0, the optimal unconstrained mechanism
+        # reports 0 for input 0 as often as DP allows - more often than the
+        # uniform-prior optimum does.
+        weighted = design_mechanism(
+            4, 0.7, properties=(), objective=Objective(p=0, weights=[1, 0, 0, 0, 0])
+        )
+        uniform = design_mechanism(4, 0.7, properties=())
+        assert weighted.matrix[0, 0] >= uniform.matrix[0, 0] - 1e-9
+
+    def test_minimax_design_bounds_every_column(self):
+        from repro.core.losses import per_input_loss
+
+        mechanism = design_mechanism(4, 0.7, objective=Objective.minimax(p=1))
+        losses = per_input_loss(mechanism, Objective.l1())
+        assert losses.max() == pytest.approx(
+            mechanism.metadata["objective_value"], abs=1e-6
+        )
+
+    def test_fair_mechanism_cost_is_prior_independent(self):
+        # Lemma 1: under fairness the L0 objective value does not depend on the prior.
+        uniform_cost = optimal_objective_value(5, 0.8, properties="F")
+        skewed_cost = optimal_objective_value(
+            5, 0.8, properties="F", objective=Objective(p=0, weights=[5, 1, 1, 1, 1, 1])
+        )
+        assert uniform_cost == pytest.approx(skewed_cost, abs=1e-7)

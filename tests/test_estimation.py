@@ -1,0 +1,110 @@
+"""Tests for aggregate estimation from released counts (repro.eval.estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import binomial_group_counts
+from repro.eval.estimation import (
+    debias_released_mean,
+    estimate_true_histogram,
+    estimate_true_mean,
+    project_to_simplex,
+    released_histogram,
+)
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.randomized_response import binary_randomized_response
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+class TestHelpers:
+    def test_released_histogram_normalised(self):
+        histogram = released_histogram([0, 1, 1, 3], n=3)
+        assert histogram.tolist() == [0.25, 0.5, 0.0, 0.25]
+
+    def test_released_histogram_validation(self):
+        with pytest.raises(ValueError):
+            released_histogram([], n=3)
+        with pytest.raises(ValueError):
+            released_histogram([4], n=3)
+
+    def test_project_to_simplex_properties(self):
+        projected = project_to_simplex([0.5, -0.2, 0.9])
+        assert projected.sum() == pytest.approx(1.0)
+        assert projected.min() >= 0.0
+        # A vector already on the simplex is unchanged.
+        assert np.allclose(project_to_simplex([0.2, 0.3, 0.5]), [0.2, 0.3, 0.5])
+
+    def test_project_to_simplex_validation(self):
+        with pytest.raises(ValueError):
+            project_to_simplex([])
+
+
+class TestHistogramEstimation:
+    def test_recovers_binomial_shape_through_em(self, rng):
+        n, alpha, p = 6, 0.6, 0.3
+        mechanism = explicit_fair_mechanism(n, alpha)
+        true_counts = binomial_group_counts(30_000, n, p, rng=rng)
+        released = mechanism.apply(true_counts, rng=rng)
+        estimate = estimate_true_histogram(mechanism, released)
+        truth = np.bincount(true_counts, minlength=n + 1) / true_counts.size
+        assert np.abs(estimate - truth).max() < 0.04
+
+    def test_inverse_and_least_squares_agree_for_well_conditioned_mechanism(self, rng):
+        n, alpha = 4, 0.5
+        mechanism = geometric_mechanism(n, alpha)
+        true_counts = binomial_group_counts(20_000, n, 0.5, rng=rng)
+        released = mechanism.apply(true_counts, rng=rng)
+        ls = estimate_true_histogram(mechanism, released, method="least_squares")
+        inv = estimate_true_histogram(mechanism, released, method="inverse")
+        assert np.abs(ls - inv).max() < 0.02
+
+    def test_uniform_mechanism_is_singular_for_inverse(self, rng):
+        mechanism = uniform_mechanism(4)
+        released = mechanism.apply(np.zeros(100, dtype=int), rng=rng)
+        with pytest.raises(ValueError):
+            estimate_true_histogram(mechanism, released, method="inverse")
+
+    def test_unknown_method_rejected(self, rng):
+        mechanism = geometric_mechanism(3, 0.5)
+        with pytest.raises(ValueError):
+            estimate_true_histogram(mechanism, [0, 1], method="magic")
+
+    def test_estimated_mean_close_to_truth(self, rng):
+        n, alpha, p = 8, 0.7, 0.4
+        mechanism = explicit_fair_mechanism(n, alpha)
+        true_counts = binomial_group_counts(30_000, n, p, rng=rng)
+        released = mechanism.apply(true_counts, rng=rng)
+        estimate = estimate_true_mean(mechanism, released)
+        assert estimate == pytest.approx(true_counts.mean(), abs=0.15)
+        # The raw released mean is pulled towards n/2; the estimator fixes that.
+        assert abs(estimate - true_counts.mean()) < abs(released.mean() - true_counts.mean())
+
+
+class TestMeanDebiasing:
+    def test_exact_for_randomized_response(self, rng):
+        mechanism = binary_randomized_response(alpha=0.5)
+        true_bits = (rng.random(50_000) < 0.3).astype(int)
+        released = mechanism.apply(true_bits, rng=rng)
+        estimate = debias_released_mean(mechanism, released)
+        assert estimate == pytest.approx(0.3, abs=0.02)
+
+    def test_reduces_bias_for_clamped_geometric(self, rng):
+        n, alpha = 8, 0.8
+        mechanism = geometric_mechanism(n, alpha)
+        true_counts = binomial_group_counts(30_000, n, 0.25, rng=rng)
+        released = mechanism.apply(true_counts, rng=rng)
+        corrected = debias_released_mean(mechanism, released)
+        assert abs(corrected - true_counts.mean()) < abs(released.mean() - true_counts.mean())
+
+    def test_uninformative_mechanism_rejected(self, rng):
+        mechanism = uniform_mechanism(4)
+        released = mechanism.apply(np.zeros(50, dtype=int), rng=rng)
+        with pytest.raises(ValueError):
+            debias_released_mean(mechanism, released)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            debias_released_mean(geometric_mechanism(3, 0.5), [])

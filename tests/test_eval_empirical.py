@@ -1,0 +1,122 @@
+"""Tests for the empirical evaluation loop (repro.eval.empirical)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.groups import GroupedCounts
+from repro.eval.empirical import EmpiricalResult, evaluate_mechanism, evaluate_mechanisms
+from repro.eval.metrics import error_rate
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+@pytest.fixture
+def workload(rng):
+    counts = rng.binomial(4, 0.5, size=400)
+    return GroupedCounts(counts=counts, group_size=4, label="binomial")
+
+
+class TestEvaluateMechanism:
+    def test_result_structure(self, workload, rng):
+        result = evaluate_mechanism(uniform_mechanism(4), workload, repetitions=5, rng=rng)
+        assert isinstance(result, EmpiricalResult)
+        assert result.repetitions == 5
+        assert result.num_groups == 400
+        assert set(result.metrics()) == {"error_rate", "exceeds_1_rate", "mae", "rmse"}
+        assert result.per_repetition["error_rate"].shape == (5,)
+
+    def test_mean_std_and_stderr(self, workload, rng):
+        result = evaluate_mechanism(uniform_mechanism(4), workload, repetitions=10, rng=rng)
+        values = result.per_repetition["error_rate"]
+        assert result.mean("error_rate") == pytest.approx(values.mean())
+        assert result.std("error_rate") == pytest.approx(values.std(ddof=1))
+        assert result.standard_error("error_rate") == pytest.approx(
+            values.std(ddof=1) / np.sqrt(10)
+        )
+
+    def test_unknown_metric_raises(self, workload, rng):
+        result = evaluate_mechanism(uniform_mechanism(4), workload, repetitions=2, rng=rng)
+        with pytest.raises(KeyError):
+            result.mean("accuracy")
+
+    def test_uniform_mechanism_error_rate_is_data_independent(self, workload):
+        # Figure 10's observation: UM errs with probability 1 - 1/(n+1).
+        result = evaluate_mechanism(uniform_mechanism(4), workload, repetitions=20, seed=0)
+        assert result.mean("error_rate") == pytest.approx(0.8, abs=0.02)
+
+    def test_raw_counts_accepted_with_group_size(self, rng):
+        result = evaluate_mechanism(
+            geometric_mechanism(3, 0.8), [0, 1, 2, 3, 3], group_size=3, repetitions=3, rng=rng
+        )
+        assert result.num_groups == 5
+
+    def test_mismatched_group_size_rejected(self, workload, rng):
+        with pytest.raises(ValueError):
+            evaluate_mechanism(geometric_mechanism(5, 0.8), workload, rng=rng)
+
+    def test_requires_positive_repetitions_and_data(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_mechanism(uniform_mechanism(3), [1, 2], group_size=3, repetitions=0, rng=rng)
+        with pytest.raises(ValueError):
+            evaluate_mechanism(uniform_mechanism(3), [], group_size=3, rng=rng)
+
+    def test_seed_and_rng_exclusive(self, workload, rng):
+        with pytest.raises(ValueError):
+            evaluate_mechanism(uniform_mechanism(4), workload, rng=rng, seed=3)
+
+    def test_custom_metrics_only(self, workload, rng):
+        result = evaluate_mechanism(
+            uniform_mechanism(4),
+            workload,
+            repetitions=3,
+            metrics={"error_rate": error_rate},
+            rng=rng,
+        )
+        assert result.metrics() == ["error_rate"]
+
+    def test_as_row_flattens(self, workload, rng):
+        row = evaluate_mechanism(uniform_mechanism(4), workload, repetitions=3, rng=rng).as_row()
+        assert row["mechanism"] == "UM"
+        assert "error_rate" in row and "error_rate_std" in row
+
+    def test_reproducible_with_seed(self, workload):
+        first = evaluate_mechanism(geometric_mechanism(4, 0.9), workload, repetitions=4, seed=9)
+        second = evaluate_mechanism(geometric_mechanism(4, 0.9), workload, repetitions=4, seed=9)
+        assert np.array_equal(
+            first.per_repetition["error_rate"], second.per_repetition["error_rate"]
+        )
+
+
+class TestEvaluateMechanisms:
+    def test_results_keyed_by_name(self, workload):
+        results = evaluate_mechanisms(
+            [geometric_mechanism(4, 0.9), explicit_fair_mechanism(4, 0.9), uniform_mechanism(4)],
+            workload,
+            repetitions=10,
+            seed=1,
+        )
+        assert set(results) == {"GM", "EM", "UM"}
+
+    def test_mid_heavy_data_favours_em_over_gm(self, workload):
+        # The paper's core empirical finding at alpha = 0.9 on balanced data.
+        results = evaluate_mechanisms(
+            [geometric_mechanism(4, 0.9), explicit_fair_mechanism(4, 0.9)],
+            workload,
+            repetitions=30,
+            seed=2,
+        )
+        assert results["EM"].mean("error_rate") < results["GM"].mean("error_rate")
+
+    def test_adding_a_mechanism_does_not_change_existing_numbers(self, workload):
+        small = evaluate_mechanisms(
+            [geometric_mechanism(4, 0.9)], workload, repetitions=5, seed=5
+        )
+        large = evaluate_mechanisms(
+            [geometric_mechanism(4, 0.9), uniform_mechanism(4)], workload, repetitions=5, seed=5
+        )
+        assert np.array_equal(
+            small["GM"].per_repetition["error_rate"], large["GM"].per_repetition["error_rate"]
+        )

@@ -1,0 +1,76 @@
+"""Tests for the empirical error metrics (repro.eval.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    distance_metric,
+    empirical_l0,
+    empirical_l0d,
+    error_rate,
+    exceeds_distance_rate,
+    mean_absolute_error,
+    mean_signed_error,
+    root_mean_square_error,
+    summarise,
+)
+
+TRUE = [0, 1, 2, 3, 4]
+RELEASED = [0, 2, 2, 0, 4]  # two wrong answers, one off by 3
+
+
+class TestScalarMetrics:
+    def test_error_rate(self):
+        assert error_rate(TRUE, RELEASED) == pytest.approx(0.4)
+
+    def test_error_rate_zero_when_identical(self):
+        assert error_rate(TRUE, TRUE) == 0.0
+
+    def test_exceeds_distance_rate(self):
+        assert exceeds_distance_rate(TRUE, RELEASED, 0) == pytest.approx(0.4)
+        assert exceeds_distance_rate(TRUE, RELEASED, 1) == pytest.approx(0.2)
+        assert exceeds_distance_rate(TRUE, RELEASED, 3) == pytest.approx(0.0)
+
+    def test_exceeds_rejects_negative_d(self):
+        with pytest.raises(ValueError):
+            exceeds_distance_rate(TRUE, RELEASED, -1)
+
+    def test_mae_rmse_bias(self):
+        assert mean_absolute_error(TRUE, RELEASED) == pytest.approx(0.8)
+        assert root_mean_square_error(TRUE, RELEASED) == pytest.approx(np.sqrt(10 / 5))
+        assert mean_signed_error(TRUE, RELEASED) == pytest.approx(-0.4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            error_rate([0, 1], [0])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            error_rate([], [])
+
+
+class TestRescaledMetrics:
+    def test_empirical_l0_scaling(self):
+        assert empirical_l0(TRUE, RELEASED, group_size=4) == pytest.approx(0.4 * 5 / 4)
+
+    def test_empirical_l0d_scaling(self):
+        assert empirical_l0d(TRUE, RELEASED, d=1, group_size=4) == pytest.approx(0.2 * 5 / 4)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            empirical_l0(TRUE, RELEASED, group_size=0)
+
+
+class TestHelpers:
+    def test_summarise_keys_and_values(self):
+        summary = summarise(TRUE, RELEASED)
+        assert summary["error_rate"] == pytest.approx(0.4)
+        assert summary["rmse"] == pytest.approx(np.sqrt(2.0))
+        assert set(summary) == {"error_rate", "exceeds_1_rate", "mae", "rmse", "bias"}
+
+    def test_distance_metric_factory_names_and_values(self):
+        metric = distance_metric(2)
+        assert metric.__name__ == "exceeds_2_rate"
+        assert metric(TRUE, RELEASED) == pytest.approx(0.2)

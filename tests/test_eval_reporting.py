@@ -1,0 +1,92 @@
+"""Tests for reporting helpers (repro.eval.reporting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    ascii_heatmap,
+    describe_mechanism,
+    format_table,
+    format_value,
+    rows_to_csv,
+)
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+class TestFormatting:
+    def test_format_value_types(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+        assert format_value(7) == "7"
+        assert format_value(True) == "yes"
+        assert format_value("GM") == "GM"
+
+    def test_format_table_alignment_and_columns(self):
+        rows = [
+            {"mechanism": "GM", "l0": 0.9473},
+            {"mechanism": "EM", "l0": 0.9669, "extra": 1},
+        ]
+        table = format_table(rows, title="scores")
+        lines = table.splitlines()
+        assert lines[0] == "scores"
+        assert "mechanism" in lines[1] and "extra" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + separator + two rows
+
+    def test_format_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"mechanism": "GM", "l0": 0.5}, {"mechanism": "EM", "l0": 0.6}]
+        path = tmp_path / "out.csv"
+        text = rows_to_csv(rows, path=path)
+        assert path.read_text() == text
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["mechanism"] == "GM"
+        assert float(parsed[1]["l0"]) == pytest.approx(0.6)
+
+    def test_missing_columns_left_blank(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["b"] == ""
+        assert parsed[1]["a"] == ""
+
+
+class TestHeatmap:
+    def test_heatmap_dimensions(self):
+        text = ascii_heatmap(np.eye(4) * 0.7 + 0.1)
+        output_lines = [line for line in text.splitlines() if line.startswith("out")]
+        assert len(output_lines) == 4
+
+    def test_heatmap_accepts_mechanism_and_titles(self):
+        gm = geometric_mechanism(3, 0.8)
+        text = ascii_heatmap(gm)
+        assert text.splitlines()[0].startswith("GM")
+
+    def test_heatmap_handles_zero_matrix(self):
+        text = ascii_heatmap(np.zeros((2, 2)))
+        assert "out  0" in text
+
+
+class TestDescribeMechanism:
+    def test_description_contains_scores_and_properties(self):
+        text = describe_mechanism(uniform_mechanism(3))
+        assert "UM" in text
+        assert "L0=1.0000" in text
+        assert "F=yes" in text
+
+    def test_description_for_gm(self):
+        text = describe_mechanism(geometric_mechanism(4, 0.9))
+        assert "F=no" in text
+        assert "epsilon" in text

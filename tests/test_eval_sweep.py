@@ -1,0 +1,114 @@
+"""Tests for the parameter sweep driver (repro.eval.sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.groups import GroupedCounts
+from repro.eval.sweep import SweepResult, sweep
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+class TestSweep:
+    def test_grid_dimensions(self):
+        result = sweep(
+            alphas=[0.67, 0.91],
+            group_sizes=[4],
+            probabilities=[0.3, 0.5],
+            mechanisms=("GM", "UM"),
+            repetitions=2,
+            num_groups=50,
+            seed=3,
+        )
+        # 2 alphas x 1 group size x 2 probabilities x 2 mechanisms = 8 rows.
+        assert len(result.rows) == 8
+        assert {row["mechanism"] for row in result.rows} == {"GM", "UM"}
+
+    def test_rows_contain_metrics_and_parameters(self):
+        result = sweep(
+            alphas=[0.8],
+            group_sizes=[3],
+            probabilities=[0.5],
+            mechanisms=("GM",),
+            repetitions=2,
+            num_groups=30,
+            seed=1,
+        )
+        row = result.rows[0]
+        for key in ("mechanism", "alpha", "group_size", "probability", "error_rate", "rmse"):
+            assert key in row
+
+    def test_prebuilt_mechanism_objects_accepted(self):
+        result = sweep(
+            alphas=[0.8],
+            group_sizes=[4],
+            probabilities=[0.5],
+            mechanisms=(uniform_mechanism(4),),
+            repetitions=2,
+            num_groups=20,
+            seed=2,
+        )
+        assert result.rows[0]["mechanism"] == "UM"
+
+    def test_external_data_override(self):
+        counts = GroupedCounts(counts=np.array([0, 1, 2, 2, 1]), group_size=4, label="fixed")
+        result = sweep(
+            alphas=[0.8],
+            group_sizes=[4],
+            probabilities=[0.5],
+            mechanisms=("UM",),
+            repetitions=2,
+            num_groups=999,
+            seed=4,
+            data={(4, 0.5): counts},
+        )
+        assert result.rows[0]["num_groups"] == 5
+
+    def test_reproducible_with_seed(self):
+        kwargs = dict(
+            alphas=[0.9],
+            group_sizes=[4],
+            probabilities=[0.5],
+            mechanisms=("GM",),
+            repetitions=3,
+            num_groups=40,
+            seed=11,
+        )
+        first = sweep(**kwargs)
+        second = sweep(**kwargs)
+        assert first.rows[0]["error_rate"] == second.rows[0]["error_rate"]
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def result(self):
+        return SweepResult(
+            rows=[
+                {"mechanism": "GM", "alpha": 0.9, "group_size": 4, "error_rate": 0.8},
+                {"mechanism": "GM", "alpha": 0.9, "group_size": 8, "error_rate": 0.9},
+                {"mechanism": "EM", "alpha": 0.9, "group_size": 4, "error_rate": 0.7},
+            ]
+        )
+
+    def test_filter(self, result):
+        assert len(result.filter(mechanism="GM").rows) == 2
+        assert len(result.filter(mechanism="GM", group_size=8).rows) == 1
+
+    def test_column(self, result):
+        assert result.column("mechanism") == ["GM", "GM", "EM"]
+
+    def test_series_groups_and_sorts(self, result):
+        series = result.series(x="group_size", y="error_rate")
+        assert series["GM"] == [(4, 0.8), (8, 0.9)]
+        assert series["EM"] == [(4, 0.7)]
+
+    def test_table_and_csv(self, result, tmp_path):
+        assert "mechanism" in result.to_table()
+        csv_text = result.to_csv(path=tmp_path / "sweep.csv")
+        assert (tmp_path / "sweep.csv").read_text() == csv_text
+
+    def test_extend(self, result):
+        other = SweepResult(rows=[{"mechanism": "UM"}])
+        result.extend(other)
+        assert len(result.rows) == 4

@@ -1,0 +1,198 @@
+"""Tests for the empirical experiment drivers: Figures 10, 11, 12 and 13.
+
+These use reduced workloads (smaller populations, fewer repetitions) so the
+suite stays fast, but still check the qualitative conclusions the paper draws
+from each figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.adult import generate_adult_like
+from repro.experiments import fig10_adult, fig11_l01_binomial, fig12_l0d_histograms, fig13_rmse
+
+
+@pytest.fixture(scope="module")
+def adult_result():
+    dataset = generate_adult_like(num_records=6000, seed=3)
+    return fig10_adult.run(
+        group_sizes=(4, 8),
+        repetitions=20,
+        dataset=dataset,
+        seed=3,
+    )
+
+
+class TestFigure10:
+    def test_rows_cover_grid(self, adult_result):
+        # 2 group sizes x 3 targets x 4 mechanisms.
+        assert len(adult_result.rows) == 2 * 3 * 4
+        assert {row["target"] for row in adult_result.rows} == {"young", "gender", "income"}
+
+    def test_um_error_rate_matches_reference(self, adult_result):
+        for row in adult_result.rows:
+            if row["mechanism"] == "UM":
+                assert row["error_rate"] == pytest.approx(row["um_reference"], abs=0.03)
+
+    def test_gm_worse_than_um_on_mid_heavy_targets(self, adult_result):
+        # The paper's headline real-data finding at alpha = 0.9: GM does
+        # appreciably worse than uniform guessing on this data.
+        for target in ("gender", "income"):
+            for group_size in (4, 8):
+                ranking = fig10_adult.mechanism_ranking(adult_result, target, group_size)
+                assert ranking["GM"] > ranking["UM"] - 0.01
+
+    def test_em_is_best_or_close_to_best(self, adult_result):
+        for target in ("young", "gender", "income"):
+            for group_size in (4, 8):
+                ranking = fig10_adult.mechanism_ranking(adult_result, target, group_size)
+                best = min(ranking.values())
+                assert ranking["EM"] <= best + 0.02
+
+    def test_error_bars_recorded(self, adult_result):
+        assert all(row["error_rate_stderr"] >= 0 for row in adult_result.rows)
+
+    def test_target_rates_artefact(self, adult_result):
+        rates = adult_result.artefacts["target_rates"]
+        assert set(rates) == {"young", "gender", "income"}
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_l01_binomial.run(
+            alphas=(0.91, 0.67),
+            group_sizes=(8,),
+            probabilities=(0.1, 0.5),
+            repetitions=8,
+            population=4000,
+            seed=5,
+        )
+
+    def test_grid_dimensions(self, result):
+        # 2 alphas x 1 group size x 2 probabilities x 4 mechanisms.
+        assert len(result.rows) == 16
+        assert all("exceeds_1_rate" in row for row in result.rows)
+
+    def test_balanced_input_strong_privacy_favours_em_over_gm(self, result):
+        def cell(mechanism, alpha, probability):
+            rows = [
+                row
+                for row in result.rows
+                if row["mechanism"] == mechanism
+                and row["alpha"] == pytest.approx(alpha)
+                and row["probability"] == pytest.approx(probability)
+            ]
+            assert len(rows) == 1
+            return rows[0]["exceeds_1_rate"]
+
+        assert cell("EM", 0.91, 0.5) < cell("GM", 0.91, 0.5)
+        # Skewed input (p = 0.1) is GM's favourable regime: it improves a lot.
+        assert cell("GM", 0.91, 0.1) < cell("GM", 0.91, 0.5)
+
+    def test_lower_alpha_reduces_error_overall(self, result):
+        def mean_rate(alpha):
+            rows = [row for row in result.rows if row["alpha"] == pytest.approx(alpha)]
+            return sum(row["exceeds_1_rate"] for row in rows) / len(rows)
+
+        assert mean_rate(0.67) < mean_rate(0.91)
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_l0d_histograms.run(
+            alphas=(0.91,),
+            group_size=8,
+            probabilities=(0.5, 0.1),
+            repetitions=8,
+            population=4000,
+            seed=6,
+        )
+
+    def test_rows_cover_all_distances(self, result):
+        distances = {row["d"] for row in result.rows}
+        assert distances == set(range(8))
+
+    def test_tail_rates_decrease_with_d(self, result):
+        for mechanism in ("GM", "EM", "UM", "WM"):
+            for probability in (0.5, 0.1):
+                values = [
+                    (row["d"], row["empirical_rate"])
+                    for row in result.rows
+                    if row["mechanism"] == mechanism
+                    and row["probability"] == pytest.approx(probability)
+                ]
+                values.sort()
+                rates = [rate for _, rate in values]
+                assert all(a >= b - 0.02 for a, b in zip(rates, rates[1:]))
+
+    def test_empirical_close_to_analytic(self, result):
+        for row in result.rows:
+            assert row["empirical_rate"] == pytest.approx(row["analytic_rate"], abs=0.05)
+
+    def test_em_tail_thinner_than_gm_on_balanced_input(self, result):
+        # Figure 12 top row: the EM-vs-GM margin grows with d on balanced data.
+        for d in (2, 3, 4):
+            gm = [
+                row["empirical_rate"]
+                for row in result.rows
+                if row["mechanism"] == "GM" and row["d"] == d and row["probability"] == 0.5
+            ][0]
+            em = [
+                row["empirical_rate"]
+                for row in result.rows
+                if row["mechanism"] == "EM" and row["d"] == d and row["probability"] == 0.5
+            ][0]
+            assert em < gm
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_rmse.run(
+            alphas=(0.91, 0.67),
+            group_sizes=(4, 8),
+            probabilities=(0.1, 0.5),
+            repetitions=8,
+            population=4000,
+            mechanisms=("GM", "EM", "UM"),
+            seed=7,
+        )
+
+    def test_grid_dimensions(self, result):
+        # 2 alphas x 2 group sizes x 2 probabilities x 3 mechanisms.
+        assert len(result.rows) == 24
+
+    def test_empirical_rmse_close_to_analytic(self, result):
+        for row in result.rows:
+            assert row["rmse"] == pytest.approx(row["analytic_rmse"], rel=0.15)
+
+    def test_rmse_grows_with_group_size(self, result):
+        for mechanism in ("GM", "EM", "UM"):
+            small = [
+                row["rmse"]
+                for row in result.rows
+                if row["mechanism"] == mechanism and row["group_size"] == 4
+            ]
+            large = [
+                row["rmse"]
+                for row in result.rows
+                if row["mechanism"] == mechanism and row["group_size"] == 8
+            ]
+            assert sum(large) / len(large) > sum(small) / len(small)
+
+    def test_em_beats_gm_at_strong_privacy_balanced_input(self, result):
+        def cell(mechanism):
+            rows = [
+                row
+                for row in result.rows
+                if row["mechanism"] == mechanism
+                and row["alpha"] == pytest.approx(0.91)
+                and row["probability"] == pytest.approx(0.5)
+                and row["group_size"] == 8
+            ]
+            return rows[0]["rmse"]
+
+        assert cell("EM") < cell("GM")

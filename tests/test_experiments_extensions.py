@@ -1,0 +1,128 @@
+"""Tests for the extension experiments (output DP, L1/L2 study, range queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_l1_l2_study, ext_output_dp, ext_range_queries
+
+
+class TestOutputDpExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_output_dp.run(alphas=(0.5, 0.8, 0.9), n=6)
+
+    def test_rows_per_alpha(self, result):
+        assert len(result.rows) == 3
+        assert {row["alpha"] for row in result.rows} == {0.5, 0.8, 0.9}
+
+    def test_gm_never_satisfies_the_symmetric_requirement(self, result):
+        for row in result.rows:
+            assert not row["gm_satisfies_output_dp"]
+            assert row["gm_output_alpha_measured"] == pytest.approx(
+                row["gm_output_alpha_closed_form"]
+            )
+
+    def test_em_always_satisfies_it(self, result):
+        for row in result.rows:
+            assert row["em_output_alpha"] >= row["alpha"] - 1e-9
+
+    def test_cost_sandwiched_between_gm_and_em(self, result):
+        for row in result.rows:
+            assert row["gm_l0"] - 1e-9 <= row["l0_with_output_dp"] <= row["em_l0"] + 1e-6
+            assert row["l0_with_output_dp"] >= row["l0_unconstrained"] - 1e-9
+            # Combining all properties with output DP still costs at most EM.
+            assert row["l0_all_properties_plus_output_dp"] <= row["em_l0"] + 1e-6
+
+    def test_relative_cost_is_small(self, result):
+        # The "no significant loss in utility" message extends to the new
+        # constraint: at most a few percent above GM's optimum.
+        for row in result.rows:
+            assert row["relative_cost_of_output_dp"] <= 1.1
+
+
+class TestL1L2StudyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_l1_l2_study.run(group_sizes=(5,))
+
+    def test_grid_shape(self, result):
+        # 1 group size x 2 objectives x 5 property-ladder levels.
+        assert len(result.rows) == 10
+
+    def test_unconstrained_optima_are_pathological(self, result):
+        for row in result.rows:
+            if row["properties"] == "unconstrained":
+                assert row["has_gap"]
+
+    def test_fully_constrained_optima_are_not(self, result):
+        for row in result.rows:
+            if row["properties"] == "all seven":
+                assert not row["has_gap"]
+                assert row["spike_ratio"] < 1.8
+
+    def test_objective_value_grows_along_the_ladder_boundedly(self, result):
+        for objective in ("L1 (sum)", "L2 (sum)"):
+            ladder = [row for row in result.rows if row["objective"] == objective]
+            values = {row["properties"]: row["objective_value"] for row in ladder}
+            assert values["unconstrained"] <= values["all seven"] + 1e-9
+            # The relative cost of full constraints stays a small factor.
+            assert values["all seven"] / values["unconstrained"] < 3.0
+
+    def test_relative_column_recorded(self, result):
+        for row in result.rows:
+            if row["properties"] == "unconstrained":
+                assert row["relative_to_unconstrained"] == pytest.approx(1.0)
+            else:
+                assert row["relative_to_unconstrained"] >= 1.0 - 1e-9
+
+
+class TestRangeQueryExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_range_queries.run(
+            alphas=(0.67, 0.9),
+            num_buckets=12,
+            population=1200,
+            zipf_exponents=(0.0, 1.0),
+            num_queries=40,
+            repetitions=5,
+            seed=1,
+        )
+
+    def test_grid_shape(self, result):
+        # 2 skews x 2 alphas x 3 mechanisms.
+        assert len(result.rows) == 12
+
+    def test_stronger_privacy_increases_error(self, result):
+        for mechanism in ("GM", "EM"):
+            for exponent in (0.0, 1.0):
+                weak = [
+                    row["range_mae"]
+                    for row in result.rows
+                    if row["mechanism"] == mechanism
+                    and row["alpha"] == 0.67
+                    and row["zipf_exponent"] == exponent
+                ][0]
+                strong = [
+                    row["range_mae"]
+                    for row in result.rows
+                    if row["mechanism"] == mechanism
+                    and row["alpha"] == 0.9
+                    and row["zipf_exponent"] == exponent
+                ][0]
+                assert strong >= weak - 1e-9
+
+    def test_informative_mechanisms_beat_uniform_guessing(self, result):
+        for alpha in (0.67, 0.9):
+            for exponent in (0.0, 1.0):
+                rows = {
+                    row["mechanism"]: row["range_mae"]
+                    for row in result.rows
+                    if row["alpha"] == alpha and row["zipf_exponent"] == exponent
+                }
+                assert rows["EM"] < rows["UM"]
+                assert rows["GM"] < rows["UM"]
+
+    def test_rows_carry_histogram_error(self, result):
+        assert all(row["histogram_tv_error"] >= 0 for row in result.rows)

@@ -1,0 +1,152 @@
+"""Tests for the Figure 1, 2, 6 and 7 experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.losses import Objective, l0_score
+from repro.core.theory import em_l0_score, gm_l0_score
+from repro.experiments import (
+    fig01_unconstrained,
+    fig02_constrained,
+    fig06_property_table,
+    fig07_heatmaps,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_unconstrained.run()
+
+    def test_four_cases_reported(self, result):
+        assert len(result.rows) == 4
+        assert {row["case"] for row in result.rows} == {
+            "L1, n=5",
+            "L1, n=7",
+            "L2, n=7",
+            "L0 d=1, n=5",
+        }
+
+    def test_every_unconstrained_case_has_gaps(self, result):
+        # The paper: "all these optimal mechanisms never report some outputs".
+        assert all(row["num_gap_outputs"] > 0 for row in result.rows)
+        assert all(row["has_gap"] for row in result.rows)
+
+    def test_l1_n7_spikes_two_outputs(self, result):
+        # For L1, n = 7 the paper reports two disproportionately heavy outputs
+        # (the exact pair depends on which optimal vertex the solver returns).
+        mechanism = result.artefacts["mechanism:L1, n=7"]
+        heavy = (mechanism.matrix.mean(axis=1) >= 0.25).sum()
+        assert heavy >= 2
+        row = {r["case"]: r for r in result.rows}["L1, n=7"]
+        assert row["spike_ratio"] > 2.0
+
+    def test_l0d1_concentrates_mass_on_two_outputs(self, result):
+        # The paper: >90% chance of reporting one of two outputs, whatever the input.
+        mechanism = result.artefacts["mechanism:L0 d=1, n=5"]
+        top_two = mechanism.matrix.mean(axis=1)
+        top_two.sort()
+        assert top_two[-2:].sum() > 0.7
+
+    def test_heatmap_artefacts_rendered(self, result):
+        assert any(key.startswith("heatmap:") for key in result.artefacts)
+        assert "figure-1" in result.artefacts["heatmap:L1, n=5"]
+
+    def test_table_rendering(self, result):
+        table = result.to_table()
+        assert "spike_ratio" in table
+
+    def test_custom_cases(self):
+        custom = fig01_unconstrained.run(cases=[("L1, n=3", 3, Objective.l1())])
+        assert len(custom.rows) == 1
+        assert custom.rows[0]["group_size"] == 3
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_constrained.run()
+
+    def test_constraints_remove_gaps(self, result):
+        assert all(row["num_gap_outputs"] == 0 for row in result.rows)
+        assert all(not row["has_gap"] for row in result.rows)
+
+    def test_constraints_reduce_spikes(self, result):
+        unconstrained = fig01_unconstrained.run(include_heatmaps=False)
+        constrained_by_case = {row["case"]: row["spike_ratio"] for row in result.rows}
+        for row in unconstrained.rows:
+            assert constrained_by_case[row["case"]] < row["spike_ratio"]
+
+    def test_within_one_probability_is_substantial(self, result):
+        # The paper quotes ~2/3 for the constrained L2 instance; we check the
+        # qualitative claim that it is far above the unconstrained floor.
+        for row in result.rows:
+            assert row["min_within_1_probability"] > 0.5
+
+    def test_experiment_label(self, result):
+        assert result.experiment == "figure-2"
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_property_table.run(n=8, alpha=0.9)
+
+    def test_four_named_mechanisms(self, result):
+        assert [row["mechanism"] for row in result.rows] == ["GM", "WM", "EM", "UM"]
+
+    def test_property_columns_match_figure6(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        # GM: S, RM yes; F no.  EM and UM: everything yes.  WM: WH yes, F no.
+        assert by_name["GM"]["S"] and by_name["GM"]["RM"] and not by_name["GM"]["F"]
+        assert all(by_name["EM"][code] for code in ("S", "RM", "CM", "F", "WH"))
+        assert all(by_name["UM"][code] for code in ("S", "RM", "CM", "F", "WH"))
+        assert by_name["WM"]["WH"] and not by_name["WM"]["F"]
+
+    def test_l0_columns_match_closed_forms(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        assert by_name["GM"]["l0_measured"] == pytest.approx(gm_l0_score(0.9))
+        assert by_name["EM"]["l0_measured"] == pytest.approx(em_l0_score(8, 0.9))
+        assert by_name["UM"]["l0_measured"] == pytest.approx(1.0)
+        assert (
+            by_name["GM"]["l0_measured"]
+            <= by_name["WM"]["l0_measured"] + 1e-9
+            <= by_name["EM"]["l0_measured"] + 1e-7
+        )
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_heatmaps.run()
+
+    def test_truth_probabilities_match_paper(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        # Paper: GM 0.238, EM 0.224 (to their rounding), GM > WM > ... > UM's 0.2.
+        assert by_name["GM"]["truth_probability"] == pytest.approx(0.238, abs=0.01)
+        assert by_name["EM"]["truth_probability"] == pytest.approx(0.224, abs=0.01)
+        assert by_name["UM"]["truth_probability"] == pytest.approx(0.2)
+        assert by_name["GM"]["truth_probability"] > by_name["EM"]["truth_probability"]
+
+    def test_gm_concentrates_on_extremes_em_does_not(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        assert by_name["GM"]["extreme_output_mass"] > by_name["EM"]["extreme_output_mass"]
+        assert by_name["EM"]["within_1_mass"] > by_name["GM"]["within_1_mass"]
+
+    def test_wm_sits_between_gm_and_em(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        assert (
+            by_name["EM"]["extreme_output_mass"]
+            <= by_name["WM"]["extreme_output_mass"] + 1e-9
+            <= by_name["GM"]["extreme_output_mass"] + 1e-9
+        )
+
+    def test_l0_ordering(self, result):
+        by_name = {row["mechanism"]: row for row in result.rows}
+        assert by_name["GM"]["l0_score"] <= by_name["WM"]["l0_score"] + 1e-9
+        assert by_name["WM"]["l0_score"] <= by_name["EM"]["l0_score"] + 1e-7
+
+    def test_heatmaps_present(self, result):
+        for name in ("GM", "WM", "EM", "UM"):
+            assert f"heatmap:{name}" in result.artefacts

@@ -1,0 +1,81 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult
+
+
+class TestRunner:
+    def test_available_experiments_lists_all_figures(self):
+        names = runner.available_experiments()
+        assert names == [
+            "figure-1",
+            "figure-2",
+            "figure-6",
+            "figure-7",
+            "figure-8",
+            "figure-9",
+            "figure-10",
+            "figure-11",
+            "figure-12",
+            "figure-13",
+            "extension-output-dp",
+            "extension-l1-l2",
+            "extension-range-queries",
+        ]
+        # Every figure of the paper's evaluation has a runner entry, and the
+        # fast profile covers exactly the same set.
+        assert set(runner._fast_settings()) == set(names)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            runner.run_experiments(names=["figure-42"], fast=True, verbose=False)
+
+    def test_selected_fast_experiments_run_and_return_results(self, capsys):
+        results = runner.run_experiments(names=["figure-6", "figure-7"], fast=True, verbose=True)
+        assert set(results) == {"figure-6", "figure-7"}
+        assert all(isinstance(result, ExperimentResult) for result in results.values())
+        captured = capsys.readouterr()
+        assert "figure-6" in captured.out
+
+    def test_csv_output_written(self, tmp_path):
+        runner.run_experiments(
+            names=["figure-6"], fast=True, verbose=False, csv_dir=tmp_path / "csv"
+        )
+        assert (tmp_path / "csv" / "figure-6.csv").exists()
+
+
+class TestExperimentResultHelpers:
+    def test_series_and_filter(self):
+        result = ExperimentResult(
+            experiment="demo",
+            description="demo rows",
+            rows=[
+                {"mechanism": "GM", "x": 1, "y": 0.3},
+                {"mechanism": "GM", "x": 2, "y": 0.4},
+                {"mechanism": "EM", "x": 1, "y": 0.2},
+            ],
+        )
+        series = result.series(x="x", y="y")
+        assert series["GM"] == [(1, 0.3), (2, 0.4)]
+        assert result.filter_rows(mechanism="EM") == [{"mechanism": "EM", "x": 1, "y": 0.2}]
+
+    def test_summary_includes_string_artefacts(self):
+        result = ExperimentResult(
+            experiment="demo",
+            description="demo rows",
+            rows=[{"a": 1}],
+            artefacts={"note": "hello artefact", "object": 42},
+        )
+        summary = result.summary()
+        assert "hello artefact" in summary
+        assert "demo" in summary
+
+    def test_to_csv(self, tmp_path):
+        result = ExperimentResult(experiment="demo", description="", rows=[{"a": 1, "b": 2}])
+        text = result.to_csv(path=tmp_path / "demo.csv")
+        assert (tmp_path / "demo.csv").read_text() == text
+        assert "a,b" in text

@@ -1,0 +1,156 @@
+"""Tests for the Figure 8 and Figure 9 experiment drivers (analytic L0 sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import em_l0_score, gm_l0_score, weak_honesty_threshold
+from repro.experiments import fig08_wh_combinations, fig09_l0_vs_n
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A reduced grid keeps the test quick while covering both regimes of
+        # panel (a) and both panels.
+        return fig08_wh_combinations.run(
+            alpha=0.76,
+            group_sizes=(4, 8),
+            alphas=(0.5, 0.91),
+            panel_b_group_size=6,
+        )
+
+    def test_nine_combinations_per_grid_point(self, result):
+        panel_a_n4 = [row for row in result.rows if row["panel"] == "a" and row["group_size"] == 4]
+        assert len(panel_a_n4) == 9
+
+    def test_costs_bounded_by_gm_and_em(self, result):
+        for row in result.rows:
+            assert row["gm_l0"] - 1e-7 <= row["l0_score"] <= row["em_l0"] + 1e-6
+
+    def test_row_only_combinations_cost_gm_above_threshold(self, result):
+        # alpha = 0.76 -> threshold 6.33; at n = 8 the WH+row-only combinations
+        # collapse onto GM's cost (Figure 8a / Lemma 2).
+        rows = [
+            row
+            for row in result.rows
+            if row["panel"] == "a"
+            and row["group_size"] == 8
+            and not row["includes_column_property"]
+        ]
+        assert rows and all(row["matches"] == "GM" for row in rows)
+
+    def test_row_only_combinations_cost_more_below_threshold(self, result):
+        rows = [
+            row
+            for row in result.rows
+            if row["panel"] == "a"
+            and row["group_size"] == 4
+            and not row["includes_column_property"]
+        ]
+        assert rows and all(row["l0_score"] > row["gm_l0"] + 1e-7 for row in rows)
+
+    def test_column_combinations_cost_at_least_row_combinations(self, result):
+        for panel, key in (("a", "group_size"), ("b", "alpha")):
+            rows = [row for row in result.rows if row["panel"] == panel]
+            points = {row[key] for row in rows}
+            for point in points:
+                with_column = [
+                    row["l0_score"]
+                    for row in rows
+                    if row[key] == point and row["includes_column_property"]
+                ]
+                without_column = [
+                    row["l0_score"]
+                    for row in rows
+                    if row[key] == point and not row["includes_column_property"]
+                ]
+                assert min(with_column) >= max(without_column) - 1e-7
+
+    def test_low_alpha_all_combinations_collapse_to_gm(self, result):
+        # Panel (b) at alpha = 0.5: GM itself is column monotone (Lemma 3), so
+        # every combination costs exactly 2*0.5/1.5.
+        rows = [row for row in result.rows if row["panel"] == "b" and row["alpha"] == 0.5]
+        assert rows
+        for row in rows:
+            assert row["l0_score"] == pytest.approx(gm_l0_score(0.5), abs=1e-6)
+
+    def test_only_two_distinct_behaviours(self, result):
+        # Section V-A's headline: the optimal values cluster on at most two
+        # levels per grid point (the GM level and the EM/column level).
+        for panel in ("a", "b"):
+            rows = [row for row in result.rows if row["panel"] == panel]
+            key = "group_size" if panel == "a" else "alpha"
+            for point in {row[key] for row in rows}:
+                values = sorted(
+                    row["l0_score"] for row in rows if row[key] == point
+                )
+                distinct = [values[0]]
+                for value in values[1:]:
+                    if value > distinct[-1] + 1e-6:
+                        distinct.append(value)
+                assert len(distinct) <= 2, (panel, point, distinct)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_l0_vs_n.run(
+            alphas=(2.0 / 3.0, 10.0 / 11.0),
+            group_sizes=(2, 4, 8, 16, 20, 24),
+        )
+
+    def test_series_structure(self, result):
+        series = result.series(x="group_size", y="l0_score")
+        assert set(series) == {"GM", "EM", "UM", "WM"}
+
+    def test_closed_forms_recorded_and_matched(self, result):
+        for row in result.rows:
+            if row["mechanism"] == "GM":
+                assert row["l0_score"] == pytest.approx(gm_l0_score(row["alpha"]))
+            if row["mechanism"] == "EM":
+                assert row["l0_score"] == pytest.approx(
+                    em_l0_score(row["group_size"], row["alpha"])
+                )
+            if row["mechanism"] == "UM":
+                assert row["l0_score"] == pytest.approx(1.0)
+
+    def test_wm_converges_to_gm_at_lemma2_threshold(self, result):
+        alpha = 10.0 / 11.0
+        threshold = weak_honesty_threshold(alpha)  # exactly 20
+        assert threshold == pytest.approx(20.0)
+        for row in result.rows:
+            if row["mechanism"] != "WM" or row["alpha"] != pytest.approx(alpha):
+                continue
+            gap = row["l0_score"] - gm_l0_score(alpha)
+            if row["group_size"] >= threshold:
+                assert gap == pytest.approx(0.0, abs=1e-6)
+            else:
+                assert gap > 1e-6
+
+    def test_wm_always_sandwiched(self, result):
+        for row in result.rows:
+            if row["mechanism"] == "WM":
+                assert gm_l0_score(row["alpha"]) - 1e-7 <= row["l0_score"]
+                assert row["l0_score"] <= em_l0_score(row["group_size"], row["alpha"]) + 1e-6
+
+    def test_em_premium_shrinks_with_group_size(self, result):
+        # Figure 9(a): EM's cost approaches GM's 2α/(1+α) from above as n grows
+        # (there is a small odd/even wobble, so compare the ends of the range).
+        alpha = 2.0 / 3.0
+        em_rows = sorted(
+            (row["group_size"], row["l0_score"])
+            for row in result.rows
+            if row["mechanism"] == "EM" and row["alpha"] == pytest.approx(alpha)
+        )
+        smallest_n_value = em_rows[0][1]
+        largest_n, largest_n_value = em_rows[-1]
+        assert largest_n_value < smallest_n_value
+        # The premium over GM is roughly the factor (n + 1)/n (Section I).
+        assert largest_n_value == pytest.approx(
+            gm_l0_score(alpha) * (largest_n + 1) / largest_n, abs=0.01
+        )
+
+    def test_skip_wm_mode(self):
+        quick = fig09_l0_vs_n.run(alphas=(0.9,), group_sizes=(2, 4), include_wm=False)
+        assert {row["mechanism"] for row in quick.rows} == {"GM", "EM", "UM"}

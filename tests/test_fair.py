@@ -1,0 +1,108 @@
+"""Tests for the explicit fair mechanism EM (repro.mechanisms.fair)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.losses import l0_score
+from repro.core.properties import check_all_properties, satisfies_differential_privacy
+from repro.core.theory import em_diagonal, em_l0_score, fairness_diagonal_bound
+from repro.mechanisms.fair import explicit_fair_mechanism, fair_exponent_matrix, fair_matrix
+
+
+class TestFigure4ExponentPattern:
+    """The n = 7 exponent pattern must match Figure 4 of the paper exactly."""
+
+    #: Figure 4, transcribed: entry (i, j) is the power of alpha multiplying y.
+    FIGURE_4 = np.array(
+        [
+            [0, 1, 2, 3, 4, 4, 4, 4],
+            [1, 0, 1, 2, 3, 3, 3, 3],
+            [1, 1, 0, 1, 2, 3, 3, 3],
+            [2, 2, 1, 0, 1, 2, 2, 2],
+            [2, 2, 2, 1, 0, 1, 2, 2],
+            [3, 3, 3, 2, 1, 0, 1, 1],
+            [3, 3, 3, 3, 2, 1, 0, 1],
+            [4, 4, 4, 4, 3, 2, 1, 0],
+        ]
+    )
+
+    def test_exponents_match_figure_4(self):
+        assert np.array_equal(fair_exponent_matrix(7), self.FIGURE_4)
+
+    def test_matrix_is_y_times_alpha_to_exponent(self):
+        alpha = 0.62
+        matrix = fair_matrix(7, alpha)
+        y = em_diagonal(7, alpha)
+        assert np.allclose(matrix, y * alpha**self.FIGURE_4.astype(float))
+
+    def test_every_column_contains_the_same_multiset_of_exponents(self):
+        for n in (4, 5, 7, 8, 11):
+            exponents = fair_exponent_matrix(n)
+            reference = np.sort(exponents[:, 0])
+            for j in range(n + 1):
+                assert np.array_equal(np.sort(exponents[:, j]), reference), (n, j)
+
+    def test_row_adjacent_exponents_differ_by_at_most_one(self):
+        # This is exactly what makes the construction differentially private.
+        for n in (3, 6, 7, 10, 13):
+            exponents = fair_exponent_matrix(n)
+            assert np.max(np.abs(np.diff(exponents, axis=1))) <= 1, n
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            fair_exponent_matrix(0)
+        with pytest.raises(ValueError):
+            fair_matrix(4, -0.1)
+
+
+class TestProbabilisticStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 12, 15])
+    @pytest.mark.parametrize("alpha", [0.3, 0.62, 0.9, 0.99])
+    def test_columns_sum_to_one(self, n, alpha):
+        matrix = fair_matrix(n, alpha)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 12, 15])
+    @pytest.mark.parametrize("alpha", [0.3, 0.62, 0.9, 0.99])
+    def test_differential_privacy(self, n, alpha):
+        assert satisfies_differential_privacy(fair_matrix(n, alpha), alpha)
+
+    @pytest.mark.parametrize("n,alpha", [(4, 0.9), (7, 0.62), (8, 0.91), (12, 0.99)])
+    def test_theorem4_all_properties_hold(self, n, alpha):
+        em = explicit_fair_mechanism(n, alpha)
+        assert all(check_all_properties(em).values())
+
+    def test_diagonal_attains_lemma4_bound(self):
+        for n, alpha in [(4, 0.9), (6, 0.62), (9, 0.8)]:
+            em = explicit_fair_mechanism(n, alpha)
+            assert np.allclose(em.diagonal, fairness_diagonal_bound(n, alpha))
+
+    def test_l0_closed_form(self):
+        for n, alpha in [(2, 0.5), (7, 0.62), (10, 0.95)]:
+            assert l0_score(explicit_fair_mechanism(n, alpha)) == pytest.approx(
+                em_l0_score(n, alpha)
+            )
+
+    def test_limit_alpha_zero_is_identity(self):
+        assert np.allclose(fair_matrix(5, 0.0), np.eye(6))
+
+    def test_limit_alpha_one_is_uniform(self):
+        assert np.allclose(fair_matrix(5, 1.0), 1.0 / 6.0)
+
+    def test_em_differs_from_gm_for_n_above_one(self):
+        from repro.mechanisms.geometric import geometric_matrix
+
+        assert not np.allclose(fair_matrix(4, 0.8), geometric_matrix(4, 0.8))
+
+    def test_corner_diagonal_lower_than_gm_interior_behaviour(self):
+        # Comparing to GM: EM slightly raises the interior diagonal entries and
+        # lowers the two corner ones (Section IV-C commentary).
+        from repro.mechanisms.geometric import geometric_matrix
+
+        n, alpha = 7, 0.62
+        em = fair_matrix(n, alpha)
+        gm = geometric_matrix(n, alpha)
+        assert em[0, 0] < gm[0, 0]
+        assert em[3, 3] > gm[3, 3]

@@ -1,0 +1,134 @@
+"""Tests for the geometric mechanism GM (repro.mechanisms.geometric)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.losses import l0_score
+from repro.core.properties import satisfies_differential_privacy
+from repro.core.theory import gm_corner_value, gm_diagonal_interior, gm_l0_score
+from repro.mechanisms.geometric import (
+    geometric_matrix,
+    geometric_mechanism,
+    sample_geometric_mechanism,
+    two_sided_geometric_noise,
+)
+
+
+class TestFigure3Structure:
+    """The matrix must match the closed form shown in Figure 3."""
+
+    @pytest.mark.parametrize("n,alpha", [(3, 0.5), (5, 0.62), (7, 0.9)])
+    def test_truncation_rows(self, n, alpha):
+        matrix = geometric_matrix(n, alpha)
+        x = gm_corner_value(alpha)
+        for j in range(n + 1):
+            assert matrix[0, j] == pytest.approx(x * alpha**j)
+            assert matrix[n, j] == pytest.approx(x * alpha ** (n - j))
+
+    @pytest.mark.parametrize("n,alpha", [(3, 0.5), (5, 0.62), (7, 0.9)])
+    def test_interior_rows(self, n, alpha):
+        matrix = geometric_matrix(n, alpha)
+        y = gm_diagonal_interior(alpha)
+        for i in range(1, n):
+            for j in range(n + 1):
+                assert matrix[i, j] == pytest.approx(y * alpha ** abs(i - j))
+
+    @pytest.mark.parametrize("n,alpha", [(2, 0.3), (4, 0.62), (9, 0.95)])
+    def test_columns_sum_to_one(self, n, alpha):
+        matrix = geometric_matrix(n, alpha)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9, 0.99])
+    def test_dp_is_tight_at_alpha(self, alpha):
+        gm = geometric_mechanism(6, alpha)
+        assert gm.max_alpha() == pytest.approx(alpha)
+        assert satisfies_differential_privacy(gm, alpha)
+
+    def test_l0_score_closed_form(self):
+        for alpha in (0.3, 0.62, 0.9):
+            assert l0_score(geometric_mechanism(8, alpha)) == pytest.approx(gm_l0_score(alpha))
+
+    def test_limit_alpha_zero_is_identity(self):
+        assert np.allclose(geometric_matrix(4, 0.0), np.eye(5))
+
+    def test_limit_alpha_one_splits_between_extremes(self):
+        matrix = geometric_matrix(4, 1.0)
+        assert np.allclose(matrix[0, :], 0.5)
+        assert np.allclose(matrix[4, :], 0.5)
+        assert np.allclose(matrix[1:4, :], 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            geometric_matrix(0, 0.5)
+        with pytest.raises(ValueError):
+            geometric_matrix(4, 1.5)
+
+
+class TestExampleOne:
+    """Example 1 of the paper: n = 2, alpha = 0.9."""
+
+    def setup_method(self):
+        self.gm = geometric_mechanism(2, 0.9)
+
+    def test_extreme_outputs_dominate_middle_input(self):
+        assert self.gm.probability(0, 1) == pytest.approx(0.47, abs=0.005)
+        assert self.gm.probability(2, 1) == pytest.approx(0.47, abs=0.005)
+
+    def test_truth_probability_for_middle_input_is_tiny(self):
+        assert self.gm.probability(1, 1) == pytest.approx(0.05, abs=0.005)
+        ratio = self.gm.probability(0, 1) / self.gm.probability(1, 1)
+        assert ratio == pytest.approx(9.0, abs=0.1)  # "eighteen times" for both extremes
+
+    def test_input_zero_reports_truth_more_often(self):
+        assert self.gm.probability(0, 0) == pytest.approx(0.53, abs=0.005)
+        assert self.gm.probability(0, 0) > self.gm.probability(1, 1)
+
+
+class TestNoiseSampler:
+    def test_noise_pmf_matches_definition(self, rng):
+        alpha = 0.6
+        samples = two_sided_geometric_noise(alpha, rng=rng, size=200_000)
+        for delta in range(-3, 4):
+            expected = (1 - alpha) / (1 + alpha) * alpha ** abs(delta)
+            observed = np.mean(samples == delta)
+            assert observed == pytest.approx(expected, abs=4e-3)
+
+    def test_noise_is_symmetric_in_distribution(self, rng):
+        samples = two_sided_geometric_noise(0.8, rng=rng, size=100_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+
+    def test_scalar_sample(self, rng):
+        value = two_sided_geometric_noise(0.5, rng=rng)
+        assert isinstance(value, int)
+
+    def test_alpha_zero_noise_is_zero(self, rng):
+        assert np.all(two_sided_geometric_noise(0.0, rng=rng, size=10) == 0)
+
+    def test_invalid_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            two_sided_geometric_noise(1.0, rng=rng)
+
+
+class TestSamplingFormAgreesWithMatrix:
+    @pytest.mark.parametrize("true_count", [0, 2, 5])
+    def test_empirical_distribution_matches_matrix_column(self, true_count, rng):
+        n, alpha = 5, 0.7
+        samples = sample_geometric_mechanism(true_count, n, alpha, rng=rng, size=200_000)
+        empirical = np.bincount(samples, minlength=n + 1) / samples.size
+        expected = geometric_matrix(n, alpha)[:, true_count]
+        assert np.allclose(empirical, expected, atol=5e-3)
+
+    def test_scalar_sampling(self, rng):
+        value = sample_geometric_mechanism(2, 4, 0.6, rng=rng)
+        assert isinstance(value, int)
+        assert 0 <= value <= 4
+
+    def test_out_of_range_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_geometric_mechanism(9, 4, 0.6, rng=rng)
+
+    def test_alpha_one_has_no_sampling_form(self, rng):
+        with pytest.raises(ValueError):
+            sample_geometric_mechanism(1, 4, 1.0, rng=rng)

@@ -1,0 +1,176 @@
+"""Unit tests for the loss functions (repro.core.losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.losses import (
+    Objective,
+    compare_mechanisms,
+    distance_matrix,
+    l0_score,
+    l0d_score,
+    l1_score,
+    l2_score,
+    mechanism_mae,
+    mechanism_rmse,
+    objective_value,
+    penalty_matrix,
+    per_input_loss,
+    tail_distribution,
+    truth_probability,
+    worst_case_loss,
+)
+from repro.core.mechanism import Mechanism
+from repro.core.theory import em_l0_score, gm_l0_score
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+class TestPenaltyMatrices:
+    def test_distance_matrix(self):
+        distances = distance_matrix(3)
+        assert distances[0, 2] == 2 and distances[2, 0] == 2
+        assert np.all(np.diag(distances) == 0)
+
+    def test_penalty_p0_indicator(self):
+        penalties = penalty_matrix(4, p=0, d=1)
+        assert penalties[0, 0] == 0  # on the diagonal
+        assert penalties[1, 0] == 0  # within distance 1
+        assert penalties[2, 0] == 1  # beyond distance 1
+
+    def test_penalty_p2_squares(self):
+        penalties = penalty_matrix(3, p=2)
+        assert penalties[0, 2] == 4
+
+    def test_penalty_rejects_d_with_positive_p(self):
+        with pytest.raises(ValueError):
+            penalty_matrix(3, p=1, d=1)
+
+
+class TestObjectiveDataclass:
+    def test_named_constructors(self):
+        assert Objective.l0().describe() == "L0 (sum)"
+        assert Objective.l0d(2).describe() == "L0,2 (sum)"
+        assert Objective.l1().p == 1
+        assert Objective.l2().p == 2
+        assert Objective.minimax().aggregator == "max"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Objective(p=-1)
+        with pytest.raises(ValueError):
+            Objective(p=0, d=-1)
+        with pytest.raises(ValueError):
+            Objective(aggregator="median")
+        with pytest.raises(ValueError):
+            Objective(p=1, d=2)
+
+    def test_prior_defaults_to_uniform(self):
+        assert np.allclose(Objective.l0().prior(5), 0.2)
+
+    def test_custom_weights_are_normalised(self):
+        objective = Objective.l0(weights=[2.0, 0.0, 0.0])
+        assert np.allclose(objective.prior(3), [1.0, 0.0, 0.0])
+
+
+class TestObjectiveValues:
+    def test_identity_mechanism_has_zero_loss(self):
+        identity = Mechanism(np.eye(4))
+        assert objective_value(identity, Objective.l0()) == 0.0
+        assert l1_score(identity) == 0.0
+        assert l2_score(identity) == 0.0
+        assert l0_score(identity) == 0.0
+
+    def test_uniform_mechanism_raw_and_rescaled_l0(self):
+        um = uniform_mechanism(5)
+        # Raw O_{0,sum} is n/(n+1); the rescaled L0 is exactly 1 (Eq. 1).
+        assert objective_value(um, Objective.l0()) == pytest.approx(5.0 / 6.0)
+        assert l0_score(um) == pytest.approx(1.0)
+
+    def test_l0_matches_trace_formula(self, gm_small):
+        n = gm_small.n
+        expected = (n + 1) / n - gm_small.trace / n
+        assert l0_score(gm_small) == pytest.approx(expected)
+
+    def test_l0_closed_forms(self):
+        for n, alpha in [(4, 0.9), (7, 0.62), (10, 0.5)]:
+            assert l0_score(geometric_mechanism(n, alpha)) == pytest.approx(gm_l0_score(alpha))
+            assert l0_score(explicit_fair_mechanism(n, alpha)) == pytest.approx(
+                em_l0_score(n, alpha)
+            )
+
+    def test_l0d_equals_l0_at_zero(self, em_small):
+        assert l0d_score(em_small, 0) == pytest.approx(l0_score(em_small))
+
+    def test_l0d_decreases_with_d(self, gm_small):
+        values = [l0d_score(gm_small, d) for d in range(gm_small.n + 1)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(0.0)  # nothing is more than n away
+
+    def test_objective_rejects_double_specification(self, gm_small):
+        with pytest.raises(ValueError):
+            objective_value(gm_small, Objective.l0(), p=1)
+
+    def test_weighted_objective_uses_prior(self):
+        um = uniform_mechanism(3)
+        # Prior entirely on input 0: wrong-answer probability is 3/4.
+        weights = [1.0, 0.0, 0.0, 0.0]
+        assert objective_value(um, Objective.l0(weights=weights)) == pytest.approx(0.75)
+
+    def test_minimax_aggregator_takes_worst_input(self):
+        gm = geometric_mechanism(5, 0.7)
+        per_input = per_input_loss(gm, Objective.l1())
+        assert worst_case_loss(gm, p=1) == pytest.approx(per_input.max())
+        assert worst_case_loss(gm, p=1) >= l1_score(gm)
+
+
+class TestDerivedScores:
+    def test_rmse_is_sqrt_of_l2(self, gm_small):
+        assert mechanism_rmse(gm_small) == pytest.approx(np.sqrt(l2_score(gm_small)))
+
+    def test_mae_matches_l1(self, em_small):
+        assert mechanism_mae(em_small) == pytest.approx(l1_score(em_small))
+
+    def test_truth_probability_complements_raw_l0(self, em_small):
+        raw_l0 = objective_value(em_small, Objective.l0())
+        assert truth_probability(em_small) == pytest.approx(1.0 - raw_l0)
+
+    def test_tail_distribution_shape_and_monotonicity(self, gm_small):
+        tail = tail_distribution(gm_small)
+        assert tail.shape == (gm_small.n + 1,)
+        assert np.all(np.diff(tail) <= 1e-12)
+        assert tail[0] == pytest.approx(l0_score(gm_small))
+
+    def test_per_input_loss_identity(self):
+        identity = Mechanism(np.eye(4))
+        assert np.allclose(per_input_loss(identity), 0.0)
+
+    def test_compare_mechanisms_keys(self, gm_small, em_small, um_small):
+        comparison = compare_mechanisms([gm_small, em_small, um_small])
+        assert set(comparison) == {"GM", "EM", "UM"}
+        assert comparison["GM"] < comparison["EM"] < comparison["UM"]
+
+
+class TestPaperOrderings:
+    """Cross-mechanism orderings stated in the paper."""
+
+    @pytest.mark.parametrize("alpha", [0.55, 0.67, 0.76, 0.9, 0.99])
+    @pytest.mark.parametrize("n", [2, 4, 7, 12])
+    def test_gm_beats_em_beats_um_on_l0(self, n, alpha):
+        gm = l0_score(geometric_mechanism(n, alpha))
+        em = l0_score(explicit_fair_mechanism(n, alpha))
+        um = l0_score(uniform_mechanism(n))
+        assert gm <= em + 1e-12
+        assert em <= um + 1e-9
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_em_premium_shrinks_with_n(self, n):
+        alpha = 0.9
+        ratio = l0_score(explicit_fair_mechanism(n, alpha)) / l0_score(
+            geometric_mechanism(n, alpha)
+        )
+        # The paper: the premium is roughly a factor (n + 1)/n.
+        assert 1.0 <= ratio <= (n + 1) / n + 0.05

@@ -1,0 +1,194 @@
+"""Unit tests for the LP modelling layer (repro.lp.model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.model import (
+    Constraint,
+    ConstraintSense,
+    LinearProgram,
+    ObjectiveSense,
+    Variable,
+    combination,
+)
+
+
+class TestConstraintSense:
+    def test_coerce_from_strings(self):
+        assert ConstraintSense.coerce("<=") is ConstraintSense.LE
+        assert ConstraintSense.coerce(">=") is ConstraintSense.GE
+        assert ConstraintSense.coerce("==") is ConstraintSense.EQ
+        assert ConstraintSense.coerce("=") is ConstraintSense.EQ
+
+    def test_coerce_passthrough(self):
+        assert ConstraintSense.coerce(ConstraintSense.LE) is ConstraintSense.LE
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ConstraintSense.coerce("!=")
+
+
+class TestObjectiveSense:
+    def test_coerce_synonyms(self):
+        assert ObjectiveSense.coerce("min") is ObjectiveSense.MIN
+        assert ObjectiveSense.coerce("minimize") is ObjectiveSense.MIN
+        assert ObjectiveSense.coerce("MAXIMISE") is ObjectiveSense.MAX
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ObjectiveSense.coerce("optimise")
+
+
+class TestVariables:
+    def test_add_variable_assigns_indices_in_order(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        assert (x.index, y.index) == (0, 1)
+        assert lp.num_variables == 2
+
+    def test_auto_generated_names_are_unique(self):
+        lp = LinearProgram()
+        created = lp.add_variables(5)
+        assert len({var.name for var in created}) == 5
+
+    def test_duplicate_name_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError):
+            lp.add_variable("x")
+
+    def test_inconsistent_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_variable_lookup_by_name(self):
+        lp = LinearProgram()
+        x = lp.add_variable("count")
+        assert lp.variable_by_name("count") == x
+        with pytest.raises(KeyError):
+            lp.variable_by_name("missing")
+
+    def test_variables_hash_by_index(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        assert len({x, y}) == 2
+        assert x != y
+        assert x == Variable(index=0, name="other-name")
+
+
+class TestConstraints:
+    def test_add_constraint_resolves_variable_keys(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        constraint = lp.add_constraint({x: 1.0, y: 2.0}, "<=", 4.0)
+        assert constraint.coefficients == {0: 1.0, 1: 2.0}
+        assert constraint.sense is ConstraintSense.LE
+        assert constraint.rhs == 4.0
+
+    def test_add_constraint_accepts_integer_indices(self):
+        lp = LinearProgram()
+        lp.add_variables(2)
+        constraint = lp.add_constraint({0: 1.0, 1: -1.0}, ">=", 0.0)
+        assert constraint.coefficients == {0: 1.0, 1: -1.0}
+
+    def test_zero_coefficients_are_dropped(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        constraint = lp.add_constraint({x: 0.0, y: 3.0}, "==", 3.0)
+        assert constraint.coefficients == {1: 3.0}
+
+    def test_repeated_variables_sum_coefficients(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        constraint = lp.add_constraint(combination([(x, 1.0), (x, 2.0)]), "<=", 5.0)
+        assert constraint.coefficients == {0: 3.0}
+
+    def test_unknown_variable_index_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(IndexError):
+            lp.add_constraint({5: 1.0}, "<=", 1.0)
+
+    def test_constraint_violation_measure(self):
+        constraint = Constraint({0: 1.0}, ConstraintSense.LE, 1.0)
+        assert constraint.violation([0.5]) == 0.0
+        assert constraint.violation([1.5]) == pytest.approx(0.5)
+        eq = Constraint({0: 1.0}, ConstraintSense.EQ, 1.0)
+        assert eq.violation([0.0]) == pytest.approx(1.0)
+
+
+class TestObjective:
+    def test_objective_vector_and_value(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.set_objective({x: 2.0, y: -1.0}, sense="max", constant=3.0)
+        assert np.allclose(lp.objective_vector(), [2.0, -1.0])
+        assert lp.objective_value([1.0, 2.0]) == pytest.approx(2.0 - 2.0 + 3.0)
+
+    def test_objective_unknown_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(IndexError):
+            lp.set_objective({3: 1.0})
+
+    def test_max_objective_negated_in_standard_arrays(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.set_objective({x: 5.0}, sense="max")
+        arrays = lp.to_standard_arrays()
+        assert np.allclose(arrays["c"], [-5.0])
+
+
+class TestExportAndFeasibility:
+    def _toy_program(self) -> LinearProgram:
+        lp = LinearProgram("toy")
+        x = lp.add_variable("x", lower=0.0)
+        y = lp.add_variable("y", lower=0.0, upper=3.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, "<=", 4.0, name="cap")
+        lp.add_constraint({x: 1.0, y: -1.0}, ">=", -1.0, name="diff")
+        lp.add_constraint({x: 2.0, y: 1.0}, "==", 3.0, name="fix")
+        lp.set_objective({x: 1.0, y: 1.0}, sense="min")
+        return lp
+
+    def test_standard_arrays_shapes(self):
+        arrays = self._toy_program().to_standard_arrays()
+        assert arrays["A_ub"].shape == (2, 2)
+        assert arrays["A_eq"].shape == (1, 2)
+        assert arrays["lower"].tolist() == [0.0, 0.0]
+        assert arrays["upper"][1] == 3.0
+        assert np.isinf(arrays["upper"][0])
+
+    def test_ge_constraints_negated(self):
+        arrays = self._toy_program().to_standard_arrays()
+        # The GE row x - y >= -1 becomes -x + y <= 1.
+        assert np.allclose(arrays["A_ub"][1], [-1.0, 1.0])
+        assert arrays["b_ub"][1] == pytest.approx(1.0)
+
+    def test_check_feasible_accepts_valid_point(self):
+        lp = self._toy_program()
+        assert lp.check_feasible([1.0, 1.0])
+
+    def test_violated_constraints_reported_by_name(self):
+        lp = self._toy_program()
+        violated = lp.violated_constraints([5.0, 5.0])
+        assert "cap" in violated
+        assert "fix" in violated
+        assert "bound:y:upper" in violated
+
+    def test_violated_constraints_requires_full_assignment(self):
+        lp = self._toy_program()
+        with pytest.raises(ValueError):
+            lp.violated_constraints([1.0])
+
+    def test_summary_mentions_sizes(self):
+        text = self._toy_program().summary()
+        assert "2 variables" in text
+        assert "1 equalities" in text

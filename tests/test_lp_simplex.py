@@ -1,0 +1,156 @@
+"""Unit tests for the pure-NumPy simplex backend (repro.lp.simplex)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import simplex
+
+
+def _empty(n: int):
+    return np.zeros((0, n)), np.zeros(0)
+
+
+class TestStandardFormConversion:
+    def test_shift_for_finite_lower_bounds(self):
+        c = np.array([1.0, 1.0])
+        A_eq = np.array([[1.0, 1.0]])
+        b_eq = np.array([5.0])
+        standard = simplex.to_standard_form(
+            c, *_empty(2), A_eq, b_eq, lower=np.array([2.0, 0.0]), upper=np.array([np.inf, np.inf])
+        )
+        # The equality right-hand side is shifted by the lower bound of x0.
+        assert standard.b[-1] == pytest.approx(3.0)
+        recovered = standard.recover(np.array([0.0, 3.0] + [0.0] * (standard.c.size - 2)))
+        assert recovered[0] == pytest.approx(2.0)
+
+    def test_free_variables_are_split(self):
+        c = np.array([1.0])
+        standard = simplex.to_standard_form(
+            c, *_empty(1), *_empty(1), lower=np.array([-np.inf]), upper=np.array([np.inf])
+        )
+        # One free variable becomes two standard-form columns (plus or minus).
+        assert standard.positive_part[0] == 0
+        assert standard.negative_part[0] == 1
+        recovered = standard.recover(np.array([1.0, 4.0]))
+        assert recovered[0] == pytest.approx(-3.0)
+
+    def test_upper_bounds_become_rows(self):
+        c = np.array([1.0])
+        standard = simplex.to_standard_form(
+            c, *_empty(1), *_empty(1), lower=np.array([0.0]), upper=np.array([2.0])
+        )
+        # One <= row plus its slack variable.
+        assert standard.A.shape[0] == 1
+        assert standard.A.shape[1] == 2
+
+    def test_rhs_made_non_negative(self):
+        c = np.array([1.0])
+        A_eq = np.array([[1.0]])
+        b_eq = np.array([-2.0])
+        standard = simplex.to_standard_form(
+            c, *_empty(1), A_eq, b_eq, lower=np.array([-np.inf]), upper=np.array([np.inf])
+        )
+        assert np.all(standard.b >= 0)
+
+
+class TestSolveStandardForm:
+    def test_simple_optimum(self):
+        # min -x - y  s.t.  x + y + s = 4, x, y, s >= 0  ->  objective -4.
+        c = np.array([-1.0, -1.0, 0.0])
+        A = np.array([[1.0, 1.0, 1.0]])
+        b = np.array([4.0])
+        result = simplex.solve_standard_form(c, A, b)
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(-4.0)
+
+    def test_detects_infeasibility(self):
+        # x = -1 with x >= 0 is infeasible after the b >= 0 flip (row -x = 1).
+        c = np.array([1.0])
+        A = np.array([[-1.0]])
+        b = np.array([1.0])
+        result = simplex.solve_standard_form(c, A, b)
+        assert result.status == "infeasible"
+
+    def test_rejects_negative_rhs(self):
+        with pytest.raises(ValueError):
+            simplex.solve_standard_form(np.array([1.0]), np.array([[1.0]]), np.array([-1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            simplex.solve_standard_form(np.array([1.0, 2.0]), np.array([[1.0]]), np.array([1.0]))
+
+
+class TestSolveGeneralForm:
+    def test_textbook_lp(self):
+        # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> optimum 36 at (2, 6).
+        c = np.array([-3.0, -5.0])
+        A_ub = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]])
+        b_ub = np.array([4.0, 12.0, 18.0])
+        result = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(-36.0)
+        assert np.allclose(result.x, [2.0, 6.0], atol=1e-8)
+
+    def test_unbounded_detected(self):
+        c = np.array([-1.0])
+        result = simplex.solve_general_form(
+            c, *_empty(1), *_empty(1), lower=np.zeros(1), upper=np.full(1, np.inf)
+        )
+        assert result.status == "unbounded"
+
+    def test_infeasible_detected(self):
+        c = np.array([1.0])
+        A_ub = np.array([[1.0], [-1.0]])
+        b_ub = np.array([1.0, -3.0])  # x <= 1 and x >= 3
+        result = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(1), lower=np.zeros(1), upper=np.full(1, np.inf)
+        )
+        assert result.status == "infeasible"
+
+    def test_equality_constraints_and_bounds(self):
+        # min x + 2y s.t. x + y = 3, 0 <= x <= 1, y >= 0  -> x = 1, y = 2.
+        c = np.array([1.0, 2.0])
+        A_eq = np.array([[1.0, 1.0]])
+        b_eq = np.array([3.0])
+        result = simplex.solve_general_form(
+            c, *_empty(2), A_eq, b_eq, lower=np.zeros(2), upper=np.array([1.0, np.inf])
+        )
+        assert result.status == "optimal"
+        assert np.allclose(result.x, [1.0, 2.0], atol=1e-8)
+        assert result.objective == pytest.approx(5.0)
+
+    def test_degenerate_problem_terminates(self):
+        # A problem with redundant constraints (classic degeneracy) must still
+        # terminate thanks to Bland's rule.
+        c = np.array([-1.0, -1.0])
+        A_ub = np.array([[1.0, 1.0], [1.0, 1.0], [1.0, 0.0]])
+        b_ub = np.array([2.0, 2.0, 1.0])
+        result = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(-2.0)
+
+    def test_agrees_with_scipy_on_random_problems(self, rng):
+        from scipy import optimize
+
+        for _ in range(10):
+            num_vars = int(rng.integers(2, 5))
+            num_rows = int(rng.integers(1, 4))
+            c = rng.normal(size=num_vars)
+            A_ub = rng.normal(size=(num_rows, num_vars))
+            # Make the feasible region bounded and non-empty: x in [0, 2]^d.
+            b_ub = A_ub @ np.full(num_vars, 1.0) + np.abs(rng.normal(size=num_rows)) + 0.1
+            lower = np.zeros(num_vars)
+            upper = np.full(num_vars, 2.0)
+            ours = simplex.solve_general_form(c, A_ub, b_ub, *_empty(num_vars), lower, upper)
+            reference = optimize.linprog(
+                c, A_ub=A_ub, b_ub=b_ub, bounds=[(0.0, 2.0)] * num_vars, method="highs"
+            )
+            assert ours.status == "optimal"
+            assert reference.status == 0
+            assert ours.objective == pytest.approx(reference.fun, abs=1e-7)

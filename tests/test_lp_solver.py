@@ -1,0 +1,95 @@
+"""Tests for the LP solver dispatch layer (repro.lp.solver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.model import LinearProgram
+from repro.lp.solver import (
+    BACKENDS,
+    LPError,
+    LPInfeasibleError,
+    LPSolution,
+    LPStatus,
+    LPUnboundedError,
+    available_backends,
+    solve,
+)
+
+
+def _knapsack_lp() -> LinearProgram:
+    """max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 (optimum 36)."""
+    lp = LinearProgram("knapsack")
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    lp.add_constraint({x: 1.0}, "<=", 4.0)
+    lp.add_constraint({y: 2.0}, "<=", 12.0)
+    lp.add_constraint({x: 3.0, y: 2.0}, "<=", 18.0)
+    lp.set_objective({x: 3.0, y: 5.0}, sense="max")
+    return lp
+
+
+class TestSolveDispatch:
+    def test_available_backends(self):
+        assert available_backends() == BACKENDS
+        assert "scipy" in BACKENDS and "simplex" in BACKENDS
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_maximisation_reported_in_original_sense(self, backend):
+        solution = solve(_knapsack_lp(), backend=backend)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective == pytest.approx(36.0)
+        assert solution.backend == backend
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_solution_lookup_by_name_and_variable(self, backend):
+        lp = _knapsack_lp()
+        solution = solve(lp, backend=backend)
+        assert solution["x"] == pytest.approx(2.0, abs=1e-7)
+        assert solution.value_of(lp.variable_by_name("y")) == pytest.approx(6.0, abs=1e-7)
+
+    def test_objective_constant_included(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=1.0)
+        lp.set_objective({x: 1.0}, sense="max", constant=10.0)
+        solution = solve(lp)
+        assert solution.objective == pytest.approx(11.0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            solve(_knapsack_lp(), backend="gurobi")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_raises(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.add_constraint({x: 1.0}, "<=", 1.0)
+        lp.add_constraint({x: 1.0}, ">=", 2.0)
+        lp.set_objective({x: 1.0})
+        with pytest.raises(LPInfeasibleError):
+            solve(lp, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unbounded_raises(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.set_objective({x: 1.0}, sense="max")
+        with pytest.raises(LPUnboundedError):
+            solve(lp, backend=backend)
+
+    def test_backends_agree_on_equality_problem(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=1.0)
+        y = lp.add_variable("y", upper=1.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, "==", 1.2)
+        lp.set_objective({x: 1.0, y: 3.0}, sense="min")
+        values = [solve(lp, backend=backend).objective for backend in BACKENDS]
+        assert values[0] == pytest.approx(values[1], abs=1e-8)
+
+    def test_feasibility_check_runs(self):
+        # The returned point of a healthy solve always passes the check.
+        solution = solve(_knapsack_lp(), check=True)
+        assert isinstance(solution, LPSolution)
+        assert solution.values.shape == (2,)
+        assert np.all(solution.values >= -1e-9)

@@ -1,0 +1,216 @@
+"""Unit tests for the Mechanism abstraction (repro.core.mechanism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import (
+    Mechanism,
+    MechanismValidationError,
+    empirical_prior,
+    uniform_prior,
+)
+from repro.mechanisms.geometric import geometric_mechanism
+
+
+class TestValidation:
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(MechanismValidationError):
+            Mechanism(np.ones((2, 3)) / 2)
+
+    def test_rejects_tiny_matrix(self):
+        with pytest.raises(MechanismValidationError):
+            Mechanism(np.array([[1.0]]))
+
+    def test_rejects_columns_not_summing_to_one(self):
+        matrix = np.array([[0.5, 0.5], [0.4, 0.5]])
+        with pytest.raises(MechanismValidationError):
+            Mechanism(matrix)
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[1.2, 0.5], [-0.2, 0.5]])
+        with pytest.raises(MechanismValidationError):
+            Mechanism(matrix)
+
+    def test_rejects_non_finite_entries(self):
+        matrix = np.array([[np.nan, 0.5], [1.0, 0.5]])
+        with pytest.raises(MechanismValidationError):
+            Mechanism(matrix)
+
+    def test_rejects_alpha_outside_unit_interval(self):
+        with pytest.raises(MechanismValidationError):
+            Mechanism(np.eye(3), alpha=1.5)
+
+    def test_accepts_valid_matrix(self):
+        mechanism = Mechanism(np.full((3, 3), 1.0 / 3.0), name="flat")
+        assert mechanism.n == 2
+        assert mechanism.size == 3
+        assert mechanism.name == "flat"
+
+
+class TestBasicStructure:
+    def test_probabilities_returns_column(self, gm_small):
+        column = gm_small.probabilities(2)
+        assert column.shape == (5,)
+        assert column.sum() == pytest.approx(1.0)
+        assert np.allclose(column, gm_small.matrix[:, 2])
+
+    def test_probability_single_entry(self, gm_small):
+        assert gm_small.probability(0, 0) == pytest.approx(gm_small.matrix[0, 0])
+
+    def test_count_bounds_enforced(self, gm_small):
+        with pytest.raises(ValueError):
+            gm_small.probabilities(7)
+        with pytest.raises(ValueError):
+            gm_small.probability(-1, 0)
+
+    def test_diagonal_and_trace(self, um_small):
+        assert np.allclose(um_small.diagonal, 0.2)
+        assert um_small.trace == pytest.approx(1.0)
+
+
+class TestPrivacy:
+    def test_max_alpha_matches_design_alpha_for_gm(self):
+        for alpha in (0.3, 0.62, 0.9):
+            gm = geometric_mechanism(6, alpha)
+            assert gm.max_alpha() == pytest.approx(alpha, abs=1e-12)
+
+    def test_identity_mechanism_has_zero_alpha(self):
+        identity = Mechanism(np.eye(4))
+        assert identity.max_alpha() == 0.0
+        assert identity.epsilon() == float("inf")
+
+    def test_uniform_mechanism_alpha_is_one(self, um_small):
+        assert um_small.max_alpha() == pytest.approx(1.0)
+        assert um_small.epsilon() == pytest.approx(0.0)
+
+    def test_satisfies_dp_thresholds(self, gm_small):
+        assert gm_small.satisfies_dp(0.9)
+        assert gm_small.satisfies_dp(0.5)
+        assert not gm_small.satisfies_dp(0.95)
+
+    def test_satisfies_dp_rejects_bad_alpha(self, gm_small):
+        with pytest.raises(ValueError):
+            gm_small.satisfies_dp(1.5)
+
+
+class TestSampling:
+    def test_sample_scalar_and_vector(self, gm_small, rng):
+        single = gm_small.sample(2, rng=rng)
+        assert isinstance(single, int)
+        batch = gm_small.sample(2, rng=rng, size=100)
+        assert batch.shape == (100,)
+        assert batch.min() >= 0 and batch.max() <= gm_small.n
+
+    def test_sample_distribution_matches_matrix(self, em_small, rng):
+        draws = em_small.sample(1, rng=rng, size=200_000)
+        empirical = np.bincount(draws, minlength=em_small.size) / draws.size
+        assert np.allclose(empirical, em_small.probabilities(1), atol=5e-3)
+
+    def test_apply_scalar(self, gm_small, rng):
+        assert isinstance(gm_small.apply(3, rng=rng), int)
+
+    def test_apply_batch_preserves_length(self, gm_small, rng):
+        counts = np.array([0, 1, 2, 3, 4, 4, 2, 0])
+        released = gm_small.apply(counts, rng=rng)
+        assert released.shape == counts.shape
+        assert released.dtype.kind == "i"
+
+    def test_apply_rejects_matrix_input(self, gm_small, rng):
+        with pytest.raises(ValueError):
+            gm_small.apply(np.zeros((2, 2), dtype=int), rng=rng)
+
+    def test_deterministic_with_seeded_rng(self, gm_small):
+        counts = np.arange(5)
+        first = gm_small.apply(counts, rng=np.random.default_rng(7))
+        second = gm_small.apply(counts, rng=np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+
+class TestMoments:
+    def test_expected_output_identity(self):
+        identity = Mechanism(np.eye(5))
+        assert np.allclose(identity.expected_output(), np.arange(5))
+        assert identity.expected_output(3) == pytest.approx(3.0)
+
+    def test_variance_of_identity_is_zero(self):
+        identity = Mechanism(np.eye(5))
+        assert np.allclose(identity.output_variance(), 0.0)
+        assert identity.output_variance(2) == pytest.approx(0.0)
+
+    def test_uniform_mechanism_bias(self, um_small):
+        # UM's expected output is n/2 = 2 for every input, so bias is 2 - j.
+        assert np.allclose(um_small.bias(), 2.0 - np.arange(5))
+        assert um_small.bias(0) == pytest.approx(2.0)
+
+    def test_truth_probability_uniform_prior(self, gm_small, em_small):
+        # Paper, Section I: for n = 4, alpha = 0.9, GM ~ 0.238 and EM ~ 0.224
+        # (we match to within ~2% given the paper's rounding).
+        assert gm_small.truth_probability() == pytest.approx(0.238, abs=0.01)
+        assert em_small.truth_probability() == pytest.approx(0.224, abs=0.01)
+        assert gm_small.truth_probability() > em_small.truth_probability()
+
+    def test_truth_probability_with_custom_prior(self, gm_small):
+        prior = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        assert gm_small.truth_probability(prior) == pytest.approx(gm_small.matrix[0, 0])
+
+
+class TestTransformations:
+    def test_reversed_is_centrosymmetric_reflection(self, gm_small):
+        reflected = gm_small.reversed()
+        assert np.allclose(reflected.matrix, gm_small.matrix[::-1, ::-1])
+
+    def test_symmetrized_is_symmetric_and_preserves_trace(self, rng):
+        # Build an asymmetric but valid mechanism by normalising random noise.
+        raw = rng.random((5, 5)) + 0.05
+        matrix = raw / raw.sum(axis=0, keepdims=True)
+        mechanism = Mechanism(matrix, name="random")
+        symmetric = mechanism.symmetrized()
+        assert np.allclose(symmetric.matrix, symmetric.matrix[::-1, ::-1])
+        assert symmetric.trace == pytest.approx(mechanism.trace)
+
+    def test_allclose(self, gm_small):
+        assert gm_small.allclose(geometric_mechanism(4, 0.9))
+        assert not gm_small.allclose(geometric_mechanism(4, 0.8))
+        assert not gm_small.allclose(geometric_mechanism(5, 0.9))
+
+
+class TestSerialisationAndRendering:
+    def test_round_trip_dict(self, em_small):
+        clone = Mechanism.from_dict(em_small.to_dict())
+        assert clone.allclose(em_small)
+        assert clone.name == em_small.name
+        assert clone.alpha == em_small.alpha
+
+    def test_round_trip_json(self, gm_small):
+        clone = Mechanism.from_json(gm_small.to_json())
+        assert clone.allclose(gm_small)
+
+    def test_render_contains_all_entries(self, um_small):
+        text = um_small.render(precision=2)
+        assert "0.20" in text
+        assert "UM" in text
+
+    def test_heatmap_has_one_line_per_output(self, gm_small):
+        text = gm_small.heatmap()
+        assert len([line for line in text.splitlines() if line.startswith("i=")]) == gm_small.size
+
+
+class TestPriors:
+    def test_uniform_prior(self):
+        prior = uniform_prior(4)
+        assert prior.shape == (5,)
+        assert prior.sum() == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            uniform_prior(0)
+
+    def test_empirical_prior_counts(self):
+        prior = empirical_prior([0, 1, 1, 3], n=3)
+        assert np.allclose(prior, [0.25, 0.5, 0.0, 0.25])
+
+    def test_empirical_prior_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            empirical_prior([5], n=3)
+        with pytest.raises(ValueError):
+            empirical_prior([], n=3)

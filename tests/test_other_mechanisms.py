@@ -1,0 +1,227 @@
+"""Tests for the baseline mechanisms: randomized response, exponential,
+Laplace, staircase, and the registry factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.losses import l0_score, l1_score
+from repro.core.properties import check_all_properties, is_fair
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_matrix, geometric_mechanism
+from repro.mechanisms.laplace import laplace_matrix, laplace_mechanism, sample_laplace_mechanism
+from repro.mechanisms.randomized_response import (
+    binary_randomized_response,
+    nary_randomized_response,
+)
+from repro.mechanisms.registry import (
+    PAPER_MECHANISMS,
+    available_mechanisms,
+    canonical_name,
+    create_mechanism,
+    paper_mechanisms,
+)
+from repro.mechanisms.staircase import (
+    sample_staircase_mechanism,
+    staircase_matrix,
+    staircase_mechanism,
+    staircase_noise_pmf,
+)
+
+
+class TestBinaryRandomizedResponse:
+    def test_from_alpha(self):
+        rr = binary_randomized_response(alpha=0.5)
+        # p = 1/(1 + 0.5) = 2/3 and the achieved alpha is exactly 0.5.
+        assert rr.probability(0, 0) == pytest.approx(2.0 / 3.0)
+        assert rr.max_alpha() == pytest.approx(0.5)
+
+    def test_from_truth_probability(self):
+        rr = binary_randomized_response(truth_probability=0.75)
+        assert rr.alpha == pytest.approx(1.0 / 3.0)
+
+    def test_is_fair_and_symmetric(self):
+        rr = binary_randomized_response(alpha=0.8)
+        assert all(check_all_properties(rr).values())
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValueError):
+            binary_randomized_response()
+        with pytest.raises(ValueError):
+            binary_randomized_response(alpha=0.5, truth_probability=0.7)
+        with pytest.raises(ValueError):
+            binary_randomized_response(truth_probability=0.3)
+
+    def test_n1_em_equals_randomized_response(self):
+        # The paper notes randomized response is the unique optimum for n = 1;
+        # the explicit fair construction reduces to it.
+        alpha = 0.7
+        rr = binary_randomized_response(alpha=alpha)
+        em = explicit_fair_mechanism(1, alpha)
+        assert np.allclose(rr.matrix, em.matrix)
+
+
+class TestNaryRandomizedResponse:
+    def test_structure(self):
+        nrr = nary_randomized_response(4, 0.8)
+        assert np.allclose(np.diag(nrr.matrix), nrr.matrix[0, 0])
+        off_diagonal = nrr.matrix[1, 0]
+        assert np.allclose(
+            nrr.matrix - np.diag(np.diag(nrr.matrix)),
+            off_diagonal * (1 - np.eye(5)),
+        )
+
+    def test_achieves_requested_alpha(self):
+        nrr = nary_randomized_response(6, 0.8)
+        assert nrr.max_alpha() >= 0.8 - 1e-9
+
+    def test_is_fair(self):
+        assert is_fair(nary_randomized_response(5, 0.9))
+
+    def test_low_utility_compared_to_gm(self):
+        # The paper dismisses n-ary RR as low-utility for count queries: its
+        # L1 error is far larger than GM's at the same privacy level.
+        n, alpha = 8, 0.8
+        assert l1_score(nary_randomized_response(n, alpha)) > l1_score(
+            geometric_mechanism(n, alpha)
+        )
+
+    def test_custom_truth_probability_validated(self):
+        with pytest.raises(ValueError):
+            nary_randomized_response(4, 0.5, truth_probability=0.0)
+
+
+class TestExponentialMechanism:
+    def test_columns_sum_to_one_and_dp_holds(self):
+        mechanism = exponential_mechanism(6, 0.8)
+        assert np.allclose(mechanism.matrix.sum(axis=0), 1.0)
+        # Guaranteed at least alpha-DP (usually strictly better because of the
+        # factor 2 in the exponent).
+        assert mechanism.max_alpha() >= 0.8 - 1e-9
+
+    def test_weaker_than_em_at_same_alpha(self):
+        # The factor 2 in Eq. 2 halves the effective budget, so the exponential
+        # mechanism reports the truth less often than EM does.
+        n, alpha = 6, 0.8
+        exp = exponential_mechanism(n, alpha)
+        em = explicit_fair_mechanism(n, alpha)
+        assert exp.truth_probability() < em.truth_probability()
+
+    def test_custom_quality_function(self):
+        mechanism = exponential_mechanism(4, 0.7, quality=lambda j, r: -((j - r) ** 2))
+        assert np.allclose(mechanism.matrix.sum(axis=0), 1.0)
+        # Quadratic quality decays faster, concentrating more on the truth.
+        default = exponential_mechanism(4, 0.7)
+        assert mechanism.truth_probability() > default.truth_probability()
+
+    def test_is_fair_before_truncation_effects(self):
+        # The default quality is |i - j| so the diagonal entries are equal for
+        # interior inputs; the whole mechanism is fair only when normalisation
+        # constants agree, which happens for symmetric columns (middle input).
+        mechanism = exponential_mechanism(4, 0.8)
+        assert mechanism.matrix[2, 2] == pytest.approx(mechanism.matrix[2, 2])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(0, 0.5)
+        with pytest.raises(ValueError):
+            exponential_mechanism(4, 0.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism(4, 0.5, sensitivity=0.0)
+
+
+class TestLaplaceMechanism:
+    def test_columns_sum_to_one(self):
+        assert np.allclose(laplace_matrix(6, 0.8).sum(axis=0), 1.0)
+
+    def test_satisfies_target_dp(self):
+        # Rounding and clamping are post-processing, so alpha-DP carries over.
+        mechanism = laplace_mechanism(6, 0.8)
+        assert mechanism.max_alpha() >= 0.8 - 1e-9
+
+    def test_close_to_geometric_mechanism(self):
+        # The geometric mechanism is the discrete analogue: the two matrices
+        # should be similar (but not identical) at the same alpha.
+        n, alpha = 6, 0.7
+        difference = np.abs(laplace_matrix(n, alpha) - geometric_matrix(n, alpha)).max()
+        assert 0.0 < difference < 0.1
+
+    def test_sampler_matches_matrix(self, rng):
+        n, alpha, true_count = 5, 0.6, 2
+        samples = sample_laplace_mechanism(true_count, n, alpha, rng=rng, size=200_000)
+        empirical = np.bincount(samples, minlength=n + 1) / samples.size
+        assert np.allclose(empirical, laplace_matrix(n, alpha)[:, true_count], atol=5e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            laplace_matrix(4, 1.0)
+        with pytest.raises(ValueError):
+            sample_laplace_mechanism(9, 4, 0.5)
+
+
+class TestStaircaseMechanism:
+    def test_width_one_equals_gm(self):
+        for n, alpha in [(4, 0.5), (6, 0.8)]:
+            assert np.allclose(staircase_matrix(n, alpha, width=1), geometric_matrix(n, alpha))
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_columns_sum_to_one(self, width):
+        matrix = staircase_matrix(7, 0.75, width=width)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_wider_plateaus_weaken_per_step_privacy(self, width):
+        # Adjacent inputs can shift a plateau boundary by one, which changes
+        # the ratio by a full factor alpha only at the boundary; inside a
+        # plateau the ratio is 1.  The worst-case ratio stays alpha.
+        mechanism = staircase_mechanism(7, 0.75, width=width)
+        assert mechanism.max_alpha() >= 0.75 - 1e-9
+
+    def test_noise_pmf_normalised(self):
+        pmf = staircase_noise_pmf(0.7, width=2, support=50)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[50] == pmf.max()  # mode at zero offset
+
+    def test_sampler_matches_matrix(self, rng):
+        n, alpha, width, true_count = 5, 0.6, 2, 3
+        samples = sample_staircase_mechanism(true_count, n, alpha, width=width, rng=rng, size=200_000)
+        empirical = np.bincount(samples, minlength=n + 1) / samples.size
+        assert np.allclose(empirical, staircase_matrix(n, alpha, width)[:, true_count], atol=5e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            staircase_matrix(4, 0.5, width=0)
+        with pytest.raises(ValueError):
+            staircase_matrix(4, 1.0, width=1)
+
+
+class TestRegistry:
+    def test_available_mechanisms_contains_paper_set(self):
+        names = available_mechanisms()
+        assert set(PAPER_MECHANISMS) <= set(names)
+
+    def test_canonical_name_resolves_aliases(self):
+        assert canonical_name("geometric") == "GM"
+        assert canonical_name("Fair") == "EM"
+        assert canonical_name("randomized-response") == "NRR"
+        with pytest.raises(KeyError):
+            canonical_name("magic")
+
+    @pytest.mark.parametrize("name", ["GM", "EM", "UM", "NRR", "EXP", "LAPLACE", "STAIRCASE"])
+    def test_create_mechanism_by_name(self, name):
+        mechanism = create_mechanism(name, n=4, alpha=0.8)
+        assert mechanism.n == 4
+        assert np.allclose(mechanism.matrix.sum(axis=0), 1.0)
+
+    def test_create_wm_runs_lp(self):
+        wm = create_mechanism("WM", n=3, alpha=0.9)
+        assert wm.metadata["source"] == "lp"
+
+    def test_paper_mechanisms_order_and_scores(self):
+        mechanisms = paper_mechanisms(4, 0.9)
+        assert [m.name for m in mechanisms] == ["GM", "WM", "EM", "UM"]
+        scores = [l0_score(m) for m in mechanisms]
+        # GM <= WM <= EM <= UM on the L0 scale.
+        assert scores[0] <= scores[1] + 1e-9 <= scores[2] + 1e-7 <= scores[3] + 1e-7

@@ -1,0 +1,112 @@
+"""Tests for the output-side DP extension (repro.core.output_privacy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import design_mechanism
+from repro.core.losses import l0_score
+from repro.core.output_privacy import (
+    bidirectional_private,
+    em_satisfies_output_dp,
+    gm_output_alpha,
+    gm_satisfies_output_dp,
+    max_output_alpha,
+    satisfies_output_dp,
+)
+from repro.core.theory import em_l0_score, gm_l0_score
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+
+class TestCheckers:
+    def test_uniform_mechanism_has_output_alpha_one(self):
+        um = uniform_mechanism(5)
+        assert max_output_alpha(um) == pytest.approx(1.0)
+        assert satisfies_output_dp(um, 1.0)
+
+    def test_identity_fails_any_positive_beta(self):
+        identity = np.eye(4)
+        assert max_output_alpha(identity) == 0.0
+        assert not satisfies_output_dp(identity, 0.1)
+        assert satisfies_output_dp(identity, 0.0)
+
+    def test_em_satisfies_output_dp_at_its_own_alpha(self):
+        for n, alpha in [(4, 0.9), (7, 0.62), (10, 0.95)]:
+            em = explicit_fair_mechanism(n, alpha)
+            assert satisfies_output_dp(em, alpha)
+            assert max_output_alpha(em) >= alpha - 1e-12
+            assert em_satisfies_output_dp(alpha)
+
+    @pytest.mark.parametrize("alpha", [0.3, 0.5, 0.6, 0.62, 0.7, 0.9])
+    def test_gm_output_alpha_closed_form_matches_matrix(self, alpha):
+        gm = geometric_mechanism(6, alpha)
+        assert max_output_alpha(gm) == pytest.approx(gm_output_alpha(alpha))
+        # The closed-form predicate agrees with the matrix check at any level.
+        for beta in (0.1, alpha * (1 - alpha), alpha):
+            assert gm_satisfies_output_dp(alpha, beta) == satisfies_output_dp(gm, beta)
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    def test_gm_never_meets_the_symmetric_requirement(self, alpha):
+        # The clamping rows tower over their neighbours by 1/(alpha(1-alpha)).
+        assert not gm_satisfies_output_dp(alpha)
+        assert not satisfies_output_dp(geometric_mechanism(6, alpha), alpha)
+
+    def test_gm_binding_ratio_is_alpha_times_one_minus_alpha(self):
+        alpha = 0.8
+        gm = geometric_mechanism(6, alpha)
+        assert max_output_alpha(gm) == pytest.approx(alpha * (1 - alpha))
+
+    def test_bidirectional_check_combines_both_directions(self):
+        em = explicit_fair_mechanism(6, 0.8)
+        gm = geometric_mechanism(6, 0.8)
+        assert bidirectional_private(em, 0.8)
+        assert not bidirectional_private(gm, 0.8)
+        # A weaker output requirement can still be met by GM: 0.8 * 0.2 = 0.16.
+        assert bidirectional_private(gm, 0.8, beta=0.15)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            satisfies_output_dp(np.eye(3), 1.5)
+        with pytest.raises(ValueError):
+            gm_satisfies_output_dp(-0.2)
+
+
+class TestOutputDpInDesign:
+    def test_designed_mechanism_satisfies_output_dp(self):
+        mechanism = design_mechanism(6, 0.9, properties=(), output_alpha=0.9)
+        assert satisfies_output_dp(mechanism, 0.9, tolerance=1e-6)
+        assert mechanism.max_alpha() >= 0.9 - 1e-6
+        assert mechanism.metadata["output_alpha"] == 0.9
+
+    def test_output_dp_costs_at_most_the_em_level(self):
+        # EM is feasible for the augmented LP, so the optimum is no worse.
+        n, alpha = 6, 0.9
+        mechanism = design_mechanism(n, alpha, properties=(), output_alpha=alpha)
+        assert gm_l0_score(alpha) - 1e-9 <= l0_score(mechanism) <= em_l0_score(n, alpha) + 1e-7
+
+    def test_output_dp_always_costs_something_but_never_more_than_em(self):
+        # GM never satisfies the symmetric requirement, so the constraint has
+        # a strictly positive cost; EM is always feasible, bounding it above.
+        n, alpha = 6, 0.5
+        constrained = design_mechanism(n, alpha, properties=(), output_alpha=alpha)
+        assert l0_score(constrained) > gm_l0_score(alpha) + 1e-7
+        assert l0_score(constrained) <= em_l0_score(n, alpha) + 1e-7
+
+    def test_output_dp_combines_with_structural_properties(self):
+        mechanism = design_mechanism(5, 0.85, properties="all", output_alpha=0.85)
+        from repro.core.properties import check_all_properties
+
+        assert all(check_all_properties(mechanism, tolerance=1e-6).values())
+        assert satisfies_output_dp(mechanism, 0.85, tolerance=1e-6)
+        # All properties + output DP is exactly what EM provides, at EM's cost.
+        assert l0_score(mechanism) == pytest.approx(em_l0_score(5, 0.85), abs=1e-7)
+
+    def test_invalid_output_alpha_rejected(self):
+        from repro.core.constraints import MechanismLPBuilder
+
+        builder = MechanismLPBuilder(n=3, alpha=0.5)
+        with pytest.raises(ValueError):
+            builder.add_output_dp(1.7)

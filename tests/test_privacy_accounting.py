@@ -1,0 +1,107 @@
+"""Tests for the composition / budget accounting helpers (repro.privacy)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.privacy import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    compose_parallel,
+    compose_sequential,
+    per_release_alpha,
+    releases_supported,
+)
+
+
+class TestComposition:
+    def test_sequential_multiplies_alphas(self):
+        assert compose_sequential([0.9, 0.9]) == pytest.approx(0.81)
+        assert compose_sequential([0.5]) == 0.5
+
+    def test_sequential_matches_epsilon_addition(self):
+        alphas = [0.9, 0.8, 0.7]
+        total = compose_sequential(alphas)
+        assert -math.log(total) == pytest.approx(sum(-math.log(a) for a in alphas))
+
+    def test_parallel_takes_the_weakest_release(self):
+        assert compose_parallel([0.9, 0.5, 0.7]) == 0.5
+
+    def test_empty_and_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compose_sequential([])
+        with pytest.raises(ValueError):
+            compose_parallel([])
+        with pytest.raises(ValueError):
+            compose_sequential([0.0])
+        with pytest.raises(ValueError):
+            compose_sequential([1.2])
+
+
+class TestBudgetArithmetic:
+    def test_releases_supported(self):
+        # 0.9^6 = 0.531 >= 0.5 but 0.9^7 = 0.478 < 0.5.
+        assert releases_supported(0.9, 0.5) == 6
+
+    def test_releases_supported_zero_when_single_release_too_strong(self):
+        assert releases_supported(0.3, 0.5) == 0
+
+    def test_releases_supported_rejects_free_releases(self):
+        with pytest.raises(ValueError):
+            releases_supported(1.0, 0.5)
+
+    def test_per_release_alpha_round_trips(self):
+        per_release = per_release_alpha(0.5, 6)
+        assert compose_sequential([per_release] * 6) == pytest.approx(0.5)
+        assert releases_supported(per_release, 0.5) == 6
+
+    def test_per_release_alpha_validation(self):
+        with pytest.raises(ValueError):
+            per_release_alpha(0.5, 0)
+
+
+class TestAccountant:
+    def test_records_and_reports_spending(self):
+        accountant = PrivacyAccountant(alpha_target=0.5)
+        assert accountant.spent_alpha() == 1.0
+        accountant.record(0.9, label="week 1")
+        accountant.record(0.9, label="week 2")
+        assert accountant.spent_alpha() == pytest.approx(0.81)
+        assert accountant.spent_epsilon() == pytest.approx(-math.log(0.81))
+        assert accountant.history() == [("week 1", 0.9), ("week 2", 0.9)]
+
+    def test_refuses_release_beyond_budget(self):
+        accountant = PrivacyAccountant(alpha_target=0.8)
+        accountant.record(0.9)
+        assert not accountant.can_release(0.5)
+        with pytest.raises(BudgetExceededError):
+            accountant.record(0.5)
+        # The failed attempt must not be recorded.
+        assert len(accountant.history()) == 1
+
+    def test_remaining_releases_shrinks_as_budget_is_spent(self):
+        accountant = PrivacyAccountant(alpha_target=0.5)
+        before = accountant.remaining_releases(0.9)
+        accountant.record(0.9)
+        after = accountant.remaining_releases(0.9)
+        assert before == 6 and after == 5
+
+    def test_remaining_releases_is_zero_once_budget_exhausted(self):
+        accountant = PrivacyAccountant(alpha_target=0.25)
+        accountant.record(0.5)
+        accountant.record(0.5)
+        assert accountant.spent_alpha() == pytest.approx(0.25)
+        assert accountant.remaining_releases(0.9) == 0
+        assert not accountant.can_release(0.9)
+
+    def test_remaining_alpha_never_exceeds_one(self):
+        accountant = PrivacyAccountant(alpha_target=0.5)
+        assert accountant.remaining_alpha() == pytest.approx(0.5)
+        accountant.record(0.7)
+        assert accountant.remaining_alpha() == pytest.approx(0.5 / 0.7)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(alpha_target=0.0)

@@ -1,0 +1,251 @@
+"""Unit tests for the structural properties (repro.core.properties)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    ALL_PROPERTIES,
+    StructuralProperty,
+    check_all_properties,
+    combination_label,
+    has_gap,
+    implied_closure,
+    is_column_honest,
+    is_column_monotone,
+    is_fair,
+    is_row_honest,
+    is_row_monotone,
+    is_symmetric,
+    is_weakly_honest,
+    meaningful_weak_honesty_combinations,
+    minimal_representation,
+    parse_properties,
+    satisfies_all,
+    satisfies_differential_privacy,
+    satisfies_property,
+    spike_ratio,
+    violations,
+)
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+RH = StructuralProperty.ROW_HONESTY
+RM = StructuralProperty.ROW_MONOTONE
+CH = StructuralProperty.COLUMN_HONESTY
+CM = StructuralProperty.COLUMN_MONOTONE
+F = StructuralProperty.FAIRNESS
+WH = StructuralProperty.WEAK_HONESTY
+S = StructuralProperty.SYMMETRY
+
+
+class TestParsing:
+    def test_parse_none_and_empty(self):
+        assert parse_properties(None) == frozenset()
+        assert parse_properties("") == frozenset()
+        assert parse_properties([]) == frozenset()
+
+    def test_parse_string_forms(self):
+        assert parse_properties("WH") == {WH}
+        assert parse_properties("WH+CM") == {WH, CM}
+        assert parse_properties("rh, s") == {RH, S}
+        assert parse_properties("all") == set(ALL_PROPERTIES)
+
+    def test_parse_full_names_and_aliases(self):
+        assert parse_properties(["fairness", "symmetric"]) == {F, S}
+        assert parse_properties("row_monotonicity") == {RM}
+        assert parse_properties(WH) == {WH}
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_properties("XYZ")
+
+    def test_combination_label_ordering(self):
+        assert combination_label({CM, WH}) == "CM+WH"
+        assert combination_label([]) == "(none)"
+
+
+class TestImplicationLattice:
+    def test_single_property_implications(self):
+        assert CH in implied_closure({CM})
+        assert WH in implied_closure({CM})
+        assert RH in implied_closure({RM})
+        assert WH in implied_closure({CH})
+
+    def test_fairness_joint_implications(self):
+        assert CH in implied_closure({F, RH})
+        assert RH in implied_closure({F, CH})
+        # Fairness alone implies neither.
+        closure = implied_closure({F})
+        assert CH not in closure and RH not in closure
+
+    def test_minimal_representation_drops_implied(self):
+        minimal = minimal_representation({RM, RH, CM, CH, WH})
+        assert minimal == {RM, CM}
+
+    def test_minimal_representation_keeps_independent(self):
+        assert minimal_representation({S, WH}) == {S, WH}
+
+    def test_meaningful_wh_combinations(self):
+        combos = meaningful_weak_honesty_combinations()
+        assert len(combos) == 9
+        assert all(WH in combo for combo in combos)
+        # All combinations are distinct.
+        assert len(set(combos)) == 9
+
+
+class TestCheckersOnNamedMechanisms:
+    def test_gm_properties(self):
+        gm = geometric_mechanism(7, 0.62)
+        report = check_all_properties(gm)
+        assert report[S] and report[RM] and report[RH]
+        assert not report[F]
+        # alpha = 0.62 > 0.5 so no column monotonicity (Lemma 3)...
+        assert not report[CM]
+        # ...but n = 7 >= 2*0.62/0.38 = 3.26 so weak honesty holds (Lemma 2).
+        assert report[WH]
+
+    def test_gm_loses_weak_honesty_for_small_n_large_alpha(self):
+        gm = geometric_mechanism(2, 0.9)
+        assert not is_weakly_honest(gm)
+        assert not is_column_honest(gm)
+
+    def test_gm_column_monotone_at_low_alpha(self):
+        gm = geometric_mechanism(6, 0.4)
+        assert is_column_monotone(gm)
+        assert is_column_honest(gm)
+
+    def test_em_satisfies_everything(self):
+        for n, alpha in [(4, 0.9), (7, 0.62), (8, 0.91), (11, 0.99)]:
+            em = explicit_fair_mechanism(n, alpha)
+            assert all(check_all_properties(em).values()), (n, alpha)
+
+    def test_um_satisfies_everything(self):
+        um = uniform_mechanism(6)
+        assert all(check_all_properties(um).values())
+
+
+class TestCheckersOnHandCraftedMatrices:
+    def test_row_honesty_violation(self):
+        matrix = np.array(
+            [
+                [0.2, 0.6, 0.2],
+                [0.4, 0.2, 0.4],
+                [0.4, 0.2, 0.4],
+            ]
+        )
+        assert not is_row_honest(matrix)
+        assert is_column_honest(matrix) is False
+
+    def test_row_monotone_requires_decay_from_diagonal(self):
+        # Row 0 increases away from the diagonal -> not row monotone.
+        matrix = np.array(
+            [
+                [0.5, 0.2, 0.6],
+                [0.3, 0.6, 0.2],
+                [0.2, 0.2, 0.2],
+            ]
+        )
+        assert not is_row_monotone(matrix)
+
+    def test_monotone_implies_honest_numerically(self):
+        em = explicit_fair_mechanism(6, 0.8).matrix
+        assert is_row_monotone(em) and is_row_honest(em)
+        assert is_column_monotone(em) and is_column_honest(em)
+
+    def test_fairness_checker(self):
+        fair = np.full((3, 3), 1.0 / 3.0)
+        assert is_fair(fair)
+        unfair = np.array(
+            [
+                [0.5, 0.3, 0.3],
+                [0.25, 0.4, 0.3],
+                [0.25, 0.3, 0.4],
+            ]
+        )
+        assert not is_fair(unfair)
+
+    def test_weak_honesty_threshold_is_uniform(self):
+        # Diagonal exactly 1/(n+1) counts as weakly honest.
+        assert is_weakly_honest(np.full((4, 4), 0.25))
+
+    def test_symmetry_checker_is_centrosymmetry(self):
+        matrix = np.array(
+            [
+                [0.6, 0.3, 0.1],
+                [0.3, 0.4, 0.3],
+                [0.1, 0.3, 0.6],
+            ]
+        )
+        assert is_symmetric(matrix)
+        # An ordinary (transpose-)symmetric matrix need not be centrosymmetric.
+        other = np.array(
+            [
+                [0.7, 0.3, 0.1],
+                [0.2, 0.4, 0.3],
+                [0.1, 0.3, 0.6],
+            ]
+        )
+        assert not is_symmetric(other)
+
+    def test_checkers_reject_non_square_input(self):
+        with pytest.raises(ValueError):
+            is_row_honest(np.ones((2, 3)))
+
+
+class TestDifferentialPrivacyChecker:
+    def test_gm_is_exactly_alpha_private(self):
+        gm = geometric_mechanism(5, 0.7)
+        assert satisfies_differential_privacy(gm, 0.7)
+        assert not satisfies_differential_privacy(gm, 0.75)
+
+    def test_identity_violates_any_positive_alpha(self):
+        assert not satisfies_differential_privacy(np.eye(4), 0.1)
+        assert satisfies_differential_privacy(np.eye(4), 0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            satisfies_differential_privacy(np.eye(3), 2.0)
+
+
+class TestDispatchHelpers:
+    def test_satisfies_property_by_code(self, em_small):
+        for prop in ALL_PROPERTIES:
+            assert satisfies_property(em_small, prop.value)
+
+    def test_satisfies_all_and_violations(self):
+        gm = geometric_mechanism(3, 0.9)
+        assert satisfies_all(gm, {S, RM})
+        assert not satisfies_all(gm, {S, F})
+        assert violations(gm, {S, F, CM}) == [CM, F]
+
+    def test_check_all_properties_keys(self, um_small):
+        report = check_all_properties(um_small)
+        assert set(report) == set(ALL_PROPERTIES)
+
+
+class TestDegeneracyDiagnostics:
+    def test_has_gap_detects_zero_rows(self):
+        matrix = np.array(
+            [
+                [0.5, 0.5, 0.5],
+                [0.5, 0.5, 0.5],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        assert has_gap(matrix)
+        assert not has_gap(uniform_mechanism(4))
+
+    def test_spike_ratio_of_degenerate_mechanism(self):
+        # "Always report output 1" has spike ratio n + 1 = 3.
+        always_one = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [1.0, 1.0, 1.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        assert spike_ratio(always_one) == pytest.approx(3.0)
+        assert spike_ratio(uniform_mechanism(2)) == pytest.approx(1.0)

@@ -1,0 +1,180 @@
+"""Property-based (hypothesis) tests for the core invariants.
+
+These cover the claims the paper proves for *all* parameter settings, not
+just the handful of examples in the figures: GM and EM are valid α-DP
+mechanisms for every (n, α); EM satisfies every structural property; the
+closed-form scores match the matrices; symmetrisation (Theorem 1) preserves
+privacy, properties and the trace; the property implication lattice holds on
+arbitrary valid mechanisms; and the loss functions respect their defining
+inequalities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import l0_score, l0d_score, l1_score, l2_score
+from repro.core.mechanism import Mechanism
+from repro.core.properties import (
+    check_all_properties,
+    is_column_honest,
+    is_column_monotone,
+    is_row_honest,
+    is_row_monotone,
+    is_weakly_honest,
+    satisfies_differential_privacy,
+)
+from repro.core.theory import em_l0_score, gm_l0_score, symmetrize
+from repro.mechanisms.fair import explicit_fair_mechanism, fair_exponent_matrix
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.mechanisms.staircase import staircase_mechanism
+from repro.mechanisms.uniform import uniform_mechanism
+
+#: Strategy for group sizes covering both parities and moderate sizes.
+group_sizes = st.integers(min_value=1, max_value=16)
+#: Strategy for interior privacy levels (avoiding the degenerate endpoints).
+alphas = st.floats(min_value=0.05, max_value=0.99, allow_nan=False, allow_infinity=False)
+
+RELAXED = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def random_mechanism(data: st.DataObject, n: int) -> Mechanism:
+    """Draw a random valid mechanism by mixing GM, EM and UM columns."""
+    alpha = data.draw(alphas)
+    weights = data.draw(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=3)
+    )
+    assume(sum(weights) > 0)
+    weights = np.asarray(weights) / sum(weights)
+    mixture = (
+        weights[0] * geometric_mechanism(n, alpha).matrix
+        + weights[1] * explicit_fair_mechanism(n, alpha).matrix
+        + weights[2] * uniform_mechanism(n).matrix
+    )
+    return Mechanism(mixture, name="mixture", alpha=alpha)
+
+
+class TestNamedMechanismInvariants:
+    @RELAXED
+    @given(n=group_sizes, alpha=alphas)
+    def test_gm_is_valid_and_exactly_alpha_private(self, n, alpha):
+        gm = geometric_mechanism(n, alpha)
+        assert np.allclose(gm.matrix.sum(axis=0), 1.0)
+        assert satisfies_differential_privacy(gm, alpha, tolerance=1e-9)
+        assert gm.max_alpha() == pytest.approx(alpha, abs=1e-9)
+
+    @RELAXED
+    @given(n=group_sizes, alpha=alphas)
+    def test_em_is_valid_private_and_fully_constrained(self, n, alpha):
+        em = explicit_fair_mechanism(n, alpha)
+        assert np.allclose(em.matrix.sum(axis=0), 1.0)
+        assert satisfies_differential_privacy(em, alpha, tolerance=1e-9)
+        assert all(check_all_properties(em, tolerance=1e-9).values())
+
+    @RELAXED
+    @given(n=group_sizes, alpha=alphas)
+    def test_closed_form_scores_match_matrices(self, n, alpha):
+        assert l0_score(geometric_mechanism(n, alpha)) == pytest.approx(gm_l0_score(alpha))
+        assert l0_score(explicit_fair_mechanism(n, alpha)) == pytest.approx(
+            em_l0_score(n, alpha)
+        )
+
+    @RELAXED
+    @given(n=group_sizes, alpha=alphas)
+    def test_gm_no_worse_than_em_no_worse_than_um(self, n, alpha):
+        assert gm_l0_score(alpha) <= em_l0_score(n, alpha) + 1e-12
+        assert em_l0_score(n, alpha) <= 1.0 + 1e-12
+
+    @RELAXED
+    @given(n=group_sizes)
+    def test_em_exponent_pattern_is_dp_compatible_and_balanced(self, n):
+        exponents = fair_exponent_matrix(n)
+        # Row-adjacent exponents differ by at most one (the DP condition) and
+        # every column carries the same multiset of exponents (normalisation).
+        assert np.max(np.abs(np.diff(exponents, axis=1))) <= 1
+        reference = np.sort(exponents[:, 0])
+        for j in range(n + 1):
+            assert np.array_equal(np.sort(exponents[:, j]), reference)
+
+    @RELAXED
+    @given(n=st.integers(min_value=1, max_value=10), alpha=st.floats(0.1, 0.9), width=st.integers(1, 4))
+    def test_staircase_is_valid_and_private(self, n, alpha, width):
+        mechanism = staircase_mechanism(n, alpha, width=width)
+        assert np.allclose(mechanism.matrix.sum(axis=0), 1.0)
+        assert satisfies_differential_privacy(mechanism, alpha, tolerance=1e-9)
+
+
+class TestTheorem1Symmetrisation:
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=10))
+    def test_symmetrisation_preserves_everything(self, data, n):
+        mechanism = random_mechanism(data, n)
+        symmetric = symmetrize(mechanism.matrix)
+        # Centro-symmetric, still a mechanism, same trace (hence same L0), and
+        # at least as private as the original.
+        assert np.allclose(symmetric, symmetric[::-1, ::-1])
+        assert np.allclose(symmetric.sum(axis=0), 1.0)
+        assert np.trace(symmetric) == pytest.approx(mechanism.trace)
+        original_alpha = mechanism.max_alpha()
+        assert Mechanism(symmetric).max_alpha() >= original_alpha - 1e-9
+
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=8))
+    def test_symmetrisation_preserves_row_and_column_properties(self, data, n):
+        mechanism = random_mechanism(data, n)
+        before = check_all_properties(mechanism, tolerance=1e-9)
+        after = check_all_properties(symmetrize(mechanism.matrix), tolerance=1e-7)
+        for prop, held in before.items():
+            if held:
+                assert after[prop], prop
+
+
+class TestImplicationLatticeOnRandomMechanisms:
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=10))
+    def test_monotonicity_implies_honesty_implies_weak_honesty(self, data, n):
+        mechanism = random_mechanism(data, n)
+        if is_row_monotone(mechanism, tolerance=1e-12):
+            assert is_row_honest(mechanism, tolerance=1e-9)
+        if is_column_monotone(mechanism, tolerance=1e-12):
+            assert is_column_honest(mechanism, tolerance=1e-9)
+        if is_column_honest(mechanism, tolerance=1e-12):
+            assert is_weakly_honest(mechanism, tolerance=1e-9)
+
+
+class TestLossInvariants:
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=10))
+    def test_l0d_is_monotone_in_d_and_bounded(self, data, n):
+        mechanism = random_mechanism(data, n)
+        values = [l0d_score(mechanism, d) for d in range(n + 1)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 <= values[0] <= (n + 1) / n + 1e-12
+
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=10))
+    def test_l1_bounded_by_l2_relation(self, data, n):
+        # Cauchy-Schwarz: E|X| <= sqrt(E[X^2]) for the error distribution.
+        mechanism = random_mechanism(data, n)
+        assert l1_score(mechanism) <= np.sqrt(l2_score(mechanism)) + 1e-12
+
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=10))
+    def test_sampling_stays_in_range(self, data, n):
+        mechanism = random_mechanism(data, n)
+        rng = np.random.default_rng(0)
+        draws = mechanism.sample(data.draw(st.integers(0, n)), rng=rng, size=200)
+        assert draws.min() >= 0 and draws.max() <= n
+
+
+class TestSerialisationRoundTrip:
+    @RELAXED
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=8))
+    def test_dict_round_trip_is_lossless(self, data, n):
+        mechanism = random_mechanism(data, n)
+        clone = Mechanism.from_dict(mechanism.to_dict())
+        assert clone.allclose(mechanism, tolerance=1e-12)

@@ -1,0 +1,138 @@
+"""Property-based tests for the extension layers.
+
+Covers invariants of privacy composition arithmetic, post-processing, the
+output-side DP checker, simplex projection and histogram workloads for
+randomly drawn parameters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.output_privacy import max_output_alpha, satisfies_output_dp
+from repro.core.transformations import post_process
+from repro.eval.estimation import project_to_simplex
+from repro.histogram.workloads import zipf_weights
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.privacy import (
+    PrivacyAccountant,
+    compose_parallel,
+    compose_sequential,
+    per_release_alpha,
+    releases_supported,
+)
+
+RELAXED = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+alphas = st.floats(min_value=0.05, max_value=0.99, allow_nan=False)
+positive_alphas = st.floats(min_value=0.01, max_value=0.999, allow_nan=False)
+
+
+class TestCompositionArithmetic:
+    @RELAXED
+    @given(values=st.lists(positive_alphas, min_size=1, max_size=8))
+    def test_sequential_composition_matches_epsilon_sum(self, values):
+        total = compose_sequential(values)
+        assert -math.log(total) == pytest.approx(sum(-math.log(v) for v in values), rel=1e-9)
+        assert 0.0 < total <= min(values) + 1e-12
+
+    @RELAXED
+    @given(values=st.lists(positive_alphas, min_size=1, max_size=8))
+    def test_parallel_composition_is_the_minimum(self, values):
+        assert compose_parallel(values) == pytest.approx(min(values))
+
+    @RELAXED
+    @given(target=st.floats(0.05, 0.9), releases=st.integers(1, 20))
+    def test_per_release_alpha_inverts_releases_supported(self, target, releases):
+        per_release = per_release_alpha(target, releases)
+        assert compose_sequential([per_release] * releases) == pytest.approx(target, rel=1e-9)
+        assert releases_supported(per_release, target) >= releases
+
+    @RELAXED
+    @given(target=st.floats(0.1, 0.9), release=st.floats(0.3, 0.99))
+    def test_accountant_never_exceeds_its_target(self, target, release):
+        accountant = PrivacyAccountant(alpha_target=target)
+        for _ in range(30):
+            if not accountant.can_release(release):
+                break
+            accountant.record(release)
+        assert accountant.spent_alpha() >= target - 1e-12
+        assert accountant.remaining_releases(release) == 0 or accountant.can_release(release)
+
+
+class TestPostProcessingInvariants:
+    @RELAXED
+    @given(
+        n=st.integers(2, 8),
+        alpha=alphas,
+        data=st.data(),
+    )
+    def test_random_remap_preserves_privacy_and_stochasticity(self, n, alpha, data):
+        base = geometric_mechanism(n, alpha)
+        raw = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.01, 1.0), min_size=n + 1, max_size=n + 1),
+                    min_size=n + 1,
+                    max_size=n + 1,
+                )
+            )
+        )
+        remap = raw / raw.sum(axis=0, keepdims=True)
+        processed = post_process(base, remap)
+        assert np.allclose(processed.matrix.sum(axis=0), 1.0)
+        assert processed.max_alpha() >= base.max_alpha() - 1e-9
+
+
+class TestOutputPrivacyInvariants:
+    @RELAXED
+    @given(n=st.integers(1, 12), alpha=alphas)
+    def test_em_output_alpha_at_least_alpha(self, n, alpha):
+        em = explicit_fair_mechanism(n, alpha)
+        assert max_output_alpha(em) >= alpha - 1e-12
+        assert satisfies_output_dp(em, alpha)
+
+    @RELAXED
+    @given(n=st.integers(2, 12), alpha=alphas)
+    def test_gm_output_alpha_closed_form(self, n, alpha):
+        gm = geometric_mechanism(n, alpha)
+        assert max_output_alpha(gm) == pytest.approx(alpha * (1 - alpha), rel=1e-9)
+
+    @RELAXED
+    @given(n=st.integers(1, 10), alpha=alphas, beta=st.floats(0.0, 1.0))
+    def test_checker_consistent_with_max_output_alpha(self, n, alpha, beta):
+        em = explicit_fair_mechanism(n, alpha)
+        achieved = max_output_alpha(em)
+        assert satisfies_output_dp(em, beta) == (beta <= achieved + 1e-9)
+
+
+class TestProjectionAndWorkloads:
+    @RELAXED
+    @given(values=st.lists(st.floats(-2.0, 2.0), min_size=1, max_size=12))
+    def test_simplex_projection_lands_on_the_simplex(self, values):
+        projected = project_to_simplex(values)
+        assert projected.min() >= -1e-12
+        assert projected.sum() == pytest.approx(1.0)
+
+    @RELAXED
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=10))
+    def test_simplex_projection_is_idempotent(self, values):
+        total = sum(values)
+        if total == 0:
+            values = [v + 0.1 for v in values]
+            total = sum(values)
+        on_simplex = np.asarray(values) / total
+        assert np.allclose(project_to_simplex(on_simplex), on_simplex, atol=1e-9)
+
+    @RELAXED
+    @given(num_buckets=st.integers(1, 30), exponent=st.floats(0.0, 3.0))
+    def test_zipf_weights_are_a_sorted_distribution(self, num_buckets, exponent):
+        weights = zipf_weights(num_buckets, exponent)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 1e-15)

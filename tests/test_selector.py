@@ -1,0 +1,138 @@
+"""Tests for the Figure-5 flowchart selector (repro.core.selector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import optimal_objective_value
+from repro.core.losses import l0_score
+from repro.core.properties import check_all_properties, parse_properties, satisfies_all
+from repro.core.selector import (
+    BRANCH_FAIR,
+    BRANCH_GEOMETRIC,
+    BRANCH_WEAK_HONESTY,
+    BRANCH_WEAK_HONESTY_COLUMN,
+    SelectorDecision,
+    choose_mechanism,
+    decide,
+    gm_satisfies,
+)
+from repro.core.theory import weak_honesty_threshold
+
+
+class TestDecisionBranches:
+    def test_fairness_always_goes_to_em(self):
+        for extra in ("F", "F+S", "F+CM+WH", "all"):
+            assert decide(6, 0.9, extra).branch == BRANCH_FAIR
+
+    def test_row_only_properties_go_to_gm(self):
+        for props in ((), "S", "RH", "RM", "S+RM"):
+            assert decide(6, 0.9, props).branch == BRANCH_GEOMETRIC
+
+    def test_weak_honesty_below_threshold_needs_lp(self):
+        # alpha = 0.9 -> threshold 18; n = 6 is below it, so GM is not enough.
+        decision = decide(6, 0.9, "WH")
+        assert decision.branch == BRANCH_WEAK_HONESTY
+
+    def test_weak_honesty_above_threshold_uses_gm(self):
+        # n = 20 >= 18 = 2*0.9/0.1, so GM already satisfies WH (Lemma 2).
+        assert decide(20, 0.9, "WH").branch == BRANCH_GEOMETRIC
+
+    def test_column_property_with_high_alpha_needs_lp(self):
+        assert decide(6, 0.9, "CM").branch == BRANCH_WEAK_HONESTY_COLUMN
+        assert decide(6, 0.9, "CH+WH").branch == BRANCH_WEAK_HONESTY_COLUMN
+
+    def test_column_property_with_low_alpha_uses_gm(self):
+        # Lemma 3: GM is column monotone once alpha <= 1/2.
+        assert decide(6, 0.4, "CM+WH").branch == BRANCH_GEOMETRIC
+
+    def test_decision_is_dataclass_with_description(self):
+        decision = decide(4, 0.8, "WH")
+        assert isinstance(decision, SelectorDecision)
+        assert "WH" in decision.describe()
+        assert decision.n == 4 and decision.alpha == 0.8
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            decide(0, 0.5, ())
+        with pytest.raises(ValueError):
+            decide(4, 1.2, ())
+
+
+class TestGmSatisfies:
+    def test_unconditional_properties(self):
+        assert gm_satisfies("S+RM+RH", n=2, alpha=0.99)
+
+    def test_fairness_never_satisfied(self):
+        assert not gm_satisfies("F", n=8, alpha=0.3)
+
+    def test_weak_honesty_threshold_respected(self):
+        alpha = 0.76
+        threshold = weak_honesty_threshold(alpha)  # about 6.33
+        assert not gm_satisfies("WH", n=6, alpha=alpha)
+        assert gm_satisfies("WH", n=7, alpha=alpha)
+        assert threshold == pytest.approx(6.3333, abs=1e-3)
+
+    def test_column_properties_depend_on_alpha(self):
+        assert gm_satisfies("CM", n=6, alpha=0.5)
+        assert not gm_satisfies("CM", n=6, alpha=0.51)
+
+
+class TestChooseMechanism:
+    @pytest.mark.parametrize(
+        "properties",
+        [(), "S", "RM", "WH", "CH", "CM", "F", "F+CM", "WH+RM", "all"],
+    )
+    def test_returned_mechanism_satisfies_request(self, properties):
+        mechanism, decision = choose_mechanism(5, 0.88, properties)
+        assert satisfies_all(mechanism, parse_properties(properties), tolerance=1e-6)
+        assert mechanism.metadata["selector_branch"] == decision.branch
+        assert mechanism.max_alpha() >= 0.88 - 1e-6
+
+    @pytest.mark.parametrize(
+        "n,alpha,properties",
+        [
+            (4, 0.9, "WH"),
+            (4, 0.9, "CM"),
+            (6, 0.76, "WH"),
+            (8, 0.76, "WH+CM"),
+            (5, 0.4, "CM"),
+            (6, 0.85, "F"),
+            (7, 0.62, ()),
+        ],
+    )
+    def test_flowchart_never_loses_optimality(self, n, alpha, properties):
+        """The shortcut mechanism costs the same as solving the LP directly."""
+        mechanism, _ = choose_mechanism(n, alpha, properties)
+        direct = optimal_objective_value(n, alpha, properties=properties)
+        # Convert the LP objective (raw O_{0,sum}) to the rescaled L0 scale.
+        rescaled_direct = (n + 1) / n * direct
+        assert l0_score(mechanism) == pytest.approx(rescaled_direct, abs=1e-6)
+
+    def test_explicit_branches_avoid_lp(self):
+        mechanism, decision = choose_mechanism(6, 0.9, "F")
+        assert decision.branch == BRANCH_FAIR
+        assert mechanism.metadata["source"] == "closed-form"
+        mechanism, decision = choose_mechanism(6, 0.9, "RM")
+        assert decision.branch == BRANCH_GEOMETRIC
+        assert mechanism.metadata["source"] == "closed-form"
+
+    def test_lp_branches_record_lp_source(self):
+        mechanism, decision = choose_mechanism(5, 0.9, "WH")
+        assert decision.branch == BRANCH_WEAK_HONESTY
+        assert mechanism.metadata["source"] == "lp"
+
+    def test_paper_figure5_only_four_branches_exist(self):
+        branches = set()
+        for properties in (
+            (), "RH", "RM", "S", "WH", "CH", "CM", "F",
+            "WH+RM", "WH+CM", "F+S", "RM+CH", "all",
+        ):
+            branches.add(decide(5, 0.9, properties).branch)
+        assert branches <= {
+            BRANCH_FAIR,
+            BRANCH_GEOMETRIC,
+            BRANCH_WEAK_HONESTY,
+            BRANCH_WEAK_HONESTY_COLUMN,
+        }
+        assert len(branches) == 4
