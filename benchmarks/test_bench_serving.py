@@ -1,0 +1,135 @@
+"""Benchmarks for the serving layer: vectorised sampling and the design cache.
+
+Two guarantees the serving subsystem makes are asserted here, not just
+timed:
+
+* :meth:`~repro.core.mechanism.Mechanism.apply_batch` is at least 10x
+  faster than the per-value scalar sampling loop at batch size 10^4 (in
+  practice the gap is two orders of magnitude);
+* a :class:`~repro.serving.cache.DesignCache` hit performs **zero** LP
+  solves, measured through the solver call counter, so the marginal cost of
+  repeat design traffic is near zero.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lp.solver import solve_call_count
+from repro.mechanisms.fair import explicit_fair_mechanism
+from repro.serving import BatchReleaseSession, DesignCache, ReleaseRequest
+
+BATCH_SIZE = 10_000
+
+
+def _scalar_loop(mechanism, counts, rng):
+    return np.array([mechanism.sample(int(c), rng=rng) for c in counts])
+
+
+@pytest.mark.benchmark(group="serving-sampling")
+def test_apply_batch_throughput(benchmark, rng):
+    mechanism = explicit_fair_mechanism(16, 0.9)
+    counts = rng.integers(0, 17, size=BATCH_SIZE)
+    mechanism.column_cdfs()  # warm the CDF cache outside the timed region
+
+    released = benchmark(lambda: mechanism.apply_batch(counts, rng=np.random.default_rng(0)))
+    assert released.shape == counts.shape
+
+
+@pytest.mark.benchmark(group="serving-sampling")
+def test_scalar_sampling_loop_reference(benchmark, rng):
+    mechanism = explicit_fair_mechanism(16, 0.9)
+    counts = rng.integers(0, 17, size=1_000)  # 10x smaller: the loop is slow
+
+    released = benchmark(lambda: _scalar_loop(mechanism, counts, np.random.default_rng(0)))
+    assert released.shape == counts.shape
+
+
+def test_apply_batch_at_least_10x_faster_than_scalar_loop(rng):
+    """The headline serving guarantee, asserted directly on wall-clock time."""
+    mechanism = explicit_fair_mechanism(16, 0.9)
+    counts = rng.integers(0, 17, size=BATCH_SIZE)
+    mechanism.column_cdfs()
+
+    # Best-of-several so scheduler noise cannot fail the assertion unfairly.
+    batch_time = min(
+        _timed(lambda: mechanism.apply_batch(counts, rng=np.random.default_rng(0)))
+        for _ in range(5)
+    )
+    scalar_time = min(
+        _timed(lambda: _scalar_loop(mechanism, counts, np.random.default_rng(0)))
+        for _ in range(2)
+    )
+    speedup = scalar_time / batch_time
+    assert speedup >= 10.0, (
+        f"apply_batch speedup {speedup:.1f}x below the 10x serving guarantee "
+        f"(batch {batch_time * 1e3:.2f} ms vs scalar {scalar_time * 1e3:.2f} ms)"
+    )
+
+    # Outputs are not just fast but bit-identical to the scalar path.
+    batch = mechanism.apply_batch(counts, rng=np.random.default_rng(7))
+    scalar = _scalar_loop(mechanism, counts, np.random.default_rng(7))
+    assert np.array_equal(batch, scalar)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="serving-cache")
+def test_design_cache_cold_miss(benchmark):
+    """Reference cost of a WM design when the LP must actually be solved."""
+
+    def design_without_cache():
+        cache = DesignCache()
+        return cache.get_or_design(8, 0.95, properties="WH+CM")
+
+    mechanism, decision = benchmark(design_without_cache)
+    assert decision.branch == "WM[WH+CM]"
+
+
+@pytest.mark.benchmark(group="serving-cache")
+def test_design_cache_warm_hit(benchmark):
+    cache = DesignCache()
+    cache.get_or_design(8, 0.95, properties="WH+CM")
+
+    mechanism, _ = benchmark(lambda: cache.get_or_design(8, 0.95, properties="WH+CM"))
+    assert mechanism.metadata["design_cache"] == "memory"
+
+
+def test_cache_hits_perform_no_lp_solve():
+    """The other serving guarantee: repeat designs never touch the solver."""
+    cache = DesignCache()
+    cache.get_or_design(8, 0.95, properties="WH+CM")  # cold: solves the LP
+
+    before = solve_call_count()
+    for _ in range(50):
+        mechanism, _ = cache.get_or_design(8, 0.95, properties="WH+CM")
+    assert solve_call_count() == before, "cache hit reached the LP solver"
+    assert cache.stats().hits >= 50
+
+
+@pytest.mark.benchmark(group="serving-session")
+def test_session_mixed_stream_throughput(benchmark, rng):
+    """End-to-end serving: 10^4 mixed requests over three designs."""
+    properties = ["", "F", "WH+CM"]
+    requests = [
+        ReleaseRequest(
+            group=i,
+            count=int(c),
+            n=12,
+            alpha=0.9,
+            properties=properties[i % 3],
+        )
+        for i, c in enumerate(rng.integers(0, 13, size=BATCH_SIZE))
+    ]
+    session = BatchReleaseSession(rng=np.random.default_rng(0))
+    session.release(requests[:3])  # warm every design outside the timed region
+
+    results = benchmark(lambda: session.release(requests))
+    assert len(results) == BATCH_SIZE

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Verify that relative links in README.md and docs/ resolve to real files.
+
+Used by the CI workflow (and by ``tests/test_docs.py``) so documentation
+cannot silently drift away from the tree it describes.  External links
+(``http://``, ``https://``, ``mailto:``) are not fetched; pure-anchor links
+are checked against the headings of the current file.
+
+Exit status is the number of broken links.
+
+Run with::
+
+    python scripts/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Markdown inline links ``[text](target)``; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+#: Documentation files whose links are checked.
+DOC_GLOBS = ("README.md", "docs/*.md")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_file(path: Path, root: Path) -> List[Tuple[str, str]]:
+    """Return ``(link, reason)`` for every broken link in one file."""
+    content = path.read_text()
+    anchors = {_anchor(m.group(1)) for m in _HEADING.finditer(content)}
+    broken: List[Tuple[str, str]] = []
+    for match in _LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:
+            if fragment and fragment not in anchors:
+                broken.append((target, "missing anchor"))
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            broken.append((target, "missing file"))
+        elif fragment and resolved.suffix == ".md":
+            linked = {_anchor(m.group(1)) for m in _HEADING.finditer(resolved.read_text())}
+            if fragment not in linked:
+                broken.append((target, "missing anchor in linked file"))
+    return broken
+
+
+def main(root: Path) -> int:
+    files = [p for pattern in DOC_GLOBS for p in sorted(root.glob(pattern))]
+    if not files:
+        print(f"no documentation files found under {root}", file=sys.stderr)
+        return 1
+    total = 0
+    for path in files:
+        for target, reason in check_file(path, root):
+            print(f"{path.relative_to(root)}: broken link {target!r} ({reason})")
+            total += 1
+    if total == 0:
+        print(f"checked {len(files)} files: all links resolve")
+    return total
+
+
+if __name__ == "__main__":
+    repo_root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    sys.exit(main(repo_root))

@@ -67,8 +67,15 @@ from repro.mechanisms.registry import (
 from repro.mechanisms.staircase import staircase_mechanism
 from repro.mechanisms.uniform import uniform_mechanism
 from repro.mechanisms.weakly_honest import weakly_honest_mechanism
+from repro.serving import (
+    BatchReleaseSession,
+    DesignCache,
+    ReleaseRequest,
+    ReleasedCount,
+    design_key,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -120,6 +127,12 @@ __all__ = [
     "available_mechanisms",
     "create_mechanism",
     "paper_mechanisms",
+    # Serving layer (design cache + vectorised batch release)
+    "BatchReleaseSession",
+    "DesignCache",
+    "ReleaseRequest",
+    "ReleasedCount",
+    "design_key",
     # Estimation from released counts
     "estimate_true_histogram",
     "estimate_true_mean",

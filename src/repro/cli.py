@@ -16,6 +16,13 @@ The CLI covers the operations a practitioner needs without writing Python:
     of true counts — from the command line or a single-column CSV — and
     print or save the released counts.
 
+``repro-mechanisms serve-batch``
+    The serving layer as a command: route a large batch of count-release
+    requests — homogeneous (one design, many counts) or mixed (a CSV of
+    per-group design requests) — through the design cache and the
+    vectorised batch sampler.  ``--cache-dir`` persists designs across
+    invocations so repeat traffic never re-solves the LP.
+
 ``repro-mechanisms experiments``
     Thin wrapper around :mod:`repro.experiments.runner`.
 
@@ -26,6 +33,8 @@ Examples
     repro-mechanisms design --n 8 --alpha 0.9 --properties F --heatmap
     repro-mechanisms compare --n 4 --alpha 0.9
     repro-mechanisms release --mechanism EM --n 8 --alpha 0.9 --counts 3 5 2 8
+    repro-mechanisms serve-batch --n 16 --alpha 0.9 --properties WH+CM \
+        --counts-file counts.txt --seed 7 --cache-dir ~/.cache/repro-designs
     repro-mechanisms experiments --fast --only figure-9
 """
 
@@ -102,6 +111,33 @@ def build_parser() -> argparse.ArgumentParser:
     release.add_argument("--seed", type=int, default=None, help="random seed")
     release.add_argument("--output", type=Path, default=None,
                          help="write released counts to this file (one per line)")
+
+    serve = subparsers.add_parser(
+        "serve-batch",
+        help="serve a batch of release requests through the design cache + vectorised sampler",
+    )
+    serve.add_argument("--n", type=int, default=None,
+                       help="group size for homogeneous batches (ignored with --requests-file)")
+    serve.add_argument("--alpha", type=float, default=None,
+                       help="privacy level for homogeneous batches")
+    serve.add_argument("--properties", default="",
+                       help="property set for homogeneous batches, e.g. 'WH+CM' or 'F'")
+    serve.add_argument("--counts", type=int, nargs="*", default=None, help="true counts")
+    serve.add_argument("--counts-file", type=Path, default=None,
+                       help="file with one true count per line")
+    serve.add_argument("--requests-file", type=Path, default=None,
+                       help="CSV of mixed requests: group,count,n,alpha[,properties]")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="seed for a shared generator (reproducible releases)")
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="directory for the on-disk design cache (shared across runs)")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="in-memory LRU capacity of the design cache")
+    serve.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    serve.add_argument("--output", type=Path, default=None,
+                       help="write results to this file instead of stdout")
+    serve.add_argument("--stats", action="store_true",
+                       help="print cache/solver statistics after serving")
 
     experiments = subparsers.add_parser(
         "experiments", help="run the paper-figure reproduction experiments"
@@ -205,6 +241,92 @@ def _command_release(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_request_rows(path: Path) -> List["ReleaseRequest"]:
+    """Parse a ``group,count,n,alpha[,properties]`` CSV into release requests."""
+    import csv
+
+    from repro.serving import ReleaseRequest
+
+    requests: List[ReleaseRequest] = []
+    with path.open(newline="") as handle:
+        for row_number, row in enumerate(csv.reader(handle), start=1):
+            cells = [cell.strip() for cell in row]
+            if not cells or not any(cells):
+                continue
+            if row_number == 1 and cells[0].lower() in ("group", "#group"):
+                continue  # header line
+            if len(cells) < 4:
+                raise SystemExit(
+                    f"{path}:{row_number}: expected group,count,n,alpha[,properties], got {row!r}"
+                )
+            properties = cells[4] if len(cells) > 4 else ""
+            try:
+                requests.append(
+                    ReleaseRequest(
+                        group=cells[0],
+                        count=int(cells[1]),
+                        n=int(cells[2]),
+                        alpha=float(cells[3]),
+                        properties=properties,
+                    )
+                )
+            except ValueError as error:
+                raise SystemExit(f"{path}:{row_number}: {error}")
+    if not requests:
+        raise SystemExit(f"{path}: no requests found")
+    return requests
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    from repro.lp.solver import solve_call_count
+    from repro.serving import BatchReleaseSession, DesignCache
+
+    solves_before = solve_call_count()
+    cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
+    rng = np.random.default_rng(args.seed)
+    session = BatchReleaseSession(cache=cache, rng=rng, backend=args.backend)
+
+    if args.requests_file is not None:
+        if args.counts is not None or args.counts_file is not None:
+            raise SystemExit("--requests-file cannot be combined with --counts/--counts-file")
+        requests = _parse_request_rows(args.requests_file)
+        try:
+            results = session.release(requests)
+        except ValueError as error:  # e.g. an unknown property code in a row
+            raise SystemExit(str(error))
+        lines = [
+            f"{result.group},{result.released},{result.mechanism},{result.branch}"
+            for result in results
+        ]
+    else:
+        if args.n is None or args.alpha is None:
+            raise SystemExit("--n and --alpha are required unless --requests-file is given")
+        counts = _load_counts(args)
+        if counts.size == 0:
+            raise SystemExit("no counts supplied")
+        if counts.min() < 0 or counts.max() > args.n:
+            raise SystemExit(
+                f"counts must lie in [0, {args.n}]; got [{counts.min()}, {counts.max()}]"
+            )
+        try:
+            released = session.release_counts(
+                counts, n=args.n, alpha=args.alpha, properties=args.properties
+            )
+        except ValueError as error:  # e.g. an unknown property code or bad alpha
+            raise SystemExit(str(error))
+        lines = [str(int(value)) for value in released]
+
+    if args.output is not None:
+        args.output.write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} released counts to {args.output}")
+    else:
+        print("\n".join(lines))
+    if args.stats:
+        print(f"serve-batch: {session.describe()} "
+              f"lp_solves={solve_call_count() - solves_before}")
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     runner.run_experiments(names=args.only, fast=args.fast, csv_dir=args.csv_dir)
     return 0
@@ -214,6 +336,7 @@ _COMMANDS = {
     "design": _command_design,
     "compare": _command_compare,
     "release": _command_release,
+    "serve-batch": _command_serve_batch,
     "experiments": _command_experiments,
 }
 

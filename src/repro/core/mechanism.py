@@ -172,6 +172,10 @@ class Mechanism:
 
         Returns an ``int`` when ``size`` is ``None``, otherwise an integer
         array of the requested length.
+
+        Pass a shared seeded ``rng`` (``np.random.default_rng(seed)``) for
+        reproducible releases; when omitted, a fresh unseeded generator is
+        created, which is private-by-default but never reproducible.
         """
         rng = rng if rng is not None else np.random.default_rng()
         probabilities = self.probabilities(true_count)
@@ -183,6 +187,76 @@ class Mechanism:
             return int(outputs)
         return np.asarray(outputs, dtype=int)
 
+    def column_cdfs(self) -> np.ndarray:
+        """Per-input output CDFs, ``cdfs[j]`` = inverse-sampling CDF of column ``j``.
+
+        Row ``j`` reproduces exactly the CDF that ``numpy``'s
+        ``Generator.choice`` builds inside :meth:`sample` (clip negatives,
+        normalise, cumulate, renormalise the final entry to 1), so sampling
+        by ``searchsorted`` over these rows is bit-identical to the scalar
+        path.  The array is computed once and cached on the mechanism; do
+        not mutate :attr:`matrix` in place after sampling has started.
+        """
+        cached = self.__dict__.get("_column_cdfs")
+        if cached is None:
+            # C-contiguous rows so the row reductions below use the same
+            # pairwise-summation order as the 1-D scalar sampling path.
+            columns = np.ascontiguousarray(np.clip(self.matrix.T, 0.0, None))
+            columns = columns / columns.sum(axis=1, keepdims=True)
+            cached = np.cumsum(columns, axis=1)
+            cached /= cached[:, -1:]
+            self.__dict__["_column_cdfs"] = cached
+        return cached
+
+    def apply_batch(
+        self,
+        true_counts: Union[Sequence[int], np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Vectorised independent draws, one per true count in the batch.
+
+        This is the serving-layer hot path: the column CDFs are precomputed
+        once per mechanism (:meth:`column_cdfs`) and a whole batch is
+        answered with one uniform draw plus one ``searchsorted`` over a
+        column-offset CDF, instead of a Python-level loop.
+
+        The output is bit-identical to calling ``self.sample(c, rng=rng)``
+        once per element in order with the same generator — element ``i``
+        consumes the ``i``-th uniform of the stream — so scalar and batch
+        paths are interchangeable in reproducible pipelines.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        counts = np.asarray(true_counts, dtype=int)
+        if counts.ndim != 1:
+            raise ValueError("true_counts must be a 1-D sequence")
+        if counts.size == 0:
+            return np.empty(0, dtype=int)
+        if counts.min() < 0 or counts.max() > self.n:
+            raise ValueError(
+                f"counts must lie in [0, {self.n}]; got [{counts.min()}, {counts.max()}]"
+            )
+        cdfs = self.column_cdfs()
+        uniforms = rng.random(counts.shape[0])
+        # Offsetting column j's CDF (values in (0, 1]) by +j makes the
+        # flattened array globally non-decreasing, so one searchsorted
+        # answers every count in the batch at once.
+        flat = (cdfs + np.arange(self.size)[:, None]).ravel()
+        positions = np.searchsorted(flat, counts + uniforms, side="right")
+        # ``count + u`` can round up to exactly ``count + 1`` (u within one
+        # ulp of 1), letting the search run into the next column's block;
+        # the true inverse-CDF index never exceeds size - 1, so clamp and
+        # let the fix-up below walk back to the exact answer.
+        released = np.minimum(positions - counts * self.size, self.size - 1)
+        # Adding the integer offset can round a near-tie ``cdf > u`` down to
+        # equality, overshooting the inverse-CDF index by one; walk any such
+        # element back until it matches the un-offset comparison exactly.
+        while True:
+            overshoot = (released > 0) & (cdfs[counts, released - 1] > uniforms)
+            if not overshoot.any():
+                break
+            released[overshoot] -= 1
+        return released.astype(int, copy=False)
+
     def apply(
         self,
         true_counts: Union[int, Sequence[int], np.ndarray],
@@ -192,6 +266,8 @@ class Mechanism:
 
         This is the primitive the empirical experiments use: every group's
         true count is perturbed by one independent draw from the mechanism.
+        Arrays are routed through the vectorised :meth:`apply_batch`; pass a
+        seeded ``rng`` to make the release reproducible.
         """
         rng = rng if rng is not None else np.random.default_rng()
         if np.isscalar(true_counts):
@@ -199,12 +275,7 @@ class Mechanism:
         counts = np.asarray(true_counts, dtype=int)
         if counts.ndim != 1:
             raise ValueError("true_counts must be a scalar or a 1-D sequence")
-        released = np.empty(counts.shape[0], dtype=int)
-        # Group identical counts so each distinct value needs one vectorised draw.
-        for value in np.unique(counts):
-            mask = counts == value
-            released[mask] = self.sample(int(value), rng=rng, size=int(mask.sum()))
-        return released
+        return self.apply_batch(counts, rng=rng)
 
     # ------------------------------------------------------------------ #
     # Moments and summary statistics

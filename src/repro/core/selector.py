@@ -163,6 +163,7 @@ def choose_mechanism(
     properties: Union[None, str, Iterable[Union[str, StructuralProperty]]] = (),
     objective: Optional[Objective] = None,
     backend: str = DEFAULT_BACKEND,
+    cache: Optional[object] = None,
 ) -> Tuple[Mechanism, SelectorDecision]:
     """Return the optimal mechanism for the requested properties plus the decision.
 
@@ -170,7 +171,17 @@ def choose_mechanism(
     branches solve the corresponding LP.  The returned mechanism always
     satisfies every requested property and is ``L0``-optimal among
     mechanisms that do (the structural results of Section IV-D).
+
+    When ``cache`` is a :class:`~repro.serving.cache.DesignCache` (anything
+    with a ``get_or_design`` method works), the request is routed through it
+    so repeated designs skip both the flowchart and the LP solver; this is
+    what high-volume callers (the serving layer, the ``serve-batch`` CLI)
+    rely on.
     """
+    if cache is not None:
+        return cache.get_or_design(  # type: ignore[attr-defined]
+            n, alpha, properties=properties, objective=objective, backend=backend
+        )
     # Imported here to avoid a circular import at package load time:
     # repro.mechanisms depends on repro.core.design.
     from repro.mechanisms.fair import explicit_fair_mechanism

@@ -16,7 +16,12 @@ provides that downstream layer:
   (uniform / Zipf-skewed) and range-query workloads.
 """
 
-from repro.histogram.release import HistogramRelease, PrivateHistogram, released_histogram
+from repro.histogram.release import (
+    HistogramRelease,
+    PrivateHistogram,
+    histogram_via_session,
+    released_histogram,
+)
 from repro.histogram.queries import (
     RangeQuery,
     all_range_queries,
@@ -29,6 +34,7 @@ from repro.histogram.workloads import categorical_population, histogram_from_ite
 __all__ = [
     "HistogramRelease",
     "PrivateHistogram",
+    "histogram_via_session",
     "released_histogram",
     "RangeQuery",
     "all_range_queries",

@@ -29,6 +29,33 @@ from repro.core.mechanism import Mechanism
 MechanismFactory = Callable[[int, float], Mechanism]
 
 
+def _validated_counts_and_capacity(
+    true_counts: Sequence[int], capacity: Optional[int]
+) -> "tuple[np.ndarray, int]":
+    """Shared validation for histogram release paths.
+
+    Returns the counts as an int array and the per-bucket capacity,
+    defaulting to the largest observed bucket count (floored at 1).
+    """
+    counts = np.asarray(true_counts, dtype=int)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("true_counts must be a non-empty 1-D sequence")
+    if counts.min() < 0:
+        raise ValueError("bucket counts must be non-negative")
+    capacity = int(counts.max()) if capacity is None else int(capacity)
+    capacity = max(capacity, 1)
+    if counts.max() > capacity:
+        raise ValueError("capacity is smaller than the largest bucket count")
+    return counts, capacity
+
+
+def _overall_alpha(alpha: float, neighbouring: str) -> float:
+    """The α of a full histogram release under the chosen neighbouring notion."""
+    if neighbouring not in ("add_remove", "swap"):
+        raise ValueError("neighbouring must be 'add_remove' or 'swap'")
+    return float(alpha) if neighbouring == "add_remove" else float(alpha) ** 2
+
+
 @dataclass(frozen=True)
 class PrivateHistogram:
     """The result of one private histogram release."""
@@ -82,6 +109,12 @@ class HistogramRelease:
         only one bucket changes and the whole release is α-DP.
         ``"swap"``: one individual may move between buckets; two buckets
         change and the release is α²-DP.
+    rng:
+        Optional shared generator used by :meth:`release` whenever the call
+        does not pass its own.  Construct with
+        ``np.random.default_rng(seed)`` to make every release from this
+        object reproducible end-to-end; the default is a fresh unseeded
+        generator per call.
     """
 
     def __init__(
@@ -89,6 +122,7 @@ class HistogramRelease:
         mechanism_factory: MechanismFactory,
         alpha: float,
         neighbouring: str = "add_remove",
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         if not (0.0 <= alpha <= 1.0):
             raise ValueError("alpha must lie in [0, 1]")
@@ -97,13 +131,12 @@ class HistogramRelease:
         self._factory = mechanism_factory
         self.alpha = float(alpha)
         self.neighbouring = neighbouring
+        self.rng = rng
         self._cache: Dict[int, Mechanism] = {}
 
     def overall_alpha(self) -> float:
         """The α guarantee of a full histogram release under the chosen notion."""
-        if self.neighbouring == "add_remove":
-            return self.alpha
-        return self.alpha**2
+        return _overall_alpha(self.alpha, self.neighbouring)
 
     def overall_epsilon(self) -> float:
         """The ε guarantee corresponding to :meth:`overall_alpha`."""
@@ -130,19 +163,17 @@ class HistogramRelease:
         cover; it defaults to the largest observed bucket count (a data-
         independent bound such as the population size is the safe choice
         when the maximum itself is considered sensitive).
+
+        The generator priority is ``rng`` argument, then the instance's
+        ``rng``, then a fresh unseeded generator.  Buckets are sampled with
+        one vectorised :meth:`~repro.core.mechanism.Mechanism.apply_batch`
+        call.
         """
-        counts = np.asarray(true_counts, dtype=int)
-        if counts.ndim != 1 or counts.size == 0:
-            raise ValueError("true_counts must be a non-empty 1-D sequence")
-        if counts.min() < 0:
-            raise ValueError("bucket counts must be non-negative")
-        capacity = int(counts.max()) if capacity is None else int(capacity)
-        capacity = max(capacity, 1)
-        if counts.max() > capacity:
-            raise ValueError("capacity is smaller than the largest bucket count")
-        rng = rng if rng is not None else np.random.default_rng()
+        counts, capacity = _validated_counts_and_capacity(true_counts, capacity)
+        if rng is None:
+            rng = self.rng if self.rng is not None else np.random.default_rng()
         mechanism = self.mechanism_for(capacity)
-        released = mechanism.apply(counts, rng=rng)
+        released = mechanism.apply_batch(counts, rng=rng)
         return PrivateHistogram(
             true_counts=counts,
             released_counts=np.asarray(released, dtype=int),
@@ -162,3 +193,33 @@ def released_histogram(
     """One-shot convenience wrapper around :class:`HistogramRelease`."""
     release = HistogramRelease(mechanism_factory, alpha, neighbouring=neighbouring)
     return release.release(true_counts, capacity=capacity, rng=rng)
+
+
+def histogram_via_session(
+    session,
+    true_counts: Sequence[int],
+    alpha: float,
+    properties=(),
+    capacity: Optional[int] = None,
+    neighbouring: str = "add_remove",
+) -> PrivateHistogram:
+    """Release a histogram through a serving-layer :class:`BatchReleaseSession`.
+
+    Unlike :class:`HistogramRelease`, which builds mechanisms from a raw
+    factory, this path goes through the session's
+    :class:`~repro.serving.cache.DesignCache`: the per-bucket mechanism is
+    the Figure-5 optimum for ``(capacity, alpha, properties)``, solved at
+    most once per distinct design across every caller sharing the cache,
+    and all buckets are sampled in one vectorised batch using the
+    session's generator.
+    """
+    counts, capacity = _validated_counts_and_capacity(true_counts, capacity)
+    overall = _overall_alpha(alpha, neighbouring)
+    released = session.release_counts(counts, n=capacity, alpha=alpha, properties=properties)
+    mechanism = session.mechanism_for(capacity, alpha, properties=properties)
+    return PrivateHistogram(
+        true_counts=counts,
+        released_counts=np.asarray(released, dtype=int),
+        alpha=overall,
+        mechanism_name=mechanism.name,
+    )

@@ -17,6 +17,25 @@ BACKENDS: Tuple[str, ...] = ("scipy", "simplex")
 #: Default backend used when none is specified.
 DEFAULT_BACKEND = "scipy"
 
+#: Number of times :func:`solve` has run in this process.  The serving
+#: layer's :class:`~repro.serving.cache.DesignCache` tests use this counter
+#: to prove cache hits perform no LP work; it is a plain diagnostic, not a
+#: thread-safe metric.
+_SOLVE_CALLS = 0
+
+
+def solve_call_count() -> int:
+    """How many LP solves have run in this process (any backend)."""
+    return _SOLVE_CALLS
+
+
+def reset_solve_call_count() -> int:
+    """Reset the solve counter to zero and return the previous value."""
+    global _SOLVE_CALLS
+    previous = _SOLVE_CALLS
+    _SOLVE_CALLS = 0
+    return previous
+
 
 class LPError(RuntimeError):
     """Base class for LP solver failures."""
@@ -64,6 +83,31 @@ class LPSolution:
         """Value of a :class:`~repro.lp.model.Variable` handle."""
         return float(self.values[variable.index])
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (used by the on-disk design cache)."""
+        return {
+            "status": self.status.value,
+            "values": [float(v) for v in self.values],
+            "objective": float(self.objective),
+            "backend": self.backend,
+            "iterations": int(self.iterations),
+            "message": self.message,
+            "by_name": {name: float(value) for name, value in self.by_name.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LPSolution":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            status=LPStatus(str(payload["status"])),
+            values=np.asarray(payload["values"], dtype=float),
+            objective=float(payload["objective"]),  # type: ignore[arg-type]
+            backend=str(payload["backend"]),
+            iterations=int(payload.get("iterations", 0)),  # type: ignore[arg-type]
+            message=str(payload.get("message", "")),
+            by_name={str(k): float(v) for k, v in dict(payload.get("by_name", {})).items()},
+        )
+
 
 def available_backends() -> Tuple[str, ...]:
     """Names of solver backends that can be used with :func:`solve`."""
@@ -103,6 +147,8 @@ def solve(
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown LP backend {backend!r}; available: {BACKENDS}")
+    global _SOLVE_CALLS
+    _SOLVE_CALLS += 1
     arrays = program.to_standard_arrays()
 
     if backend == "scipy":

@@ -1,0 +1,33 @@
+"""Batch serving layer: design caching and vectorised release sessions.
+
+The core library answers one design question at a time: ``choose_mechanism``
+runs the Figure-5 flowchart and, on the two WM branches, solves an LP from
+scratch; ``Mechanism.sample`` draws one noisy count.  Production traffic —
+many users, many groups, a handful of distinct ``(n, alpha, properties)``
+configurations — needs neither repeated: this package adds
+
+* :class:`~repro.serving.cache.DesignCache` — an LRU (optionally on-disk)
+  memo of designed mechanisms keyed by the full design request, so repeated
+  requests never touch the LP solver;
+* :class:`~repro.serving.session.BatchReleaseSession` — routes mixed streams
+  of ``(group, count, design request)`` records through the cache and the
+  vectorised :meth:`~repro.core.mechanism.Mechanism.apply_batch` sampler;
+* :class:`~repro.serving.session.ReleaseRequest` /
+  :class:`~repro.serving.session.ReleasedCount` — the record types of that
+  stream.
+
+See ``docs/architecture.md`` for the data-flow diagram and
+``benchmarks/test_bench_serving.py`` for the throughput guarantees.
+"""
+
+from repro.serving.cache import CacheStats, DesignCache, design_key
+from repro.serving.session import BatchReleaseSession, ReleaseRequest, ReleasedCount
+
+__all__ = [
+    "BatchReleaseSession",
+    "CacheStats",
+    "DesignCache",
+    "ReleaseRequest",
+    "ReleasedCount",
+    "design_key",
+]

@@ -1,0 +1,255 @@
+"""Memoising designed mechanisms so repeated requests skip the LP solver.
+
+A mechanism design is fully determined by the tuple ``(n, alpha, properties,
+objective, backend)``; nothing about the data enters the design.  Serving
+workloads therefore see a tiny set of distinct designs under a huge stream of
+requests, and the LP solve — milliseconds to seconds per design — is the
+entire marginal cost.  :class:`DesignCache` keys designs by the canonical
+request string (:func:`design_key`), keeps the most recently used ones in
+memory (LRU), and can mirror every design to a directory of JSON files so
+later processes skip the solver too.
+
+>>> from repro.serving import DesignCache
+>>> cache = DesignCache(capacity=64)
+>>> mech, decision = cache.get_or_design(8, 0.9, properties="WH+CM")
+>>> _ = cache.get_or_design(8, 0.9, properties="WH+CM")  # no LP solve
+>>> cache.stats().hits
+1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.core.losses import Objective
+from repro.core.mechanism import Mechanism
+from repro.core.properties import StructuralProperty, parse_properties
+from repro.core.selector import SelectorDecision
+from repro.lp.solver import DEFAULT_BACKEND
+
+PropertiesLike = Union[None, str, Iterable[Union[str, StructuralProperty]]]
+
+
+def _objective_key(objective: Optional[Objective]) -> str:
+    """Canonical string for an objective, including the prior weights."""
+    if objective is None:
+        return "L0-default"
+    weights = "uniform"
+    if objective.weights is not None:
+        weights = ",".join(repr(float(w)) for w in objective.weights)
+    return f"p={objective.p:g};d={objective.d};agg={objective.aggregator};w={weights}"
+
+
+def design_key(
+    n: int,
+    alpha: float,
+    properties: PropertiesLike = (),
+    objective: Optional[Objective] = None,
+    backend: str = DEFAULT_BACKEND,
+) -> str:
+    """Canonical cache key for a design request.
+
+    Property sets are parsed and sorted so ``"WH+CM"``, ``"CM+WH"`` and the
+    equivalent enum collections all map to the same key.
+    """
+    props = "+".join(sorted(p.value for p in parse_properties(properties))) or "none"
+    return f"n={int(n)}|alpha={repr(float(alpha))}|props={props}|obj={_objective_key(objective)}|backend={backend}"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing how a :class:`DesignCache` has been used."""
+
+    hits: int
+    misses: int
+    evictions: int
+    disk_hits: int
+    size: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class DesignCache:
+    """LRU + optional on-disk memo of :func:`~repro.core.selector.choose_mechanism`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of designs held in memory; the least recently used
+        entry is evicted beyond this.  Must be at least 1.
+    directory:
+        Optional directory for the on-disk tier.  Every design (fresh or
+        loaded) is mirrored there as one JSON file per key, so a new process
+        pointed at the same directory serves every previously seen request
+        without an LP solve.  The directory is created on first write.
+
+    Notes
+    -----
+    Cache hits return a *fresh* :class:`~repro.core.mechanism.Mechanism`
+    rebuilt from the stored payload, so callers may mutate metadata freely
+    without polluting the cache.  ``metadata["design_cache"]`` records
+    whether the instance came from ``"solve"``, ``"memory"`` or ``"disk"``.
+    """
+
+    def __init__(self, capacity: int = 128, directory: Optional[Union[str, Path]] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            disk_hits=self._disk_hits,
+            size=len(self._entries),
+        )
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop every in-memory entry (and the on-disk tier when ``disk``)."""
+        self._entries.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("design-*.json"):
+                path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # The main entry point
+    # ------------------------------------------------------------------ #
+    def get_or_design(
+        self,
+        n: int,
+        alpha: float,
+        properties: PropertiesLike = (),
+        objective: Optional[Objective] = None,
+        backend: str = DEFAULT_BACKEND,
+    ) -> Tuple[Mechanism, SelectorDecision]:
+        """The cached equivalent of :func:`~repro.core.selector.choose_mechanism`.
+
+        On a miss the Figure-5 selector runs (solving the LP only on the WM
+        branches) and the result is stored in memory and, when configured,
+        on disk.  On a hit no selector or solver work happens at all.
+        """
+        key = design_key(n, alpha, properties, objective, backend)
+        entry = self._entries.get(key)
+        source = "memory"
+        if entry is None:
+            entry = self._load_from_disk(key)
+            if entry is not None:
+                source = "disk"
+                self._disk_hits += 1
+        if entry is not None:
+            self._hits += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._evict()
+            return self._materialise(entry, key, source)
+
+        self._misses += 1
+        from repro.core.selector import choose_mechanism  # deferred: avoids import cycle
+
+        mechanism, decision = choose_mechanism(
+            n, alpha, properties=properties, objective=objective, backend=backend
+        )
+        entry = {
+            "key": key,
+            "mechanism": mechanism.to_dict(),
+            "decision": _decision_to_dict(decision),
+        }
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._evict()
+        self._store_to_disk(key, entry)
+        mechanism.metadata["design_cache"] = "solve"
+        mechanism.metadata["design_cache_key"] = key
+        return mechanism, decision
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def _materialise(
+        self, entry: Dict[str, Any], key: str, source: str
+    ) -> Tuple[Mechanism, SelectorDecision]:
+        mechanism = Mechanism.from_dict(entry["mechanism"])
+        mechanism.metadata["design_cache"] = source
+        mechanism.metadata["design_cache_key"] = key
+        return mechanism, _decision_from_dict(entry["decision"])
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+        return self.directory / f"design-{digest}.json"
+
+    def _load_from_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key") != key:  # hash collision or stale file
+            return None
+        return payload
+
+    def _store_to_disk(self, key: str, entry: Dict[str, Any]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(entry))
+
+
+def _decision_to_dict(decision: SelectorDecision) -> Dict[str, Any]:
+    return {
+        "branch": decision.branch,
+        "requested": sorted(p.value for p in decision.requested),
+        "closure": sorted(p.value for p in decision.closure),
+        "n": decision.n,
+        "alpha": decision.alpha,
+        "reason": decision.reason,
+    }
+
+
+def _decision_from_dict(payload: Dict[str, Any]) -> SelectorDecision:
+    return SelectorDecision(
+        branch=str(payload["branch"]),
+        requested=parse_properties(payload["requested"]),
+        closure=parse_properties(payload["closure"]),
+        n=int(payload["n"]),
+        alpha=float(payload["alpha"]),
+        reason=str(payload["reason"]),
+    )

@@ -1,0 +1,222 @@
+"""Batch release sessions: many groups, mixed design requests, one pass.
+
+A serving deployment sees a stream of records — "group ``g`` has true count
+``c`` and wants privacy ``(n, alpha)`` with properties ``P``" — where only a
+handful of distinct design requests occur.  :class:`BatchReleaseSession`
+answers such a stream in three vectorised steps:
+
+1. bucket the records by canonical design key (:func:`~repro.serving.cache
+   .design_key`);
+2. fetch each bucket's mechanism from the :class:`~repro.serving.cache
+   .DesignCache` (solving the LP only the first time a design is seen);
+3. release each bucket's counts with one
+   :meth:`~repro.core.mechanism.Mechanism.apply_batch` call, then scatter
+   the results back into input order.
+
+With a seeded generator the whole session is reproducible: the same records
+in the same order yield the same released counts, because buckets consume
+the uniform stream in first-appearance order of their design key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.losses import Objective
+from repro.core.mechanism import Mechanism
+from repro.core.properties import StructuralProperty
+from repro.lp.solver import DEFAULT_BACKEND
+from repro.serving.cache import DesignCache, design_key
+
+PropertiesLike = Union[None, str, Iterable[Union[str, StructuralProperty]]]
+
+
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """One record of a mixed release stream.
+
+    ``group`` is an opaque identifier echoed back on the result; ``count``
+    is the group's true count; the remaining fields are the design request
+    served through the cache.
+    """
+
+    group: Any
+    count: int
+    n: int
+    alpha: float
+    properties: PropertiesLike = ()
+    objective: Optional[Objective] = None
+
+    def __post_init__(self) -> None:
+        if int(self.count) != self.count or not (0 <= self.count <= self.n):
+            raise ValueError(
+                f"count {self.count!r} for group {self.group!r} outside [0, {self.n}]"
+            )
+
+
+@dataclass(frozen=True)
+class ReleasedCount:
+    """The served counterpart of one :class:`ReleaseRequest`."""
+
+    group: Any
+    true_count: int
+    released: int
+    mechanism: str
+    branch: str
+    alpha: float
+
+
+@dataclass
+class SessionStats:
+    """Running totals for one :class:`BatchReleaseSession`."""
+
+    records: int = 0
+    batches: int = 0
+    distinct_designs: int = 0
+    _keys: set = field(default_factory=set, repr=False)
+
+
+class BatchReleaseSession:
+    """Serve mixed streams of count-release records through cache + batch sampler.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`DesignCache` to serve designs from; a fresh in-memory
+        cache is created when omitted.  Pass one configured with a
+        ``directory`` to share designs across processes.
+    rng:
+        Shared generator for every draw the session makes.  Pass
+        ``np.random.default_rng(seed)`` for reproducible releases; the
+        default is a fresh unseeded generator.
+    backend:
+        LP backend used for designs the cache has not seen.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[DesignCache] = None,
+        rng: Optional[np.random.Generator] = None,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        self.cache = cache if cache is not None else DesignCache()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.backend = backend
+        self.stats = SessionStats()
+        # Session-local materialised designs so repeat traffic reuses the
+        # same Mechanism instance (and its precomputed column CDFs) instead
+        # of rebuilding one from the cache payload per batch.  Bounded by
+        # the cache's LRU capacity so a long-lived session's memory stays
+        # governed by the same knob as the cache itself.
+        self._designs: "OrderedDict[str, Tuple[Mechanism, Any]]" = OrderedDict()
+
+    def _design(
+        self,
+        n: int,
+        alpha: float,
+        properties: PropertiesLike,
+        objective: Optional[Objective],
+        key: str,
+    ) -> Tuple[Mechanism, Any]:
+        entry = self._designs.get(key)
+        if entry is None:
+            entry = self.cache.get_or_design(
+                n, alpha, properties=properties, objective=objective, backend=self.backend
+            )
+            entry[0].column_cdfs()
+            self._designs[key] = entry
+        self._designs.move_to_end(key)
+        while len(self._designs) > self.cache.capacity:
+            self._designs.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def release(self, requests: Iterable[ReleaseRequest]) -> List[ReleasedCount]:
+        """Serve one batch of records, preserving input order in the result."""
+        records = list(requests)
+        if not records:
+            return []
+        # Bucket by canonical design key, keeping first-appearance order so
+        # RNG consumption (and therefore reproducibility) is well defined.
+        buckets: "Dict[str, List[int]]" = {}
+        for index, record in enumerate(records):
+            key = design_key(
+                record.n, record.alpha, record.properties, record.objective, self.backend
+            )
+            buckets.setdefault(key, []).append(index)
+
+        results: List[Optional[ReleasedCount]] = [None] * len(records)
+        for key, indices in buckets.items():
+            first = records[indices[0]]
+            mechanism, decision = self._design(
+                first.n, first.alpha, first.properties, first.objective, key
+            )
+            counts = np.asarray([records[i].count for i in indices], dtype=int)
+            released = mechanism.apply_batch(counts, rng=self.rng)
+            for i, value in zip(indices, released):
+                record = records[i]
+                results[i] = ReleasedCount(
+                    group=record.group,
+                    true_count=int(record.count),
+                    released=int(value),
+                    mechanism=mechanism.name,
+                    branch=decision.branch,
+                    alpha=float(first.alpha),
+                )
+            self.stats.batches += 1
+            self.stats._keys.add(key)
+        self.stats.records += len(records)
+        self.stats.distinct_designs = len(self.stats._keys)
+        return [r for r in results if r is not None]
+
+    def release_counts(
+        self,
+        counts: Union[Sequence[int], np.ndarray],
+        n: int,
+        alpha: float,
+        properties: PropertiesLike = (),
+        objective: Optional[Objective] = None,
+    ) -> np.ndarray:
+        """Homogeneous fast path: one design request, a raw vector of counts.
+
+        Skips the per-record bucketing entirely — the design is fetched once
+        and the whole vector goes through a single ``apply_batch``.
+        """
+        values = np.asarray(counts, dtype=int)
+        if values.ndim != 1:
+            raise ValueError("counts must be a 1-D sequence")
+        key = design_key(n, alpha, properties, objective, self.backend)
+        mechanism, _ = self._design(n, alpha, properties, objective, key)
+        released = mechanism.apply_batch(values, rng=self.rng)
+        self.stats.records += int(values.size)
+        self.stats.batches += 1
+        self.stats._keys.add(key)
+        self.stats.distinct_designs = len(self.stats._keys)
+        return released
+
+    def mechanism_for(
+        self,
+        n: int,
+        alpha: float,
+        properties: PropertiesLike = (),
+        objective: Optional[Objective] = None,
+    ) -> Mechanism:
+        """The mechanism this session would use for a design request."""
+        key = design_key(n, alpha, properties, objective, self.backend)
+        mechanism, _ = self._design(n, alpha, properties, objective, key)
+        return mechanism
+
+    def describe(self) -> str:
+        """One-line summary of traffic served and cache behaviour."""
+        cache = self.cache.stats()
+        return (
+            f"records={self.stats.records} batches={self.stats.batches} "
+            f"designs={self.stats.distinct_designs} cache_hits={cache.hits} "
+            f"cache_misses={cache.misses} hit_rate={cache.hit_rate:.1%}"
+        )
