@@ -1,0 +1,14 @@
+"""Shared toy-size switch for the benchmark suite.
+
+``REPRO_BENCH_TINY=1`` (set by the CI smoke job) runs every benchmark's code
+path at toy sizes with wall-clock assertions disabled: shared runners are
+too noisy for perf gates, but the code itself must not rot.  Benchmark
+modules import the flag from here so the semantics live in one place.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when the benchmarks should run at toy sizes without perf assertions.
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")

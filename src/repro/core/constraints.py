@@ -12,6 +12,14 @@ grid, installs BASICDP, adds any requested structural properties, installs
 the objective (including the minimax variant via an auxiliary variable) and
 hands back the finished program together with the variable grid so the
 caller can reconstruct the mechanism matrix from a solution.
+
+Constraints are emitted as vectorized COO triplet blocks
+(:meth:`~repro.lp.model.LinearProgram.add_constraints_from_triplets`) built
+with NumPy index arithmetic, so assembling the LP costs ``O(nonzeros)``
+instead of one Python dict per constraint.  The original loop-based emitters
+are retained behind ``vectorized=False``; the test-suite verifies both paths
+produce the identical constraint system (same names, senses, right-hand
+sides and coefficients, in the same order) for every property combination.
 """
 
 from __future__ import annotations
@@ -41,16 +49,33 @@ class MechanismLP:
     properties: FrozenSet[StructuralProperty]
     auxiliary: Optional[Variable] = None
 
+    def _index_grid(self) -> np.ndarray:
+        """Variable indices of the ρ grid as an ``(n+1, n+1)`` int array."""
+        cached = self.__dict__.get("_index_grid_cache")
+        if cached is None:
+            cached = np.array(
+                [[variable.index for variable in row] for row in self.variables],
+                dtype=np.int64,
+            )
+            self.__dict__["_index_grid_cache"] = cached
+        return cached
+
     def matrix_from_values(self, values: Sequence[float]) -> np.ndarray:
-        """Assemble the mechanism matrix from a raw LP solution vector."""
-        size = self.n + 1
-        matrix = np.zeros((size, size), dtype=float)
-        for i in range(size):
-            for j in range(size):
-                matrix[i, j] = float(values[self.variables[i][j].index])
-        # Clean tiny numerical noise from the solver and renormalise columns.
-        matrix = np.clip(matrix, 0.0, 1.0)
-        matrix /= matrix.sum(axis=0, keepdims=True)
+        """Assemble the mechanism matrix from a raw LP solution vector.
+
+        A single fancy-index gathers the ``(n + 1)^2`` grid entries; tiny
+        numerical noise from the solver is clipped and columns renormalised.
+        """
+        values = np.asarray(values, dtype=float)
+        matrix = np.clip(values[self._index_grid()], 0.0, 1.0)
+        column_sums = matrix.sum(axis=0, keepdims=True)
+        if np.any(column_sums <= 0.0):
+            bad = np.nonzero(column_sums.ravel() <= 0.0)[0]
+            raise ValueError(
+                f"solution column(s) {bad.tolist()} sum to zero after clipping; "
+                "the LP solution does not describe a mechanism"
+            )
+        matrix /= column_sums
         return matrix
 
 
@@ -64,9 +89,20 @@ class MechanismLPBuilder:
         builder.add_properties(["WH", "CM"])
         builder.set_objective(Objective.l0())
         mechanism_lp = builder.build()
+
+    ``vectorized=False`` selects the original loop-based constraint emitters
+    (one Python dict per constraint); it exists as the reference
+    implementation for equivalence testing and benchmarking and builds the
+    exact same program.
     """
 
-    def __init__(self, n: int, alpha: float, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        alpha: float,
+        name: Optional[str] = None,
+        vectorized: bool = True,
+    ) -> None:
         if n < 1:
             raise ValueError("group size n must be at least 1")
         if not (0.0 <= alpha <= 1.0):
@@ -74,6 +110,7 @@ class MechanismLPBuilder:
         self.n = int(n)
         self.alpha = float(alpha)
         self.size = self.n + 1
+        self.vectorized = bool(vectorized)
         self.program = LinearProgram(name=name or f"mechanism(n={n}, alpha={alpha:.4g})")
         # Constraint 4: every entry is a probability in [0, 1].
         self.variables: List[List[Variable]] = [
@@ -100,6 +137,50 @@ class MechanismLPBuilder:
         """
         if self._basic_dp_added:
             return
+        if self.vectorized:
+            self._add_basic_dp_vectorized()
+        else:
+            self._add_basic_dp_loops()
+        self._basic_dp_added = True
+
+    def _add_basic_dp_vectorized(self) -> None:
+        size = self.size
+        # Column sums: row j covers ρ_{0,j} … ρ_{n,j}.
+        j = np.arange(size)
+        self.program.add_constraints_from_triplets(
+            rows=np.repeat(j, size),
+            # Row j touches the flat indices i * size + j for every output i.
+            cols=(np.arange(size)[None, :] * size + j[:, None]).ravel(),
+            vals=np.ones(size * size),
+            senses="==",
+            rhs=np.ones(size),
+            names=lambda k: f"column_sum_{k}",
+        )
+        # DP ratio pairs, interleaved forward/backward exactly like the loop
+        # emitter: pair k = i * n + j gives rows 2k (forward) and 2k+1
+        # (backward).
+        num_pairs = size * (size - 1)
+        i_idx = np.repeat(np.arange(size), size - 1)
+        j_idx = np.tile(np.arange(size - 1), size)
+        left = i_idx * size + j_idx  # ρ_{i,j}
+        right = left + 1  # ρ_{i,j+1}
+        k = np.arange(num_pairs)
+        ones = np.ones(num_pairs)
+        self.program.add_constraints_from_triplets(
+            rows=np.concatenate([2 * k, 2 * k, 2 * k + 1, 2 * k + 1]),
+            cols=np.concatenate([left, right, right, left]),
+            vals=np.concatenate([ones, -self.alpha * ones, ones, -self.alpha * ones]),
+            senses=">=",
+            rhs=np.zeros(2 * num_pairs),
+            names=self._dp_name,
+        )
+
+    def _dp_name(self, k: int) -> str:
+        pair, backward = divmod(k, 2)
+        i, j = divmod(pair, self.size - 1)
+        return f"dp_{'backward' if backward else 'forward'}_{i}_{j}"
+
+    def _add_basic_dp_loops(self) -> None:
         for j in range(self.size):
             self.program.add_constraint(
                 {self.variables[i][j]: 1.0 for i in range(self.size)},
@@ -121,7 +202,6 @@ class MechanismLPBuilder:
                     0.0,
                     name=f"dp_backward_{i}_{j}",
                 )
-        self._basic_dp_added = True
 
     def add_output_dp(self, beta: Optional[float] = None) -> None:
         """Install the output-side DP constraints (the Section-VI extension).
@@ -134,20 +214,43 @@ class MechanismLPBuilder:
         beta = self.alpha if beta is None else float(beta)
         if not (0.0 <= beta <= 1.0):
             raise ValueError("beta must lie in [0, 1]")
-        for j in range(self.size):
-            for i in range(self.size - 1):
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -beta},
-                    ">=",
-                    0.0,
-                    name=f"output_dp_down_{i}_{j}",
-                )
-                self.program.add_constraint(
-                    {self.variables[i + 1][j]: 1.0, self.variables[i][j]: -beta},
-                    ">=",
-                    0.0,
-                    name=f"output_dp_up_{i}_{j}",
-                )
+        if not self.vectorized:
+            for j in range(self.size):
+                for i in range(self.size - 1):
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -beta},
+                        ">=",
+                        0.0,
+                        name=f"output_dp_down_{i}_{j}",
+                    )
+                    self.program.add_constraint(
+                        {self.variables[i + 1][j]: 1.0, self.variables[i][j]: -beta},
+                        ">=",
+                        0.0,
+                        name=f"output_dp_up_{i}_{j}",
+                    )
+            return
+        size = self.size
+        num_pairs = size * (size - 1)
+        j_idx = np.repeat(np.arange(size), size - 1)
+        i_idx = np.tile(np.arange(size - 1), size)
+        upper = i_idx * size + j_idx  # ρ_{i,j}
+        lower = upper + size  # ρ_{i+1,j}
+        k = np.arange(num_pairs)
+        ones = np.ones(num_pairs)
+        self.program.add_constraints_from_triplets(
+            rows=np.concatenate([2 * k, 2 * k, 2 * k + 1, 2 * k + 1]),
+            cols=np.concatenate([upper, lower, lower, upper]),
+            vals=np.concatenate([ones, -beta * ones, ones, -beta * ones]),
+            senses=">=",
+            rhs=np.zeros(2 * num_pairs),
+            names=self._output_dp_name,
+        )
+
+    def _output_dp_name(self, k: int) -> str:
+        pair, up = divmod(k, 2)
+        j, i = divmod(pair, self.size - 1)
+        return f"output_dp_{'up' if up else 'down'}_{i}_{j}"
 
     # ------------------------------------------------------------------ #
     # Structural properties (Section IV-A)
@@ -178,104 +281,244 @@ class MechanismLPBuilder:
         dispatch[prop]()
         self._properties.add(prop)
 
+    def _pairwise_block(self, plus, minus, sense, rhs, names) -> None:
+        """Batch of two-term constraints ``ρ[plus_k] - ρ[minus_k] sense rhs``."""
+        count = plus.shape[0]
+        rows = np.arange(count)
+        self.program.add_constraints_from_triplets(
+            rows=np.concatenate([rows, rows]),
+            cols=np.concatenate([plus, minus]),
+            vals=np.concatenate([np.ones(count), -np.ones(count)]),
+            senses=sense,
+            rhs=np.full(count, float(rhs)),
+            names=names,
+        )
+
     def _add_row_honesty(self) -> None:
         """RH (Eq. 7): ``ρ_{i,i} >= ρ_{i,j}``."""
-        for i in range(self.size):
-            for j in range(self.size):
-                if i == j:
-                    continue
-                self.program.add_constraint(
-                    {self.variables[i][i]: 1.0, self.variables[i][j]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"row_honesty_{i}_{j}",
-                )
+        size = self.size
+        if not self.vectorized:
+            for i in range(size):
+                for j in range(size):
+                    if i == j:
+                        continue
+                    self.program.add_constraint(
+                        {self.variables[i][i]: 1.0, self.variables[i][j]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"row_honesty_{i}_{j}",
+                    )
+            return
+        i_idx = np.repeat(np.arange(size), size)
+        j_idx = np.tile(np.arange(size), size)
+        off = i_idx != j_idx
+        i_idx, j_idx = i_idx[off], j_idx[off]
+        self._pairwise_block(
+            plus=i_idx * size + i_idx,
+            minus=i_idx * size + j_idx,
+            sense=">=",
+            rhs=0.0,
+            names=lambda k, i=i_idx, j=j_idx: f"row_honesty_{i[k]}_{j[k]}",
+        )
 
     def _add_row_monotonicity(self) -> None:
         """RM (Eq. 8): row entries decay away from the diagonal."""
-        for i in range(self.size):
-            for j in range(1, i + 1):
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[i][j - 1]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"row_monotone_left_{i}_{j}",
-                )
-            for j in range(i, self.size - 1):
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[i][j + 1]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"row_monotone_right_{i}_{j}",
-                )
+        size = self.size
+        if not self.vectorized:
+            for i in range(size):
+                for j in range(1, i + 1):
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[i][j - 1]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"row_monotone_left_{i}_{j}",
+                    )
+                for j in range(i, size - 1):
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[i][j + 1]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"row_monotone_right_{i}_{j}",
+                    )
+            return
+        # Each row i emits: left pairs for j = 1 … i, then right pairs for
+        # j = i … size-2 (size-1 constraints per row).  The local slot of a
+        # left pair is base + j - 1 and of a right pair base + j, which
+        # reproduces the loop emitter's interleaving exactly.
+        i_grid = np.repeat(np.arange(size), size)
+        j_grid = np.tile(np.arange(size), size)
+        base = i_grid * (size - 1)
+        left = (j_grid >= 1) & (j_grid <= i_grid)
+        right = (j_grid >= i_grid) & (j_grid <= size - 2)
+        li, lj = i_grid[left], j_grid[left]
+        ri, rj = i_grid[right], j_grid[right]
+        rows = np.concatenate([base[left] + lj - 1, base[right] + rj])
+        num = size * (size - 1)
+        plus = np.concatenate([li * size + lj, ri * size + rj])
+        minus = np.concatenate([li * size + lj - 1, ri * size + rj + 1])
+        self.program.add_constraints_from_triplets(
+            rows=np.concatenate([rows, rows]),
+            cols=np.concatenate([plus, minus]),
+            vals=np.concatenate([np.ones(num), -np.ones(num)]),
+            senses=">=",
+            rhs=np.zeros(num),
+            names=self._row_monotone_name,
+        )
+
+    def _row_monotone_name(self, k: int) -> str:
+        i, slot = divmod(k, self.size - 1)
+        j = slot + 1 if slot < i else slot
+        side = "left" if slot < i else "right"
+        return f"row_monotone_{side}_{i}_{j}"
 
     def _add_column_honesty(self) -> None:
         """CH (Eq. 9): ``ρ_{j,j} >= ρ_{i,j}``."""
-        for j in range(self.size):
-            for i in range(self.size):
-                if i == j:
-                    continue
-                self.program.add_constraint(
-                    {self.variables[j][j]: 1.0, self.variables[i][j]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"column_honesty_{i}_{j}",
-                )
+        size = self.size
+        if not self.vectorized:
+            for j in range(size):
+                for i in range(size):
+                    if i == j:
+                        continue
+                    self.program.add_constraint(
+                        {self.variables[j][j]: 1.0, self.variables[i][j]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"column_honesty_{i}_{j}",
+                    )
+            return
+        j_idx = np.repeat(np.arange(size), size)
+        i_idx = np.tile(np.arange(size), size)
+        off = i_idx != j_idx
+        i_idx, j_idx = i_idx[off], j_idx[off]
+        self._pairwise_block(
+            plus=j_idx * size + j_idx,
+            minus=i_idx * size + j_idx,
+            sense=">=",
+            rhs=0.0,
+            names=lambda k, i=i_idx, j=j_idx: f"column_honesty_{i[k]}_{j[k]}",
+        )
 
     def _add_column_monotonicity(self) -> None:
         """CM (Eq. 10): column entries decay away from the diagonal."""
-        for j in range(self.size):
-            for i in range(1, j + 1):
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[i - 1][j]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"column_monotone_up_{i}_{j}",
-                )
-            for i in range(j, self.size - 1):
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -1.0},
-                    ">=",
-                    0.0,
-                    name=f"column_monotone_down_{i}_{j}",
-                )
+        size = self.size
+        if not self.vectorized:
+            for j in range(size):
+                for i in range(1, j + 1):
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[i - 1][j]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"column_monotone_up_{i}_{j}",
+                    )
+                for i in range(j, size - 1):
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[i + 1][j]: -1.0},
+                        ">=",
+                        0.0,
+                        name=f"column_monotone_down_{i}_{j}",
+                    )
+            return
+        # Mirror of row monotonicity with the roles of i and j swapped.
+        j_grid = np.repeat(np.arange(size), size)
+        i_grid = np.tile(np.arange(size), size)
+        base = j_grid * (size - 1)
+        up = (i_grid >= 1) & (i_grid <= j_grid)
+        down = (i_grid >= j_grid) & (i_grid <= size - 2)
+        ui, uj = i_grid[up], j_grid[up]
+        di, dj = i_grid[down], j_grid[down]
+        rows = np.concatenate([base[up] + ui - 1, base[down] + di])
+        num = size * (size - 1)
+        plus = np.concatenate([ui * size + uj, di * size + dj])
+        minus = np.concatenate([(ui - 1) * size + uj, (di + 1) * size + dj])
+        self.program.add_constraints_from_triplets(
+            rows=np.concatenate([rows, rows]),
+            cols=np.concatenate([plus, minus]),
+            vals=np.concatenate([np.ones(num), -np.ones(num)]),
+            senses=">=",
+            rhs=np.zeros(num),
+            names=self._column_monotone_name,
+        )
+
+    def _column_monotone_name(self, k: int) -> str:
+        j, slot = divmod(k, self.size - 1)
+        i = slot + 1 if slot < j else slot
+        side = "up" if slot < j else "down"
+        return f"column_monotone_{side}_{i}_{j}"
 
     def _add_fairness(self) -> None:
         """F (Eq. 11): every diagonal entry equals ``ρ_{0,0}``."""
-        for i in range(1, self.size):
-            self.program.add_constraint(
-                {self.variables[i][i]: 1.0, self.variables[0][0]: -1.0},
-                "==",
-                0.0,
-                name=f"fairness_{i}",
-            )
+        size = self.size
+        if not self.vectorized:
+            for i in range(1, size):
+                self.program.add_constraint(
+                    {self.variables[i][i]: 1.0, self.variables[0][0]: -1.0},
+                    "==",
+                    0.0,
+                    name=f"fairness_{i}",
+                )
+            return
+        i_idx = np.arange(1, size)
+        self._pairwise_block(
+            plus=i_idx * size + i_idx,
+            minus=np.zeros(size - 1, dtype=np.int64),
+            sense="==",
+            rhs=0.0,
+            names=lambda k: f"fairness_{k + 1}",
+        )
 
     def _add_weak_honesty(self) -> None:
         """WH (Eq. 13): ``ρ_{i,i} >= 1 / (n + 1)``."""
-        threshold = 1.0 / self.size
-        for i in range(self.size):
-            self.program.add_constraint(
-                {self.variables[i][i]: 1.0},
-                ">=",
-                threshold,
-                name=f"weak_honesty_{i}",
-            )
+        size = self.size
+        threshold = 1.0 / size
+        if not self.vectorized:
+            for i in range(size):
+                self.program.add_constraint(
+                    {self.variables[i][i]: 1.0},
+                    ">=",
+                    threshold,
+                    name=f"weak_honesty_{i}",
+                )
+            return
+        i_idx = np.arange(size)
+        self.program.add_constraints_from_triplets(
+            rows=i_idx,
+            cols=i_idx * size + i_idx,
+            vals=np.ones(size),
+            senses=">=",
+            rhs=np.full(size, threshold),
+            names=lambda k: f"weak_honesty_{k}",
+        )
 
     def _add_symmetry(self) -> None:
         """S (Eq. 14): centro-symmetry ``ρ_{i,j} = ρ_{n-i,n-j}``."""
-        seen = set()
-        for i in range(self.size):
-            for j in range(self.size):
-                mirror = (self.n - i, self.n - j)
-                if (i, j) == mirror or ((i, j) in seen) or (mirror in seen):
-                    continue
-                seen.add((i, j))
-                self.program.add_constraint(
-                    {self.variables[i][j]: 1.0, self.variables[mirror[0]][mirror[1]]: -1.0},
-                    "==",
-                    0.0,
-                    name=f"symmetry_{i}_{j}",
-                )
+        size = self.size
+        if not self.vectorized:
+            seen = set()
+            for i in range(size):
+                for j in range(size):
+                    mirror = (self.n - i, self.n - j)
+                    if (i, j) == mirror or ((i, j) in seen) or (mirror in seen):
+                        continue
+                    seen.add((i, j))
+                    self.program.add_constraint(
+                        {self.variables[i][j]: 1.0, self.variables[mirror[0]][mirror[1]]: -1.0},
+                        "==",
+                        0.0,
+                        name=f"symmetry_{i}_{j}",
+                    )
+            return
+        # In flat (row-major) indexing the mirror of f is size^2 - 1 - f, so
+        # the loop emitter's first-visit rule keeps exactly the cells in the
+        # strict first half of the grid.
+        flat = np.arange(size * size)
+        keep = flat[2 * flat < size * size - 1]
+        self._pairwise_block(
+            plus=keep,
+            minus=size * size - 1 - keep,
+            sense="==",
+            rhs=0.0,
+            names=lambda k, f=keep: f"symmetry_{f[k] // self.size}_{f[k] % self.size}",
+        )
 
     # ------------------------------------------------------------------ #
     # Objective (constraint 3)
@@ -292,6 +535,11 @@ class MechanismLPBuilder:
         penalties = objective.penalties(self.size)
         weights = objective.prior(self.size)
         if objective.aggregator == "sum":
+            if self.vectorized:
+                self.program.set_objective_from_array(
+                    (penalties * weights[None, :]).ravel(), sense="min"
+                )
+                return
             coefficients: Dict[Variable, float] = {}
             for j in range(self.size):
                 for i in range(self.size):
@@ -302,13 +550,28 @@ class MechanismLPBuilder:
             return
         # Minimax: minimise t subject to per-input loss <= t.
         self._auxiliary = self.program.add_variable("minimax_bound", lower=0.0)
-        for j in range(self.size):
-            row: Dict[Variable, float] = {self._auxiliary: -1.0}
-            for i in range(self.size):
-                coeff = penalties[i, j]
-                if coeff != 0.0:
-                    row[self.variables[i][j]] = coeff
-            self.program.add_constraint(row, "<=", 0.0, name=f"minimax_bound_{j}")
+        if self.vectorized:
+            size = self.size
+            j_idx = np.repeat(np.arange(size), size)
+            i_idx = np.tile(np.arange(size), size)
+            self.program.add_constraints_from_triplets(
+                rows=np.concatenate([np.arange(size), j_idx]),
+                cols=np.concatenate(
+                    [np.full(size, self._auxiliary.index), i_idx * size + j_idx]
+                ),
+                vals=np.concatenate([-np.ones(size), penalties[i_idx, j_idx]]),
+                senses="<=",
+                rhs=np.zeros(size),
+                names=lambda k: f"minimax_bound_{k}",
+            )
+        else:
+            for j in range(self.size):
+                row: Dict[Variable, float] = {self._auxiliary: -1.0}
+                for i in range(self.size):
+                    coeff = penalties[i, j]
+                    if coeff != 0.0:
+                        row[self.variables[i][j]] = coeff
+                self.program.add_constraint(row, "<=", 0.0, name=f"minimax_bound_{j}")
         self.program.set_objective({self._auxiliary: 1.0}, sense="min")
 
     # ------------------------------------------------------------------ #
@@ -337,14 +600,16 @@ def build_mechanism_lp(
     properties: Iterable[Union[str, StructuralProperty]] = (),
     objective: Optional[Objective] = None,
     output_alpha: Optional[float] = None,
+    vectorized: bool = True,
 ) -> MechanismLP:
     """Convenience wrapper assembling BASICDP + properties + objective.
 
     ``output_alpha`` additionally installs the output-side DP constraints of
     the Section-VI extension at the given level (pass ``alpha`` itself for
-    the symmetric requirement).
+    the symmetric requirement).  ``vectorized=False`` selects the loop-based
+    reference emitters (same program, slower assembly).
     """
-    builder = MechanismLPBuilder(n=n, alpha=alpha)
+    builder = MechanismLPBuilder(n=n, alpha=alpha, vectorized=vectorized)
     builder.add_basic_dp()
     if output_alpha is not None:
         builder.add_output_dp(output_alpha)

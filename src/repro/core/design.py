@@ -13,7 +13,8 @@ reproduces the fully constrained designs of Figure 2.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+import time
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.constraints import MechanismLP, build_mechanism_lp
 from repro.core.losses import Objective
@@ -66,10 +67,14 @@ def design_mechanism(
     """
     objective = objective if objective is not None else Objective.l0()
     props = parse_properties(properties)
+    build_start = time.perf_counter()
     mechanism_lp = build_mechanism_lp(
         n=n, alpha=alpha, properties=props, objective=objective, output_alpha=output_alpha
     )
-    mechanism = solve_mechanism_lp(mechanism_lp, backend=backend, name=name)
+    build_seconds = time.perf_counter() - build_start
+    mechanism = solve_mechanism_lp(
+        mechanism_lp, backend=backend, name=name, build_seconds=build_seconds
+    )
     if output_alpha is not None:
         mechanism.metadata["output_alpha"] = float(output_alpha)
     return mechanism
@@ -79,13 +84,18 @@ def solve_mechanism_lp(
     mechanism_lp: MechanismLP,
     backend: str = DEFAULT_BACKEND,
     name: Optional[str] = None,
+    build_seconds: Optional[float] = None,
 ) -> Mechanism:
     """Solve an already-built :class:`MechanismLP` and wrap the result.
 
     Exposed separately so callers can inspect or extend the LP (e.g. to add
     bespoke constraints beyond the paper's seven properties) before solving.
+    ``build_seconds``, when known, is recorded alongside the solve wall-time
+    so benchmark runs can track the build/solve cost trajectory.
     """
+    solve_start = time.perf_counter()
     solution = solve(mechanism_lp.program, backend=backend)
+    solve_seconds = time.perf_counter() - solve_start
     matrix = mechanism_lp.matrix_from_values(solution.values)
     label = combination_label(mechanism_lp.properties)
     mechanism_name = name or f"LP[{label}]"
@@ -97,9 +107,44 @@ def solve_mechanism_lp(
         "properties": sorted(prop.value for prop in mechanism_lp.properties),
         "lp_variables": mechanism_lp.program.num_variables,
         "lp_constraints": mechanism_lp.program.num_constraints,
+        "lp_nonzeros": mechanism_lp.program.num_nonzeros(),
         "lp_iterations": solution.iterations,
+        "lp_solve_seconds": float(solve_seconds),
     }
+    if build_seconds is not None:
+        metadata["lp_build_seconds"] = float(build_seconds)
     return Mechanism(matrix, name=mechanism_name, alpha=mechanism_lp.alpha, metadata=metadata)
+
+
+def design_mechanisms(
+    specs: Sequence[Mapping[str, Any]],
+    backend: str = DEFAULT_BACKEND,
+    max_workers: Optional[int] = None,
+) -> List[Mechanism]:
+    """Design many mechanisms, optionally across worker processes.
+
+    ``specs`` is a sequence of keyword-argument mappings for
+    :func:`design_mechanism` (e.g. ``{"n": 20, "alpha": 0.9, "properties":
+    "all"}``).  Results are returned in input order regardless of worker
+    scheduling, so parallel runs are exactly reproducible.  With
+    ``max_workers`` unset (or <= 1) everything runs in-process; otherwise
+    each grid point is solved in a separate process, which is what lets
+    figure sweeps use every available core for their LP design stage.
+    """
+    tasks = [dict(spec) for spec in specs]
+    for task in tasks:
+        task.setdefault("backend", backend)
+    if max_workers is None or int(max_workers) <= 1 or len(tasks) <= 1:
+        return [design_mechanism(**task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=int(max_workers)) as pool:
+        return list(pool.map(_design_mechanism_task, tasks))
+
+
+def _design_mechanism_task(task: Mapping[str, Any]) -> Mechanism:
+    """Module-level worker so :func:`design_mechanisms` tasks can pickle."""
+    return design_mechanism(**task)
 
 
 def optimal_objective_value(

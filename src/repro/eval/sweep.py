@@ -69,6 +69,21 @@ class SweepResult:
         self.rows.extend(other.rows)
 
 
+#: Process-level default for the parallel design stage; ``None`` means run
+#: in-process.  Set via :func:`set_default_max_workers` (the experiment
+#: runner's ``--max-workers`` flag threads through here) so every sweep in a
+#: run picks up the setting without each call site growing a parameter.
+DEFAULT_MAX_WORKERS: Optional[int] = None
+
+
+def set_default_max_workers(max_workers: Optional[int]) -> Optional[int]:
+    """Set the default worker count for sweep design stages; returns the old value."""
+    global DEFAULT_MAX_WORKERS
+    previous = DEFAULT_MAX_WORKERS
+    DEFAULT_MAX_WORKERS = None if max_workers is None else int(max_workers)
+    return previous
+
+
 def _resolve_mechanism(
     name_or_mechanism: Union[str, Mechanism], n: int, alpha: float, backend: str
 ) -> Mechanism:
@@ -77,6 +92,52 @@ def _resolve_mechanism(
     if str(name_or_mechanism).upper() in ("WM", "WEAKLY_HONEST", "WEAK_HONEST"):
         return create_mechanism("WM", n=n, alpha=alpha, backend=backend)
     return create_mechanism(str(name_or_mechanism), n=n, alpha=alpha)
+
+
+def _resolve_mechanism_task(task) -> Mechanism:
+    """Module-level worker so the parallel design stage can pickle its jobs."""
+    name, n, alpha, backend = task
+    return _resolve_mechanism(name, n, alpha, backend)
+
+
+def _build_mechanism_grid(
+    alphas: Sequence[float],
+    group_sizes: Sequence[int],
+    mechanisms: Sequence[Union[str, Mechanism]],
+    backend: str,
+    max_workers: Optional[int],
+) -> Dict[Tuple[float, int], List[Mechanism]]:
+    """Build every ``(alpha, n)`` mechanism list, optionally across processes.
+
+    Mechanism design depends only on ``(n, alpha)``, not on the random
+    streams, so this stage can fan out to worker processes without touching
+    reproducibility: results are keyed and ordered deterministically, and the
+    data/evaluation seeds are drawn later exactly as in the serial path.
+    """
+    pairs = [(float(alpha), int(size)) for alpha in alphas for size in group_sizes]
+    built: Dict[Tuple[float, int], List[Mechanism]] = {pair: [] for pair in pairs}
+    if max_workers is not None and int(max_workers) > 1:
+        jobs = []
+        for pair in pairs:
+            for mechanism in mechanisms:
+                if not isinstance(mechanism, Mechanism):
+                    jobs.append((str(mechanism), pair[1], pair[0], backend))
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=int(max_workers)) as pool:
+            resolved = iter(list(pool.map(_resolve_mechanism_task, jobs)))
+        for pair in pairs:
+            built[pair] = [
+                mechanism if isinstance(mechanism, Mechanism) else next(resolved)
+                for mechanism in mechanisms
+            ]
+    else:
+        for alpha, group_size in pairs:
+            built[(alpha, group_size)] = [
+                _resolve_mechanism(mechanism, group_size, alpha, backend)
+                for mechanism in mechanisms
+            ]
+    return built
 
 
 def sweep(
@@ -90,6 +151,7 @@ def sweep(
     seed: Optional[int] = None,
     backend: str = "scipy",
     data: Optional[Mapping[Tuple[int, float], GroupedCounts]] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run every mechanism over the grid of (α, n, p) and collect metric rows.
 
@@ -111,17 +173,25 @@ def sweep(
     data:
         Optional pre-computed workloads keyed by ``(group_size, probability)``
         overriding the Binomial generator (used by the Adult experiments).
+    max_workers:
+        Opt-in process parallelism for the LP design stage: when > 1, the
+        mechanisms for every ``(alpha, n)`` grid point are designed
+        concurrently in worker processes.  Results are identical to the
+        serial path (design is deterministic and the random streams are
+        drawn in the same order either way).  Defaults to the module-level
+        :data:`DEFAULT_MAX_WORKERS`.
     """
     result = SweepResult()
     metric_functions = dict(DEFAULT_METRICS if metrics is None else metrics)
     seed_sequence = np.random.SeedSequence(seed)
+    if max_workers is None:
+        max_workers = DEFAULT_MAX_WORKERS
+    # Mechanisms depend only on (n, alpha): build them once per pair, in
+    # parallel when requested.
+    mechanism_grid = _build_mechanism_grid(alphas, group_sizes, mechanisms, backend, max_workers)
     for alpha in alphas:
         for group_size in group_sizes:
-            # Mechanisms depend only on (n, alpha): build them once per pair.
-            built = [
-                _resolve_mechanism(mechanism, group_size, alpha, backend)
-                for mechanism in mechanisms
-            ]
+            built = mechanism_grid[(float(alpha), int(group_size))]
             for probability in probabilities:
                 if data is not None and (group_size, probability) in data:
                     workload = data[(group_size, probability)]

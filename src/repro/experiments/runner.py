@@ -33,6 +33,7 @@ from repro.experiments import (
     fig12_l0d_histograms,
     fig13_rmse,
 )
+from repro.eval.sweep import set_default_max_workers
 from repro.experiments.base import ExperimentResult
 
 
@@ -96,24 +97,40 @@ def run_experiments(
     fast: bool = False,
     csv_dir: Optional[Path] = None,
     verbose: bool = True,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the selected experiments and return their results keyed by name."""
+    """Run the selected experiments and return their results keyed by name.
+
+    ``max_workers`` opts the sweeps' LP design stage into process
+    parallelism for the duration of the run (see
+    :func:`repro.eval.sweep.set_default_max_workers`); results are identical
+    to a serial run.
+    """
     settings = _fast_settings() if fast else _full_settings()
     selected = list(names) if names is not None else list(settings)
     unknown = [name for name in selected if name not in settings]
     if unknown:
         raise KeyError(f"unknown experiments {unknown}; available: {list(settings)}")
     results: Dict[str, ExperimentResult] = {}
-    for name in selected:
-        result = settings[name]()
-        results[name] = result
-        if verbose:
-            print(result.to_table())
-            print()
-        if csv_dir is not None:
-            csv_dir = Path(csv_dir)
-            csv_dir.mkdir(parents=True, exist_ok=True)
-            result.to_csv(path=csv_dir / f"{name}.csv")
+    # Only override the sweep-level default when explicitly asked, so a
+    # caller's own set_default_max_workers() configuration survives.
+    previous_workers = (
+        set_default_max_workers(max_workers) if max_workers is not None else None
+    )
+    try:
+        for name in selected:
+            result = settings[name]()
+            results[name] = result
+            if verbose:
+                print(result.to_table())
+                print()
+            if csv_dir is not None:
+                csv_dir = Path(csv_dir)
+                csv_dir.mkdir(parents=True, exist_ok=True)
+                result.to_csv(path=csv_dir / f"{name}.csv")
+    finally:
+        if max_workers is not None:
+            set_default_max_workers(previous_workers)
     return results
 
 
@@ -124,8 +141,19 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover - CLI gl
         "--only", nargs="*", default=None, help="subset of experiments to run (e.g. figure-9)"
     )
     parser.add_argument("--csv-dir", type=Path, default=None, help="directory for CSV output")
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="design LP grid points in this many worker processes (default: in-process)",
+    )
     arguments = parser.parse_args(argv)
-    run_experiments(names=arguments.only, fast=arguments.fast, csv_dir=arguments.csv_dir)
+    run_experiments(
+        names=arguments.only,
+        fast=arguments.fast,
+        csv_dir=arguments.csv_dir,
+        max_workers=arguments.max_workers,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

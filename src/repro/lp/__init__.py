@@ -19,7 +19,11 @@ against each other and against the paper's closed forms.
 """
 
 from repro.lp.model import (
+    SENSE_EQ,
+    SENSE_GE,
+    SENSE_LE,
     Constraint,
+    ConstraintBlock,
     ConstraintSense,
     LinearProgram,
     ObjectiveSense,
@@ -36,7 +40,11 @@ from repro.lp.solver import (
 )
 
 __all__ = [
+    "SENSE_EQ",
+    "SENSE_GE",
+    "SENSE_LE",
     "Constraint",
+    "ConstraintBlock",
     "ConstraintSense",
     "LinearProgram",
     "ObjectiveSense",

@@ -4,6 +4,11 @@ This is the default backend: ``scipy.optimize.linprog`` with the HiGHS dual
 simplex is both faster and numerically more robust than the reference
 NumPy simplex in :mod:`repro.lp.simplex`, especially for the larger programs
 generated when the group size ``n`` reaches the tens.
+
+``A_ub`` and ``A_eq`` may be dense NumPy arrays or ``scipy.sparse`` matrices;
+sparse inputs are forwarded to HiGHS as-is, which is what lets the
+mechanism-design pipeline scale to group sizes in the hundreds without ever
+materialising an ``O(n^4)`` dense constraint matrix.
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 import numpy as np
-from scipy import optimize
+from scipy import optimize, sparse
 
 #: scipy status codes mapped onto our status vocabulary.
 _SCIPY_STATUS = {
@@ -23,11 +28,21 @@ _SCIPY_STATUS = {
 }
 
 
+def _prepare_matrix(matrix) -> Optional[object]:
+    """Pass sparse matrices through untouched; densify/validate anything else."""
+    if matrix is None:
+        return None
+    if sparse.issparse(matrix):
+        return matrix if matrix.shape[0] else None
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix if matrix.size else None
+
+
 def solve_general_form(
     c: np.ndarray,
-    A_ub: np.ndarray,
+    A_ub,
     b_ub: np.ndarray,
-    A_eq: np.ndarray,
+    A_eq,
     b_eq: np.ndarray,
     lower: np.ndarray,
     upper: np.ndarray,
@@ -36,6 +51,7 @@ def solve_general_form(
 ) -> Dict[str, object]:
     """Solve a general-form LP with ``scipy.optimize.linprog`` (HiGHS).
 
+    ``A_ub``/``A_eq`` may be dense arrays or ``scipy.sparse`` matrices.
     Returns a dict with keys ``status``, ``x``, ``objective``, ``iterations``
     and ``message`` — the same vocabulary as the NumPy simplex backend so
     :mod:`repro.lp.solver` can treat backends uniformly.
@@ -49,12 +65,14 @@ def solve_general_form(
     if max_iterations is not None:
         options["maxiter"] = int(max_iterations)
 
+    A_ub = _prepare_matrix(A_ub)
+    A_eq = _prepare_matrix(A_eq)
     result = optimize.linprog(
         c=np.asarray(c, dtype=float),
-        A_ub=np.asarray(A_ub, dtype=float) if np.size(A_ub) else None,
-        b_ub=np.asarray(b_ub, dtype=float) if np.size(b_ub) else None,
-        A_eq=np.asarray(A_eq, dtype=float) if np.size(A_eq) else None,
-        b_eq=np.asarray(b_eq, dtype=float) if np.size(b_eq) else None,
+        A_ub=A_ub,
+        b_ub=np.asarray(b_ub, dtype=float) if A_ub is not None else None,
+        A_eq=A_eq,
+        b_eq=np.asarray(b_eq, dtype=float) if A_eq is not None else None,
         bounds=bounds,
         method="highs",
         options=options,

@@ -66,6 +66,11 @@ class LPSolution:
     ``objective`` is reported in the *original* sense of the program (so a
     maximisation problem reports the maximum, not its negation) and includes
     the objective constant.
+
+    The name-to-value view :attr:`by_name` is materialised lazily from
+    ``variable_names`` on first access: a mechanism-design LP has
+    ``(n + 1)^2`` variables, and most callers only ever read the raw
+    ``values`` vector.
     """
 
     status: LPStatus
@@ -74,7 +79,20 @@ class LPSolution:
     backend: str
     iterations: int = 0
     message: str = ""
-    by_name: Dict[str, float] = field(default_factory=dict)
+    variable_names: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name_cache: Optional[Dict[str, float]] = None
+
+    @property
+    def by_name(self) -> Dict[str, float]:
+        """Solution values keyed by variable name (built on first access)."""
+        if self._by_name_cache is None:
+            names = self.variable_names or ()
+            self._by_name_cache = {
+                name: float(value) for name, value in zip(names, self.values)
+            }
+        return self._by_name_cache
 
     def __getitem__(self, name: str) -> float:
         return self.by_name[name]
@@ -84,7 +102,12 @@ class LPSolution:
         return float(self.values[variable.index])
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable representation (used by the on-disk design cache)."""
+        """JSON-serialisable snapshot of the solution.
+
+        Variable names are stored once (in index order) rather than as a
+        duplicate name-to-value mapping, so the payload carries each solution
+        value exactly once.
+        """
         return {
             "status": self.status.value,
             "values": [float(v) for v in self.values],
@@ -92,21 +115,27 @@ class LPSolution:
             "backend": self.backend,
             "iterations": int(self.iterations),
             "message": self.message,
-            "by_name": {name: float(value) for name, value in self.by_name.items()},
+            "variable_names": list(self.variable_names or ()),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "LPSolution":
-        """Inverse of :meth:`to_dict`."""
-        return cls(
+        """Inverse of :meth:`to_dict` (also reads the legacy ``by_name`` form)."""
+        solution = cls(
             status=LPStatus(str(payload["status"])),
             values=np.asarray(payload["values"], dtype=float),
             objective=float(payload["objective"]),  # type: ignore[arg-type]
             backend=str(payload["backend"]),
             iterations=int(payload.get("iterations", 0)),  # type: ignore[arg-type]
             message=str(payload.get("message", "")),
-            by_name={str(k): float(v) for k, v in dict(payload.get("by_name", {})).items()},
+            variable_names=tuple(str(name) for name in payload.get("variable_names", ())) or None,
         )
+        if solution.variable_names is None and "by_name" in payload:
+            solution._by_name_cache = {
+                str(k): float(v) for k, v in dict(payload["by_name"]).items()
+            }
+            solution.variable_names = tuple(solution._by_name_cache)
+        return solution
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -120,6 +149,7 @@ def solve(
     tolerance: float = 1e-9,
     max_iterations: Optional[int] = None,
     check: bool = True,
+    sparse: Optional[bool] = None,
 ) -> LPSolution:
     """Solve a linear program and return an :class:`LPSolution`.
 
@@ -139,6 +169,11 @@ def solve(
         When true (default), verify that the returned point satisfies every
         constraint of the original program to within ``100 * tolerance`` and
         raise :class:`LPError` otherwise.
+    sparse:
+        Whether to export the constraint matrices in SciPy CSR form rather
+        than densifying them.  Defaults to ``True`` for the scipy backend
+        (HiGHS consumes sparse matrices natively) and is ignored by the
+        dense-only simplex backend.
 
     Raises
     ------
@@ -149,9 +184,11 @@ def solve(
         raise ValueError(f"unknown LP backend {backend!r}; available: {BACKENDS}")
     global _SOLVE_CALLS
     _SOLVE_CALLS += 1
-    arrays = program.to_standard_arrays()
+    if sparse is None:
+        sparse = backend == "scipy"
 
     if backend == "scipy":
+        arrays = program.to_sparse_arrays() if sparse else program.to_standard_arrays()
         raw = scipy_backend.solve_general_form(
             arrays["c"],
             arrays["A_ub"],
@@ -168,6 +205,7 @@ def solve(
         iterations = int(raw["iterations"])  # type: ignore[arg-type]
         message = str(raw["message"])
     else:
+        arrays = program.to_standard_arrays()
         result = simplex.solve_general_form(
             arrays["c"],
             arrays["A_ub"],
@@ -201,7 +239,6 @@ def solve(
             )
 
     objective = program.objective_value(values)
-    by_name = {var.name: float(values[var.index]) for var in program.variables}
     return LPSolution(
         status=LPStatus.OPTIMAL,
         values=values,
@@ -209,5 +246,5 @@ def solve(
         backend=backend,
         iterations=iterations,
         message=message,
-        by_name=by_name,
+        variable_names=program.variable_names(),
     )

@@ -113,6 +113,28 @@ class BatchReleaseSession:
         # the cache's LRU capacity so a long-lived session's memory stays
         # governed by the same knob as the cache itself.
         self._designs: "OrderedDict[str, Tuple[Mechanism, Any]]" = OrderedDict()
+        # Raw-request -> canonical-key memo: design_key() re-parses and
+        # re-sorts the property spec on every call, which dominates the
+        # per-record serving cost once sampling is vectorised.  Keyed on the
+        # request fields as given (falling back to recomputing when a field
+        # is unhashable, e.g. a list of properties) and cleared when it
+        # outgrows a multiple of the design-cache capacity so a long-lived
+        # session's memory stays bounded.
+        self._key_memo: Dict[Any, str] = {}
+        self._key_memo_limit = max(1024, 8 * self.cache.capacity)
+
+    def _design_key(self, n, alpha, properties, objective) -> str:
+        memo_key = (n, alpha, properties, objective)
+        try:
+            cached = self._key_memo.get(memo_key)
+        except TypeError:
+            return design_key(n, alpha, properties, objective, self.backend)
+        if cached is None:
+            cached = design_key(n, alpha, properties, objective, self.backend)
+            if len(self._key_memo) >= self._key_memo_limit:
+                self._key_memo.clear()
+            self._key_memo[memo_key] = cached
+        return cached
 
     def _design(
         self,
@@ -146,8 +168,8 @@ class BatchReleaseSession:
         # RNG consumption (and therefore reproducibility) is well defined.
         buckets: "Dict[str, List[int]]" = {}
         for index, record in enumerate(records):
-            key = design_key(
-                record.n, record.alpha, record.properties, record.objective, self.backend
+            key = self._design_key(
+                record.n, record.alpha, record.properties, record.objective
             )
             buckets.setdefault(key, []).append(index)
 

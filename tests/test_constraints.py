@@ -101,3 +101,115 @@ class TestSolvedConstraints:
         assert worst_case_loss(minimax_mechanism, p=1) <= worst_case_loss(
             expectation_mechanism, p=1
         ) + 1e-7
+
+
+# --------------------------------------------------------------------- #
+# Vectorized emitters versus the loop-based reference
+# --------------------------------------------------------------------- #
+def _assert_same_program(vectorized, loop_based):
+    """Both builders must emit the identical constraint system.
+
+    Identical means: same constraint order, names, senses, right-hand sides
+    and per-row coefficient dictionaries, plus the same objective vector.
+    """
+    program_v, program_l = vectorized.program, loop_based.program
+    assert program_v.num_variables == program_l.num_variables
+    assert program_v.num_constraints == program_l.num_constraints
+    for got, expected in zip(program_v.constraints, program_l.constraints):
+        assert got.name == expected.name
+        assert got.sense is expected.sense
+        assert got.rhs == expected.rhs
+        assert got.coefficients == expected.coefficients, got.name
+    assert np.array_equal(program_v.objective_vector(), program_l.objective_vector())
+    assert program_v.objective_sense is program_l.objective_sense
+
+
+def _property_combinations():
+    import itertools
+
+    codes = [prop.value for prop in ALL_PROPERTIES]
+    for r in range(len(codes) + 1):
+        yield from itertools.combinations(codes, r)
+
+
+class TestVectorizedEmitterEquivalence:
+    @pytest.mark.parametrize("n", [1, 4, 5])
+    def test_every_property_combination_matches_loop_builder(self, n):
+        """Property-style exhaustive check over all 2^7 property subsets."""
+        for combo in _property_combinations():
+            vectorized = build_mechanism_lp(n, 0.73, properties=combo, vectorized=True)
+            loop_based = build_mechanism_lp(n, 0.73, properties=combo, vectorized=False)
+            _assert_same_program(vectorized, loop_based)
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 1.0])
+    def test_alpha_edge_cases_match(self, alpha):
+        # alpha = 0 exercises the zero-coefficient dropping path.
+        vectorized = build_mechanism_lp(4, alpha, properties="all", vectorized=True)
+        loop_based = build_mechanism_lp(4, alpha, properties="all", vectorized=False)
+        _assert_same_program(vectorized, loop_based)
+
+    @pytest.mark.parametrize(
+        "objective",
+        [Objective.l1(), Objective.l2(), Objective.l0d(2), Objective.minimax(p=1)],
+        ids=["l1", "l2", "l0d2", "minimax"],
+    )
+    def test_objectives_match(self, objective):
+        vectorized = build_mechanism_lp(5, 0.8, objective=objective, vectorized=True)
+        loop_based = build_mechanism_lp(5, 0.8, objective=objective, vectorized=False)
+        _assert_same_program(vectorized, loop_based)
+
+    def test_weighted_objective_matches(self):
+        weights = [1.0, 2.0, 3.0, 2.0, 1.0, 0.5]
+        vectorized = build_mechanism_lp(
+            5, 0.8, objective=Objective.l0(weights=weights), vectorized=True
+        )
+        loop_based = build_mechanism_lp(
+            5, 0.8, objective=Objective.l0(weights=weights), vectorized=False
+        )
+        _assert_same_program(vectorized, loop_based)
+
+    @pytest.mark.parametrize("output_alpha", [0.0, 0.6])
+    def test_output_dp_matches(self, output_alpha):
+        vectorized = build_mechanism_lp(
+            4, 0.8, properties="all", output_alpha=output_alpha, vectorized=True
+        )
+        loop_based = build_mechanism_lp(
+            4, 0.8, properties="all", output_alpha=output_alpha, vectorized=False
+        )
+        _assert_same_program(vectorized, loop_based)
+
+    def test_solutions_identical_across_builders(self):
+        vectorized = build_mechanism_lp(6, 0.85, properties="all", vectorized=True)
+        loop_based = build_mechanism_lp(6, 0.85, properties="all", vectorized=False)
+        solution_v = solve(vectorized.program)
+        solution_l = solve(loop_based.program)
+        assert np.array_equal(solution_v.values, solution_l.values)
+
+
+class TestMatrixFromValues:
+    def test_matches_explicit_double_loop(self):
+        mechanism_lp = build_mechanism_lp(n=5, alpha=0.7, properties="WH+CM")
+        solution = solve(mechanism_lp.program)
+        fast = mechanism_lp.matrix_from_values(solution.values)
+        size = mechanism_lp.n + 1
+        slow = np.zeros((size, size))
+        for i in range(size):
+            for j in range(size):
+                slow[i, j] = float(solution.values[mechanism_lp.variables[i][j].index])
+        slow = np.clip(slow, 0.0, 1.0)
+        slow /= slow.sum(axis=0, keepdims=True)
+        assert np.array_equal(fast, slow)
+
+    def test_zero_column_raises_instead_of_dividing(self):
+        mechanism_lp = build_mechanism_lp(n=2, alpha=0.5)
+        values = np.zeros(mechanism_lp.program.num_variables)
+        values[mechanism_lp.variables[0][0].index] = 1.0  # only column 0 nonzero
+        with pytest.raises(ValueError, match="sum to zero"):
+            mechanism_lp.matrix_from_values(values)
+
+    def test_ignores_trailing_auxiliary_variables(self):
+        mechanism_lp = build_mechanism_lp(n=3, alpha=0.6, objective=Objective.minimax(p=1))
+        solution = solve(mechanism_lp.program)
+        matrix = mechanism_lp.matrix_from_values(solution.values)
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix.sum(axis=0), 1.0)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.design import design_mechanism, optimal_objective_value
+from repro.core.design import design_mechanism, design_mechanisms, optimal_objective_value
 from repro.core.losses import Objective, l0_score, l1_score
 from repro.core.properties import (
     ALL_PROPERTIES,
@@ -116,3 +116,40 @@ class TestWeightedAndMinimaxObjectives:
             5, 0.8, properties="F", objective=Objective(p=0, weights=[5, 1, 1, 1, 1, 1])
         )
         assert uniform_cost == pytest.approx(skewed_cost, abs=1e-7)
+
+
+class TestSolveProvenance:
+    def test_metadata_records_lp_size_and_timings(self):
+        mechanism = design_mechanism(6, 0.8, properties="all")
+        metadata = mechanism.metadata
+        assert metadata["lp_nonzeros"] > 0
+        assert metadata["lp_nonzeros"] >= metadata["lp_constraints"]
+        assert metadata["lp_build_seconds"] >= 0.0
+        assert metadata["lp_solve_seconds"] >= 0.0
+
+    def test_solve_mechanism_lp_without_build_time_omits_key(self):
+        from repro.core.constraints import build_mechanism_lp
+        from repro.core.design import solve_mechanism_lp
+
+        mechanism = solve_mechanism_lp(build_mechanism_lp(4, 0.7))
+        assert "lp_build_seconds" not in mechanism.metadata
+        assert mechanism.metadata["lp_solve_seconds"] >= 0.0
+
+
+class TestDesignMechanismsBatch:
+    SPECS = [
+        {"n": 3, "alpha": 0.6},
+        {"n": 4, "alpha": 0.8, "properties": "all"},
+        {"n": 5, "alpha": 0.7, "properties": "WH+CM"},
+    ]
+
+    def test_results_in_input_order(self):
+        mechanisms = design_mechanisms(self.SPECS)
+        assert [m.n for m in mechanisms] == [3, 4, 5]
+
+    def test_parallel_matches_serial(self):
+        serial = design_mechanisms(self.SPECS)
+        parallel = design_mechanisms(self.SPECS, max_workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.matrix, b.matrix)
+            assert a.name == b.name

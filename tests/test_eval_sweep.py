@@ -112,3 +112,33 @@ class TestSweepResult:
         other = SweepResult(rows=[{"mechanism": "UM"}])
         result.extend(other)
         assert len(result.rows) == 4
+
+
+class TestParallelDesignStage:
+    def test_parallel_sweep_matches_serial_exactly(self):
+        """max_workers only parallelises LP design; every row must be identical."""
+        kwargs = dict(
+            alphas=[0.67, 0.91],
+            group_sizes=[3, 5],
+            probabilities=[0.5],
+            mechanisms=("GM", "WM", "UM"),
+            repetitions=2,
+            num_groups=50,
+            seed=11,
+        )
+        serial = sweep(**kwargs)
+        parallel = sweep(max_workers=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_default_max_workers_round_trips(self):
+        import importlib
+
+        from repro.eval.sweep import set_default_max_workers
+
+        sweep_module = importlib.import_module("repro.eval.sweep")
+        previous = set_default_max_workers(4)
+        try:
+            assert sweep_module.DEFAULT_MAX_WORKERS == 4
+        finally:
+            restored = set_default_max_workers(previous)
+            assert restored == 4

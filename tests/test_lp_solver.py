@@ -93,3 +93,33 @@ class TestSolveDispatch:
         assert isinstance(solution, LPSolution)
         assert solution.values.shape == (2,)
         assert np.all(solution.values >= -1e-9)
+
+
+class TestSparseSolvePath:
+    def _program(self):
+        from repro.core.constraints import build_mechanism_lp
+
+        return build_mechanism_lp(n=6, alpha=0.8, properties="all").program
+
+    def test_sparse_and_dense_exports_reach_identical_solutions(self):
+        program = self._program()
+        sparse_solution = solve(program, backend="scipy", sparse=True)
+        dense_solution = solve(program, backend="scipy", sparse=False)
+        assert np.array_equal(sparse_solution.values, dense_solution.values)
+        assert sparse_solution.objective == pytest.approx(dense_solution.objective)
+
+    def test_by_name_is_lazy_but_complete(self):
+        program = self._program()
+        solution = solve(program)
+        assert solution._by_name_cache is None  # not materialised by solving
+        assert solution["rho_0_0"] == pytest.approx(solution.values[0])
+        assert len(solution.by_name) == program.num_variables
+
+    def test_serialisation_round_trip_preserves_by_name(self):
+        import json
+
+        program = self._program()
+        solution = solve(program)
+        payload = json.loads(json.dumps(solution.to_dict()))
+        restored = LPSolution.from_dict(payload)
+        assert restored.by_name == pytest.approx(solution.by_name)
