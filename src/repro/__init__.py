@@ -27,7 +27,14 @@ from repro.core.losses import (
     objective_value,
     truth_probability,
 )
-from repro.core.mechanism import Mechanism, empirical_prior, uniform_prior
+from repro.core.mechanism import (
+    ClosedFormMechanism,
+    DenseMechanism,
+    Mechanism,
+    SparseMechanism,
+    empirical_prior,
+    uniform_prior,
+)
 from repro.core.properties import (
     ALL_PROPERTIES,
     StructuralProperty,
@@ -81,6 +88,9 @@ __all__ = [
     "__version__",
     # Core types
     "Mechanism",
+    "DenseMechanism",
+    "ClosedFormMechanism",
+    "SparseMechanism",
     "Objective",
     "StructuralProperty",
     "ALL_PROPERTIES",

@@ -83,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     design.add_argument("--output-alpha", type=float, default=None,
                         help="also enforce output-side DP at this level (Section VI extension)")
+    design.add_argument("--representation", choices=("dense", "sparse"), default="dense",
+                        help="how to store an LP-designed mechanism (sparse = CSC non-zeros only)")
     design.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
     design.add_argument("--heatmap", action="store_true", help="print an ASCII heatmap")
     design.add_argument("--matrix", action="store_true", help="print the full probability matrix")
@@ -125,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--counts", type=int, nargs="*", default=None, help="true counts")
     serve.add_argument("--counts-file", type=Path, default=None,
                        help="file with one true count per line")
+    serve.add_argument("--random-counts", type=int, default=None, metavar="K",
+                       help="serve K uniformly random true counts in [0, n] "
+                            "(seeded by --seed; handy for load tests at large n)")
     serve.add_argument("--requests-file", type=Path, default=None,
                        help="CSV of mixed requests: group,count,n,alpha[,properties]")
     serve.add_argument("--seed", type=int, default=None,
@@ -172,6 +177,7 @@ def _command_design(args: argparse.Namespace) -> int:
             properties=args.properties,
             backend=args.backend,
             output_alpha=args.output_alpha,
+            representation=args.representation,
         )
     _print_mechanism(mechanism, args.heatmap, args.matrix)
     if args.save is not None:
@@ -282,13 +288,16 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     from repro.serving import BatchReleaseSession, DesignCache
 
     solves_before = solve_call_count()
+    densifications_before = Mechanism.densifications
     cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
     rng = np.random.default_rng(args.seed)
     session = BatchReleaseSession(cache=cache, rng=rng, backend=args.backend)
 
     if args.requests_file is not None:
-        if args.counts is not None or args.counts_file is not None:
-            raise SystemExit("--requests-file cannot be combined with --counts/--counts-file")
+        if args.counts is not None or args.counts_file is not None or args.random_counts is not None:
+            raise SystemExit(
+                "--requests-file cannot be combined with --counts/--counts-file/--random-counts"
+            )
         requests = _parse_request_rows(args.requests_file)
         try:
             results = session.release(requests)
@@ -301,7 +310,16 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     else:
         if args.n is None or args.alpha is None:
             raise SystemExit("--n and --alpha are required unless --requests-file is given")
-        counts = _load_counts(args)
+        if args.random_counts is not None:
+            if args.counts is not None or args.counts_file is not None:
+                raise SystemExit("--random-counts cannot be combined with --counts/--counts-file")
+            if args.random_counts < 1:
+                raise SystemExit("--random-counts must be positive")
+            # Drawn from the same seeded generator the session samples with,
+            # so a (seed, n, alpha, K) tuple fully determines the output.
+            counts = rng.integers(0, args.n + 1, size=args.random_counts)
+        else:
+            counts = _load_counts(args)
         if counts.size == 0:
             raise SystemExit("no counts supplied")
         try:
@@ -319,7 +337,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         print("\n".join(lines))
     if args.stats:
         print(f"serve-batch: {session.describe()} "
-              f"lp_solves={solve_call_count() - solves_before}")
+              f"lp_solves={solve_call_count() - solves_before} "
+              f"densifications={Mechanism.densifications - densifications_before}")
     return 0
 
 

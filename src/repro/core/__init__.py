@@ -17,7 +17,12 @@ This package implements the paper's primary contribution:
   Gupte–Sundararajan derivability test and Theorem-1 symmetrisation.
 """
 
-from repro.core.mechanism import Mechanism
+from repro.core.mechanism import (
+    ClosedFormMechanism,
+    DenseMechanism,
+    Mechanism,
+    SparseMechanism,
+)
 from repro.core.properties import (
     ALL_PROPERTIES,
     StructuralProperty,
@@ -42,6 +47,9 @@ from repro.core import theory
 
 __all__ = [
     "Mechanism",
+    "DenseMechanism",
+    "ClosedFormMechanism",
+    "SparseMechanism",
     "StructuralProperty",
     "ALL_PROPERTIES",
     "parse_properties",

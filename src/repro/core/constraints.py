@@ -78,6 +78,39 @@ class MechanismLP:
         matrix /= column_sums
         return matrix
 
+    def sparse_matrix_from_values(self, values: Sequence[float]):
+        """Assemble the mechanism as a CSC sparse matrix from a solution vector.
+
+        Same clipping/renormalisation semantics as :meth:`matrix_from_values`
+        but only the strictly positive entries are kept, so the result is
+        O(nnz) — LP optima are sparse/banded, and this is what lets
+        :mod:`repro.core.design` hand the serving layer a
+        :class:`~repro.core.mechanism.SparseMechanism` without ever storing
+        the dense ``(n + 1)^2`` matrix.
+        """
+        from scipy import sparse
+
+        values = np.asarray(values, dtype=float)
+        size = self.n + 1
+        # Cell value per (column, row) pair, column-major so the kept
+        # entries drop straight into CSC order.
+        cells = np.clip(values[self._index_grid().T.ravel()], 0.0, 1.0)
+        column_sums = cells.reshape(size, size).sum(axis=1)
+        if np.any(column_sums <= 0.0):
+            bad = np.nonzero(column_sums <= 0.0)[0]
+            raise ValueError(
+                f"solution column(s) {bad.tolist()} sum to zero after clipping; "
+                "the LP solution does not describe a mechanism"
+            )
+        keep = cells > 0.0
+        per_column = keep.reshape(size, size).sum(axis=1)
+        indptr = np.concatenate(([0], np.cumsum(per_column)))
+        indices = np.nonzero(keep.reshape(size, size))[1].astype(np.int32)
+        data = cells[keep] / np.repeat(column_sums, per_column)
+        return sparse.csc_matrix(
+            (data, indices, indptr.astype(np.int32)), shape=(size, size)
+        )
+
 
 class MechanismLPBuilder:
     """Builds the constrained mechanism-design LP of Sections III–IV.

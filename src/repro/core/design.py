@@ -18,7 +18,7 @@ from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.constraints import MechanismLP, build_mechanism_lp
 from repro.core.losses import Objective
-from repro.core.mechanism import Mechanism
+from repro.core.mechanism import Mechanism, SparseMechanism
 from repro.core.properties import StructuralProperty, combination_label, parse_properties
 from repro.lp.solver import DEFAULT_BACKEND, solve
 
@@ -31,6 +31,7 @@ def design_mechanism(
     backend: str = DEFAULT_BACKEND,
     name: Optional[str] = None,
     output_alpha: Optional[float] = None,
+    representation: str = "dense",
 ) -> Mechanism:
     """Solve for the optimal mechanism satisfying BASICDP plus the given properties.
 
@@ -58,6 +59,11 @@ def design_mechanism(
         paper's Section-VI extension at this level (typically ``alpha``):
         the ratio of probabilities of neighbouring *outputs* within a column
         is bounded as well as that of neighbouring inputs.
+    representation:
+        ``"dense"`` (default) wraps the solution in a dense
+        :class:`Mechanism`; ``"sparse"`` keeps only the non-zero entries in
+        a :class:`~repro.core.mechanism.SparseMechanism` — LP optima are
+        sparse/banded, so this is what the serving layer caches.
 
     Returns
     -------
@@ -73,7 +79,11 @@ def design_mechanism(
     )
     build_seconds = time.perf_counter() - build_start
     mechanism = solve_mechanism_lp(
-        mechanism_lp, backend=backend, name=name, build_seconds=build_seconds
+        mechanism_lp,
+        backend=backend,
+        name=name,
+        build_seconds=build_seconds,
+        representation=representation,
     )
     if output_alpha is not None:
         mechanism.metadata["output_alpha"] = float(output_alpha)
@@ -85,23 +95,28 @@ def solve_mechanism_lp(
     backend: str = DEFAULT_BACKEND,
     name: Optional[str] = None,
     build_seconds: Optional[float] = None,
+    representation: str = "dense",
 ) -> Mechanism:
     """Solve an already-built :class:`MechanismLP` and wrap the result.
 
     Exposed separately so callers can inspect or extend the LP (e.g. to add
     bespoke constraints beyond the paper's seven properties) before solving.
     ``build_seconds``, when known, is recorded alongside the solve wall-time
-    so benchmark runs can track the build/solve cost trajectory.
+    so benchmark runs can track the build/solve cost trajectory.  With
+    ``representation="sparse"`` the solution goes straight from the sparse
+    solver output into CSC storage without densification.
     """
+    if representation not in ("dense", "sparse"):
+        raise ValueError(f"unknown mechanism representation {representation!r}")
     solve_start = time.perf_counter()
     solution = solve(mechanism_lp.program, backend=backend)
     solve_seconds = time.perf_counter() - solve_start
-    matrix = mechanism_lp.matrix_from_values(solution.values)
     label = combination_label(mechanism_lp.properties)
     mechanism_name = name or f"LP[{label}]"
     metadata = {
         "source": "lp",
         "backend": backend,
+        "representation": representation,
         "objective": mechanism_lp.objective.describe(),
         "objective_value": float(solution.objective),
         "properties": sorted(prop.value for prop in mechanism_lp.properties),
@@ -113,6 +128,13 @@ def solve_mechanism_lp(
     }
     if build_seconds is not None:
         metadata["lp_build_seconds"] = float(build_seconds)
+    if representation == "sparse":
+        csc = mechanism_lp.sparse_matrix_from_values(solution.values)
+        metadata["nnz"] = int(csc.nnz)
+        return SparseMechanism(
+            csc, name=mechanism_name, alpha=mechanism_lp.alpha, metadata=metadata
+        )
+    matrix = mechanism_lp.matrix_from_values(solution.values)
     return Mechanism(matrix, name=mechanism_name, alpha=mechanism_lp.alpha, metadata=metadata)
 
 

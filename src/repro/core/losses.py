@@ -40,6 +40,24 @@ def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
     return matrix
 
 
+def _is_lazy(mechanism: MatrixLike) -> bool:
+    """Non-dense mechanisms are scored columns-on-demand, never densified."""
+    return isinstance(mechanism, Mechanism) and not mechanism.is_dense
+
+
+def _diagonal_of(mechanism: MatrixLike) -> np.ndarray:
+    """The diagonal without materialising a matrix for non-dense mechanisms."""
+    if isinstance(mechanism, Mechanism):
+        return mechanism._diagonal()
+    return np.diag(_as_matrix(mechanism))
+
+
+def _size_of(mechanism: MatrixLike) -> int:
+    if isinstance(mechanism, Mechanism):
+        return mechanism.size
+    return _as_matrix(mechanism).shape[0]
+
+
 def distance_matrix(size: int) -> np.ndarray:
     """The ``|i - j|`` matrix used by every objective."""
     indices = np.arange(size)
@@ -155,22 +173,43 @@ def objective_value(
         objective = Objective(p=0.0 if p is None else p, d=d, aggregator=aggregator, weights=weights)
     elif p is not None:
         raise ValueError("pass either an Objective or raw parameters, not both")
-    matrix = _as_matrix(mechanism)
-    size = matrix.shape[0]
-    penalties = objective.penalties(size)
-    per_input = (penalties * matrix).sum(axis=0)
+    size = _size_of(mechanism)
+    per_input = per_input_loss(mechanism, objective)
     prior = objective.prior(size)
     if objective.aggregator == "max":
         return float(per_input.max())
     return float(np.dot(prior, per_input))
 
 
+def _penalty_block(size: int, j0: int, j1: int, p: float, d: int) -> np.ndarray:
+    """Columns ``j0:j1`` of :func:`penalty_matrix`, built directly."""
+    distances = np.abs(
+        np.arange(size, dtype=float)[:, None] - np.arange(j0, j1, dtype=float)[None, :]
+    )
+    if p == 0:
+        return (distances > d).astype(float)
+    return distances**p
+
+
 def per_input_loss(
     mechanism: MatrixLike, objective: Optional[Objective] = None
 ) -> np.ndarray:
-    """The loss ``Σ_i Pr[i | j] |i - j|^p`` for every input ``j`` separately."""
+    """The loss ``Σ_i Pr[i | j] |i - j|^p`` for every input ``j`` separately.
+
+    Dense mechanisms (and raw matrices) are scored with one full-matrix
+    product; non-dense representations are scored columns-on-demand, one
+    block of penalty columns at a time, so the loss of a closed-form or
+    sparse mechanism never materialises an ``(n + 1)^2`` array.
+    """
     if objective is None:
         objective = Objective.l0()
+    if _is_lazy(mechanism):
+        size = mechanism.size
+        losses = np.empty(size)
+        for j0, j1, block in mechanism.iter_column_blocks():
+            penalties = _penalty_block(size, j0, j1, objective.p, objective.d)
+            losses[j0:j1] = (penalties * block).sum(axis=0)
+        return losses
     matrix = _as_matrix(mechanism)
     penalties = objective.penalties(matrix.shape[0])
     return (penalties * matrix).sum(axis=0)
@@ -183,11 +222,11 @@ def l0_score(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -
     general prior the natural generalisation ``(n + 1) / n · (1 − Σ_j w_j
     P[j, j])`` is used, which agrees in the uniform case.
     """
-    matrix = _as_matrix(mechanism)
-    size = matrix.shape[0]
+    diagonal = _diagonal_of(mechanism)
+    size = diagonal.shape[0]
     n = size - 1
     prior = _normalise_prior(weights, size)
-    weighted_trace = float(np.dot(prior, np.diag(matrix)))
+    weighted_trace = float(np.dot(prior, diagonal))
     return (size / n) * (1.0 - weighted_trace)
 
 
@@ -199,10 +238,9 @@ def l0d_score(
     ``l0d_score(P, 0)`` equals :func:`l0_score`, matching the paper's
     statement that ``L0 = L0,0``.
     """
-    matrix = _as_matrix(mechanism)
-    size = matrix.shape[0]
+    size = _size_of(mechanism)
     n = size - 1
-    raw = objective_value(matrix, Objective.l0d(d, weights=weights))
+    raw = objective_value(mechanism, Objective.l0d(d, weights=weights))
     return (size / n) * raw
 
 
@@ -237,9 +275,9 @@ def mechanism_mae(mechanism: MatrixLike, weights: Optional[Sequence[float]] = No
 
 def truth_probability(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> float:
     """Probability of reporting the true answer under a prior on inputs."""
-    matrix = _as_matrix(mechanism)
-    prior = _normalise_prior(weights, matrix.shape[0])
-    return float(np.dot(prior, np.diag(matrix)))
+    diagonal = _diagonal_of(mechanism)
+    prior = _normalise_prior(weights, diagonal.shape[0])
+    return float(np.dot(prior, diagonal))
 
 
 def tail_distribution(mechanism: MatrixLike, weights: Optional[Sequence[float]] = None) -> np.ndarray:
@@ -249,9 +287,8 @@ def tail_distribution(mechanism: MatrixLike, weights: Optional[Sequence[float]] 
     than ``d`` steps from the truth — the analytic counterpart of the
     Figure-12 histograms.
     """
-    matrix = _as_matrix(mechanism)
-    n = matrix.shape[0] - 1
-    return np.array([l0d_score(matrix, d, weights=weights) for d in range(n + 1)])
+    n = _size_of(mechanism) - 1
+    return np.array([l0d_score(mechanism, d, weights=weights) for d in range(n + 1)])
 
 
 def compare_mechanisms(

@@ -2,17 +2,51 @@
 
 A mechanism for count queries over a group of ``n`` individuals is an
 ``(n + 1) x (n + 1)`` column-stochastic matrix ``P`` with
-``P[i, j] = Pr[output = i | true count = j]``.  This module wraps such a
-matrix with validation, sampling, data application and rendering utilities.
-Everything downstream (properties, losses, LP design, experiments) operates
-on these objects.
+``P[i, j] = Pr[output = i | true count = j]``.  Definition 1 *represents* a
+mechanism as that explicit matrix, but the matrix is an implementation
+detail, not the interface: most mechanisms the serving layer hands out have
+closed forms (GM, EM, UM, NRR — the Figure-5 selector result), and
+LP-designed mechanisms are sparse/banded.  Materialising ``(n + 1)^2``
+floats for every request stops scaling long before the roadmap's
+``n >= 10^5`` target (~80 GB at ``n = 10^5``).
+
+This module therefore provides a representation-polymorphic core:
+
+:class:`Mechanism`
+    The common interface *and* the dense backend (constructing it directly
+    from a matrix preserves the original semantics exactly).  Also exported
+    as :data:`DenseMechanism`.
+:class:`ClosedFormMechanism`
+    Backed by analytic column / CDF / diagonal functions supplied by a
+    factory (see :mod:`repro.mechanisms`); samples by inverse-CDF inversion
+    with ``O(batch)`` memory and never needs the matrix.
+:class:`SparseMechanism`
+    CSC storage for LP-designed mechanisms, built directly from the sparse
+    solver output by :mod:`repro.core.design`.
+
+Every representation implements the same interface — ``n``, ``alpha``,
+``column(j)``, ``prob(i, j)``, ``sample_batch(counts, rng)``,
+``max_alpha()`` — and a *lazy* :attr:`Mechanism.matrix` shim densifies on
+demand for backward compatibility.  The class-level counter
+:attr:`Mechanism.densifications` counts every dense ``(n + 1)^2`` matrix
+materialised (eager or lazy), so tests and examples can assert that a
+serving path never built one.
+
+Sampling equivalence guarantee: for ``n <= ClosedFormMechanism.
+EXACT_SAMPLING_LIMIT`` the non-dense backends build each needed column's
+CDF with the exact float operations of the dense sampler, so closed-form /
+sparse / dense mechanisms with bit-identical columns release bit-identical
+counts on a shared uniform stream (the test-suite proves this up to
+``n = 512``).  Above the limit, closed forms switch to an O(1)-memory
+analytic inverse-CDF bisection (same distribution, same one-uniform-per-
+element stream consumption).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,9 +60,52 @@ class MechanismValidationError(ValueError):
     """Raised when a matrix does not describe a valid randomized mechanism."""
 
 
-@dataclass
+def _max_alpha_loop(matrix: np.ndarray) -> float:
+    """Reference implementation of :meth:`Mechanism.max_alpha` (per-entry loop).
+
+    Kept as the ground truth the vectorised version is regression-tested
+    against; do not use on large matrices.
+    """
+    size = matrix.shape[0]
+    best = 1.0
+    for j in range(size - 1):
+        left = matrix[:, j]
+        right = matrix[:, j + 1]
+        for i in range(size):
+            a, b = left[i], right[i]
+            if a == 0.0 and b == 0.0:
+                continue
+            if a == 0.0 or b == 0.0:
+                return 0.0
+            ratio = min(a / b, b / a)
+            best = min(best, ratio)
+    return float(best)
+
+
+def _pair_min_ratio(left: np.ndarray, right: np.ndarray) -> float:
+    """Minimum two-sided ratio ``min(a/b, b/a)`` over two column blocks.
+
+    ``0/0`` pairs impose no constraint; a zero paired with a non-zero forces
+    the ratio (and therefore ``max_alpha``) to zero.  Matches the float
+    arithmetic of :func:`_max_alpha_loop` exactly: the same divisions are
+    performed, just all at once.
+    """
+    left_zero = left == 0.0
+    right_zero = right == 0.0
+    if bool(np.any(left_zero != right_zero)):
+        return 0.0
+    both_zero = left_zero  # == right_zero here
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.minimum(left / right, right / left)
+    if both_zero.any():
+        ratios = np.where(both_zero, 1.0, ratios)
+    if ratios.size == 0:
+        return 1.0
+    return float(np.min(ratios))
+
+
 class Mechanism:
-    """A randomized mechanism for count queries.
+    """A randomized mechanism for count queries (dense backend + interface).
 
     Parameters
     ----------
@@ -40,28 +117,55 @@ class Mechanism:
         Short identifier, e.g. ``"GM"`` or ``"EM"``.
     alpha:
         The privacy parameter the mechanism was designed for, if known.  The
-        matrix itself is the source of truth; :meth:`max_alpha` recomputes
-        the strongest guarantee the matrix actually provides.
+        representation itself is the source of truth; :meth:`max_alpha`
+        recomputes the strongest guarantee it actually provides.
     metadata:
         Free-form provenance (e.g. which LP and properties produced it).
+
+    Subclasses provide alternative representations by overriding the
+    ``_``-prefixed hooks (``_column``, ``_columns_block``, ``_diagonal``,
+    ``_densify``, ``_inverse_sample``, ``validate``); the public interface
+    is shared.
     """
 
-    matrix: np.ndarray
-    name: str = "mechanism"
-    alpha: Optional[float] = None
-    metadata: Dict[str, Any] = field(default_factory=dict)
-    tolerance: float = DEFAULT_TOLERANCE
+    #: Representation tag; subclasses override ("closed-form", "sparse").
+    representation = "dense"
 
-    def __post_init__(self) -> None:
-        self.matrix = np.asarray(self.matrix, dtype=float)
+    #: Class-level count of dense ``(n + 1)^2`` matrices materialised, both
+    #: eager (constructing a dense mechanism) and lazy (touching ``.matrix``
+    #: on a non-dense one).  Snapshot it around a code path to prove the
+    #: path never built a dense matrix.
+    densifications = 0
+
+    #: Column-block width used by the streaming (columns-on-demand) paths.
+    BLOCK_COLUMNS = 256
+
+    #: Max number of per-column CDFs cached by the column-exact sampler.
+    CDF_CACHE_COLUMNS = 512
+
+    def __init__(
+        self,
+        matrix: ArrayLike,
+        name: str = "mechanism",
+        alpha: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        self.name = name
+        self.alpha = alpha
+        self.metadata: Dict[str, Any] = metadata if metadata is not None else {}
+        self.tolerance = tolerance
+        self._matrix: Optional[np.ndarray] = np.asarray(matrix, dtype=float)
         self.validate()
+        self._n = int(self._matrix.shape[0]) - 1
+        Mechanism.densifications += 1
 
     # ------------------------------------------------------------------ #
     # Validation and basic structure
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
         """Raise :class:`MechanismValidationError` if the matrix is not valid."""
-        matrix = self.matrix
+        matrix = self._matrix
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise MechanismValidationError(
                 f"mechanism matrix must be square, got shape {matrix.shape}"
@@ -81,69 +185,148 @@ class Mechanism:
             raise MechanismValidationError(
                 f"mechanism columns must sum to 1 (worst deviation {worst:.3e})"
             )
+        self._validate_alpha()
+
+    def _validate_alpha(self) -> None:
         if self.alpha is not None and not (0.0 <= self.alpha <= 1.0):
             raise MechanismValidationError("alpha must lie in [0, 1]")
 
     @property
+    def is_dense(self) -> bool:
+        """Whether this mechanism stores its matrix densely."""
+        return self.representation == "dense"
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense probability matrix (lazy backward-compatibility shim).
+
+        Dense mechanisms hold it eagerly; other representations materialise
+        (and cache) it on first access, incrementing
+        :attr:`Mechanism.densifications`.  Avoid touching this attribute in
+        scale-sensitive code — every interface method has a
+        representation-native path.
+        """
+        if self._matrix is None:
+            self._matrix = self._densify()
+            Mechanism.densifications += 1
+        return self._matrix
+
+    def _densify(self) -> np.ndarray:  # pragma: no cover - dense holds it eagerly
+        raise NotImplementedError
+
+    @property
     def n(self) -> int:
         """Group size ``n``; inputs and outputs range over ``{0, …, n}``."""
-        return self.matrix.shape[0] - 1
+        return self._n
 
     @property
     def size(self) -> int:
         """Number of distinct inputs/outputs, ``n + 1``."""
-        return self.matrix.shape[0]
+        return self._n + 1
 
     @property
     def diagonal(self) -> np.ndarray:
         """The truth-reporting probabilities ``Pr[j | j]``."""
-        return np.diag(self.matrix).copy()
+        return self._diagonal().copy()
+
+    def _diagonal(self) -> np.ndarray:
+        return np.diag(self._matrix)
 
     @property
     def trace(self) -> float:
         """Sum of the diagonal (used by the rescaled ``L0`` score, Eq. 1)."""
-        return float(np.trace(self.matrix))
+        return float(self._diagonal().sum())
 
-    def probabilities(self, true_count: int) -> np.ndarray:
+    def column(self, true_count: int) -> np.ndarray:
         """Output distribution for a given true count (a column of ``P``)."""
         self._check_count(true_count)
-        return self.matrix[:, true_count].copy()
+        return self._column(int(true_count))
+
+    def _column(self, j: int) -> np.ndarray:
+        return self._matrix[:, j].copy()
+
+    def _columns_block(self, j0: int, j1: int) -> np.ndarray:
+        """Columns ``j0:j1`` as a dense ``(size, j1 - j0)`` block (may be a view)."""
+        return self._matrix[:, j0:j1]
+
+    def iter_column_blocks(
+        self, block_size: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(j0, j1, block)`` dense column blocks covering the matrix.
+
+        This is the representation-agnostic way to scan a mechanism without
+        materialising it: dense yields matrix views, closed forms evaluate
+        their column functions, sparse expands CSC slices — all in
+        ``O(size * block_size)`` memory.
+        """
+        block = block_size if block_size is not None else self.BLOCK_COLUMNS
+        for j0 in range(0, self.size, block):
+            j1 = min(self.size, j0 + block)
+            yield j0, j1, self._columns_block(j0, j1)
+
+    def probabilities(self, true_count: int) -> np.ndarray:
+        """Output distribution for a given true count (alias of :meth:`column`)."""
+        return self.column(true_count)
 
     def probability(self, output: int, true_count: int) -> float:
         """``Pr[output | true_count]``."""
         self._check_count(true_count)
         self._check_count(output)
-        return float(self.matrix[output, true_count])
+        return self._probability(int(output), int(true_count))
+
+    def _probability(self, i: int, j: int) -> float:
+        return float(self._matrix[i, j])
+
+    def prob(self, output: int, true_count: int) -> float:
+        """``Pr[output | true_count]`` (interface alias of :meth:`probability`)."""
+        return self.probability(output, true_count)
 
     def _check_count(self, value: int) -> None:
         if not (0 <= int(value) <= self.n) or int(value) != value:
             raise ValueError(f"count {value!r} outside the mechanism range [0, {self.n}]")
 
+    def storage_bytes(self) -> int:
+        """Approximate bytes held by this representation (excluding the lazy shim)."""
+        if self._matrix is not None:
+            return int(self._matrix.nbytes)
+        return 0
+
     # ------------------------------------------------------------------ #
     # Privacy
     # ------------------------------------------------------------------ #
     def max_alpha(self) -> float:
-        """The largest α for which the matrix is α-differentially private.
+        """The largest α for which the mechanism is α-differentially private.
 
         Definition 2 requires ``α <= P[i, j] / P[i, j + 1] <= 1/α`` for all
         ``i`` and neighbouring inputs ``j, j + 1``.  The strongest guarantee
-        the matrix supports is the minimum over all adjacent ratios (both
-        directions).  Zero rows force α = 0 unless the paired entry is also
-        zero (a ``0/0`` ratio imposes no constraint).
+        supported is the minimum over all adjacent ratios (both directions).
+        Zero entries force α = 0 unless the paired entry is also zero (a
+        ``0/0`` ratio imposes no constraint).
+
+        The dense path is one vectorised ratio of column-shifted slices;
+        non-dense representations stream adjacent column pairs, and closed
+        forms may answer analytically.
         """
-        matrix = self.matrix
+        if self._matrix is not None:
+            matrix = self._matrix
+            return min(1.0, _pair_min_ratio(matrix[:, :-1], matrix[:, 1:]))
+        return self._max_alpha_streaming()
+
+    def _max_alpha_streaming(self) -> float:
         best = 1.0
-        for j in range(self.n):
-            left = matrix[:, j]
-            right = matrix[:, j + 1]
-            for i in range(self.size):
-                a, b = left[i], right[i]
-                if a == 0.0 and b == 0.0:
-                    continue
-                if a == 0.0 or b == 0.0:
+        previous_last: Optional[np.ndarray] = None
+        for j0, j1, block in self.iter_column_blocks():
+            if previous_last is not None:
+                ratio = _pair_min_ratio(previous_last, block[:, 0])
+                if ratio == 0.0:
                     return 0.0
-                ratio = min(a / b, b / a)
                 best = min(best, ratio)
+            if block.shape[1] > 1:
+                ratio = _pair_min_ratio(block[:, :-1], block[:, 1:])
+                if ratio == 0.0:
+                    return 0.0
+                best = min(best, ratio)
+            previous_last = np.array(block[:, -1])
         return float(best)
 
     def satisfies_dp(self, alpha: float, tolerance: float = 1e-9) -> bool:
@@ -176,16 +359,31 @@ class Mechanism:
         Pass a shared seeded ``rng`` (``np.random.default_rng(seed)``) for
         reproducible releases; when omitted, a fresh unseeded generator is
         created, which is private-by-default but never reproducible.
+
+        All representations consume exactly one uniform per draw from the
+        generator's stream and invert the same per-column CDF, so dense,
+        closed-form and sparse mechanisms with identical columns release
+        identical values for the same seed.
         """
         rng = rng if rng is not None else np.random.default_rng()
-        probabilities = self.probabilities(true_count)
-        # Guard against tiny negative values introduced by LP solvers.
-        probabilities = np.clip(probabilities, 0.0, None)
-        probabilities /= probabilities.sum()
-        outputs = rng.choice(self.size, size=size, p=probabilities)
+        self._check_count(true_count)
+        if self.is_dense:
+            probabilities = self._matrix[:, int(true_count)].copy()
+            # Guard against tiny negative values introduced by LP solvers.
+            probabilities = np.clip(probabilities, 0.0, None)
+            probabilities /= probabilities.sum()
+            outputs = rng.choice(self.size, size=size, p=probabilities)
+            if size is None:
+                return int(outputs)
+            return np.asarray(outputs, dtype=int)
+        # Non-dense: the explicit inverse-CDF path (bit-identical to the
+        # rng.choice path above for the same column values).
+        count = 1 if size is None else int(size)
+        uniforms = np.atleast_1d(rng.random(size))
+        outputs = self._inverse_sample(np.full(count, int(true_count)), uniforms)
         if size is None:
-            return int(outputs)
-        return np.asarray(outputs, dtype=int)
+            return int(outputs[0])
+        return outputs.astype(int, copy=False)
 
     def column_cdfs(self) -> np.ndarray:
         """Per-input output CDFs, ``cdfs[j]`` = inverse-sampling CDF of column ``j``.
@@ -196,6 +394,9 @@ class Mechanism:
         by ``searchsorted`` over these rows is bit-identical to the scalar
         path.  The array is computed once and cached on the mechanism; do
         not mutate :attr:`matrix` in place after sampling has started.
+
+        Note this materialises a full ``(n + 1)^2`` array — it is the dense
+        sampler's precomputation, not something the non-dense backends need.
         """
         cached = self.__dict__.get("_column_cdfs")
         if cached is None:
@@ -208,22 +409,34 @@ class Mechanism:
             self.__dict__["_column_cdfs"] = cached
         return cached
 
-    def apply_batch(
+    def prepare_sampling(self) -> None:
+        """Run any per-mechanism sampling precomputation eagerly.
+
+        The dense backend precomputes its ``(n + 1)^2`` column-CDF table so
+        the first batch is not slower than the rest; the non-dense backends
+        have nothing global to precompute (their per-column CDF caches warm
+        on demand).  The serving layer calls this once per cached design.
+        """
+        if self.is_dense:
+            self.column_cdfs()
+
+    def sample_batch(
         self,
         true_counts: Union[Sequence[int], np.ndarray],
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Vectorised independent draws, one per true count in the batch.
 
-        This is the serving-layer hot path: the column CDFs are precomputed
-        once per mechanism (:meth:`column_cdfs`) and a whole batch is
-        answered with one uniform draw plus one ``searchsorted`` over a
-        column-offset CDF, instead of a Python-level loop.
-
-        The output is bit-identical to calling ``self.sample(c, rng=rng)``
-        once per element in order with the same generator — element ``i``
-        consumes the ``i``-th uniform of the stream — so scalar and batch
+        This is the serving-layer hot path.  Element ``i`` of the output
+        consumes the ``i``-th uniform of the generator's stream, and the
+        result is bit-identical to calling ``self.sample(c, rng=rng)`` once
+        per element in order with the same generator — scalar and batch
         paths are interchangeable in reproducible pipelines.
+
+        Memory behaviour depends on the representation: dense uses its
+        precomputed CDF table, sparse and small-``n`` closed forms build
+        only the CDFs of columns present in the batch, and large-``n``
+        closed forms invert their analytic CDF in ``O(batch)`` memory.
         """
         rng = rng if rng is not None else np.random.default_rng()
         counts = np.asarray(true_counts, dtype=int)
@@ -235,8 +448,25 @@ class Mechanism:
             raise ValueError(
                 f"counts must lie in [0, {self.n}]; got [{counts.min()}, {counts.max()}]"
             )
-        cdfs = self.column_cdfs()
         uniforms = rng.random(counts.shape[0])
+        return self._inverse_sample(counts, uniforms).astype(int, copy=False)
+
+    def apply_batch(
+        self,
+        true_counts: Union[Sequence[int], np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Alias of :meth:`sample_batch` (the pre-refactor name)."""
+        return self.sample_batch(true_counts, rng=rng)
+
+    def _inverse_sample(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Invert the per-column CDFs at the given uniforms (dense backend).
+
+        The column CDFs are precomputed once (:meth:`column_cdfs`) and the
+        whole batch is answered with one ``searchsorted`` over a
+        column-offset CDF instead of a Python-level loop.
+        """
+        cdfs = self.column_cdfs()
         # Offsetting column j's CDF (values in (0, 1]) by +j makes the
         # flattened array globally non-decreasing, so one searchsorted
         # answers every count in the batch at once.
@@ -255,7 +485,48 @@ class Mechanism:
             if not overshoot.any():
                 break
             released[overshoot] -= 1
-        return released.astype(int, copy=False)
+        return released
+
+    # Shared column-exact sampler used by the non-dense backends ---------- #
+    def _column_cdf(self, j: int) -> np.ndarray:
+        """CDF of column ``j`` built exactly like the dense sampler's (LRU-cached)."""
+        cache: "OrderedDict[int, np.ndarray]" = self.__dict__.setdefault(
+            "_cdf_cache", OrderedDict()
+        )
+        cdf = cache.get(j)
+        if cdf is None:
+            column = np.clip(self._column(j), 0.0, None)
+            column = column / column.sum()
+            cdf = np.cumsum(column)
+            cdf /= cdf[-1]
+            cache[j] = cdf
+            while len(cache) > self.CDF_CACHE_COLUMNS:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(j)
+        return cdf
+
+    def _sample_by_columns(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Exact inverse-CDF sampling using only the columns present in the batch.
+
+        Groups the batch by count (one stable sort), builds each distinct
+        column's CDF once and answers the group with one ``searchsorted`` —
+        ``O(batch log batch + distinct * n)`` time, ``O(batch + distinct *
+        n)`` transient memory, never the full matrix.
+        """
+        order = np.argsort(counts, kind="stable")
+        sorted_counts = counts[order]
+        # Group boundaries: positions where the sorted count changes.
+        boundaries = np.flatnonzero(np.diff(sorted_counts)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [counts.shape[0]]))
+        released = np.empty(counts.shape[0], dtype=np.int64)
+        for start, end in zip(starts, ends):
+            j = int(sorted_counts[start])
+            indices = order[start:end]
+            cdf = self._column_cdf(j)
+            released[indices] = np.searchsorted(cdf, uniforms[indices], side="right")
+        return released
 
     def apply(
         self,
@@ -266,8 +537,8 @@ class Mechanism:
 
         This is the primitive the empirical experiments use: every group's
         true count is perturbed by one independent draw from the mechanism.
-        Arrays are routed through the vectorised :meth:`apply_batch`; pass a
-        seeded ``rng`` to make the release reproducible.
+        Arrays are routed through the vectorised :meth:`sample_batch`; pass
+        a seeded ``rng`` to make the release reproducible.
         """
         rng = rng if rng is not None else np.random.default_rng()
         if np.isscalar(true_counts):
@@ -275,7 +546,7 @@ class Mechanism:
         counts = np.asarray(true_counts, dtype=int)
         if counts.ndim != 1:
             raise ValueError("true_counts must be a scalar or a 1-D sequence")
-        return self.apply_batch(counts, rng=rng)
+        return self.sample_batch(counts, rng=rng)
 
     # ------------------------------------------------------------------ #
     # Moments and summary statistics
@@ -283,29 +554,42 @@ class Mechanism:
     def expected_output(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
         """Expected released value for one input, or for every input column."""
         outputs = np.arange(self.size, dtype=float)
-        if true_count is None:
-            return outputs @ self.matrix
-        return float(outputs @ self.probabilities(true_count))
+        if true_count is not None:
+            return float(outputs @ self.column(true_count))
+        if self._matrix is not None:
+            return outputs @ self._matrix
+        return self._column_reductions(outputs)[0]
 
     def output_variance(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
         """Variance of the released value for one input, or for every column."""
         outputs = np.arange(self.size, dtype=float)
-        first = outputs @ self.matrix
-        second = (outputs**2) @ self.matrix
-        variances = second - first**2
-        if true_count is None:
-            return variances
-        self._check_count(true_count)
-        return float(variances[true_count])
+        if true_count is not None:
+            column = self.column(true_count)
+            first = float(outputs @ column)
+            second = float((outputs**2) @ column)
+            return second - first**2
+        if self._matrix is not None:
+            first = outputs @ self._matrix
+            second = (outputs**2) @ self._matrix
+        else:
+            first, second = self._column_reductions(outputs, outputs**2)
+        return second - first**2
+
+    def _column_reductions(self, *row_weights: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Per-column dot products ``w @ P`` computed blockwise (no densify)."""
+        results = [np.empty(self.size) for _ in row_weights]
+        for j0, j1, block in self.iter_column_blocks():
+            for result, weights in zip(results, row_weights):
+                result[j0:j1] = weights @ block
+        return tuple(results)
 
     def bias(self, true_count: Optional[int] = None) -> Union[float, np.ndarray]:
         """Bias ``E[output] - input`` for one input, or for every column."""
+        if true_count is not None:
+            self._check_count(true_count)
+            return float(self.expected_output(true_count)) - float(true_count)
         inputs = np.arange(self.size, dtype=float)
-        biases = np.asarray(self.expected_output()) - inputs
-        if true_count is None:
-            return biases
-        self._check_count(true_count)
-        return float(biases[true_count])
+        return np.asarray(self.expected_output()) - inputs
 
     def truth_probability(self, prior: Optional[Sequence[float]] = None) -> float:
         """Probability of reporting the true answer under a prior on inputs.
@@ -314,7 +598,7 @@ class Mechanism:
         the paper's comparison of GM (0.238) and EM (0.224) for ``n = 4``.
         """
         weights = _normalise_prior(prior, self.size)
-        return float(np.dot(weights, self.diagonal))
+        return float(np.dot(weights, self._diagonal()))
 
     # ------------------------------------------------------------------ #
     # Transformations
@@ -350,7 +634,13 @@ class Mechanism:
     # Serialisation and rendering
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable representation."""
+        """JSON-serialisable representation.
+
+        Dense mechanisms serialise their matrix; non-dense subclasses emit a
+        compact representation descriptor instead (closed forms: the factory
+        call that rebuilds them; sparse: CSC arrays).  :meth:`from_dict`
+        understands all three.
+        """
         return {
             "name": self.name,
             "alpha": self.alpha,
@@ -360,8 +650,16 @@ class Mechanism:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Mechanism":
-        """Inverse of :meth:`to_dict`."""
-        return cls(
+        """Inverse of :meth:`to_dict` for every representation."""
+        representation = payload.get("representation")
+        if representation == "sparse":
+            return SparseMechanism._from_payload(payload)
+        if representation == "closed-form":
+            # Deferred import: repro.mechanisms depends on this module.
+            from repro.mechanisms.registry import rebuild_closed_form
+
+            return rebuild_closed_form(payload)
+        return Mechanism(
             matrix=np.asarray(payload["matrix"], dtype=float),
             name=str(payload.get("name", "mechanism")),
             alpha=payload.get("alpha"),
@@ -380,25 +678,27 @@ class Mechanism:
     def render(self, precision: int = 3) -> str:
         """Plain-text rendering of the probability matrix (rows = outputs)."""
         width = precision + 3
+        matrix = self.matrix
         lines = []
         header = " " * 6 + " ".join(f"j={j:<{width - 2}d}" for j in range(self.size))
         lines.append(f"{self.name} (n={self.n})")
         lines.append(header)
         for i in range(self.size):
-            cells = " ".join(f"{self.matrix[i, j]:{width}.{precision}f}" for j in range(self.size))
+            cells = " ".join(f"{matrix[i, j]:{width}.{precision}f}" for j in range(self.size))
             lines.append(f"i={i:<3d} {cells}")
         return "\n".join(lines)
 
     def heatmap(self, levels: str = " .:-=+*#%@") -> str:
         """ASCII heatmap of the matrix, mirroring the paper's figures."""
-        peak = float(self.matrix.max())
+        matrix = self.matrix
+        peak = float(matrix.max())
         if peak <= 0.0:
             peak = 1.0
         lines = [f"{self.name} (n={self.n}, darker = higher probability)"]
         for i in range(self.size):
             row = ""
             for j in range(self.size):
-                level = int(round((len(levels) - 1) * self.matrix[i, j] / peak))
+                level = int(round((len(levels) - 1) * matrix[i, j] / peak))
                 row += levels[level] * 2
             lines.append(f"i={i:<3d} |{row}|")
         lines.append("      " + "".join(f"{j:<2d}" for j in range(self.size)))
@@ -406,7 +706,345 @@ class Mechanism:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         alpha = "?" if self.alpha is None else f"{self.alpha:.3f}"
-        return f"Mechanism(name={self.name!r}, n={self.n}, alpha={alpha})"
+        tag = "" if self.is_dense else f", representation={self.representation!r}"
+        return f"Mechanism(name={self.name!r}, n={self.n}, alpha={alpha}{tag})"
+
+
+#: The dense backend under the name the representation taxonomy uses.
+#: Constructing :class:`Mechanism` directly *is* the dense representation.
+DenseMechanism = Mechanism
+
+
+class ClosedFormSpec:
+    """Analytic backing functions for a :class:`ClosedFormMechanism`.
+
+    Produced by the factories in :mod:`repro.mechanisms`; the functions
+    close over the mechanism's parameters so the mechanism object itself
+    stays O(1)-sized.
+
+    Attributes
+    ----------
+    factory:
+        Registry key (e.g. ``"GM"``) used to rebuild the mechanism from a
+        serialised descriptor.
+    params:
+        Keyword arguments (beyond ``n``) that reproduce the factory call.
+    column_fn:
+        ``column_fn(j) -> ndarray`` — the exact column, bit-identical to the
+        dense factory's matrix column (this is what makes the representations
+        provably sampling-equivalent).
+    cdf_fn:
+        Optional vectorised analytic CDF ``cdf_fn(i, j) -> F(i | j)`` with
+        ``F(-1) = 0`` and ``F(n) = 1`` exactly; enables O(1)-memory
+        inverse-CDF sampling at large ``n``.
+    diagonal_fn:
+        Optional ``() -> ndarray`` of the diagonal (O(n), no matrix).
+    max_alpha_fn:
+        Optional ``() -> float`` analytic :meth:`Mechanism.max_alpha`.
+    properties_fn:
+        Optional ``(tolerance) -> dict`` of analytic verdicts for the seven
+        structural properties, keyed by the property *code* (``"RH"`` …).
+    """
+
+    __slots__ = (
+        "factory",
+        "params",
+        "column_fn",
+        "cdf_fn",
+        "diagonal_fn",
+        "max_alpha_fn",
+        "properties_fn",
+    )
+
+    def __init__(
+        self,
+        factory: str,
+        params: Optional[Dict[str, Any]] = None,
+        column_fn: Optional[Callable[[int], np.ndarray]] = None,
+        cdf_fn: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+        diagonal_fn: Optional[Callable[[], np.ndarray]] = None,
+        max_alpha_fn: Optional[Callable[[], float]] = None,
+        properties_fn: Optional[Callable[[float], Dict[str, bool]]] = None,
+    ) -> None:
+        if column_fn is None:
+            raise ValueError("a closed-form spec requires at least a column function")
+        self.factory = factory
+        self.params = dict(params or {})
+        self.column_fn = column_fn
+        self.cdf_fn = cdf_fn
+        self.diagonal_fn = diagonal_fn
+        self.max_alpha_fn = max_alpha_fn
+        self.properties_fn = properties_fn
+
+
+class ClosedFormMechanism(Mechanism):
+    """A mechanism represented by analytic column/CDF functions, not a matrix.
+
+    Sampling strategy: for ``n <= EXACT_SAMPLING_LIMIT`` (or when no
+    analytic CDF is available) the exact column-CDF sampler is used — it
+    reproduces the dense sampler bit-for-bit on a shared uniform stream
+    while only ever materialising the columns present in a batch.  Above
+    the limit, the analytic CDF is inverted by vectorised bisection:
+    ``O(batch log n)`` time and ``O(batch)`` memory, which is what lets
+    ``serve-batch`` release millions of counts at ``n = 10^5``.
+    """
+
+    representation = "closed-form"
+
+    #: Largest n for which the exact (column-CDF) sampler is used.  The
+    #: switch is keyed on n alone so that, for a fixed mechanism, scalar and
+    #: batch sampling always take the same path (and therefore stay
+    #: bit-identical to each other on a shared stream).
+    EXACT_SAMPLING_LIMIT = 2048
+
+    def __init__(
+        self,
+        n: int,
+        spec: ClosedFormSpec,
+        name: str = "mechanism",
+        alpha: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        if int(n) != n or n < 1:
+            raise MechanismValidationError("group size n must be a positive integer")
+        self.name = name
+        self.alpha = alpha
+        self.metadata = metadata if metadata is not None else {}
+        self.tolerance = tolerance
+        self.spec = spec
+        self._n = int(n)
+        self._matrix = None
+        self.validate()
+
+    def validate(self) -> None:
+        """Spot-check the analytic columns instead of a full matrix scan."""
+        self._validate_alpha()
+        for j in (0, self._n // 2, self._n):
+            column = self.spec.column_fn(j)
+            if column.shape != (self._n + 1,):
+                raise MechanismValidationError(
+                    f"closed-form column {j} has shape {column.shape}, "
+                    f"expected ({self._n + 1},)"
+                )
+            total = float(column.sum())
+            if not np.isfinite(total) or abs(total - 1.0) > max(self.tolerance, 1e-7):
+                raise MechanismValidationError(
+                    f"closed-form column {j} sums to {total!r}, expected 1"
+                )
+
+    def _densify(self) -> np.ndarray:
+        columns = [self.spec.column_fn(j) for j in range(self.size)]
+        return np.column_stack(columns)
+
+    def _column(self, j: int) -> np.ndarray:
+        return np.asarray(self.spec.column_fn(j), dtype=float)
+
+    def _columns_block(self, j0: int, j1: int) -> np.ndarray:
+        return np.column_stack([self.spec.column_fn(j) for j in range(j0, j1)])
+
+    def _diagonal(self) -> np.ndarray:
+        cached = self.__dict__.get("_diagonal_cache")
+        if cached is None:
+            if self.spec.diagonal_fn is not None:
+                cached = np.asarray(self.spec.diagonal_fn(), dtype=float)
+            else:
+                cached = np.array(
+                    [float(self.spec.column_fn(j)[j]) for j in range(self.size)]
+                )
+            self.__dict__["_diagonal_cache"] = cached
+        return cached
+
+    def _probability(self, i: int, j: int) -> float:
+        return float(self.spec.column_fn(j)[i])
+
+    def max_alpha(self) -> float:
+        if self.spec.max_alpha_fn is not None:
+            return float(self.spec.max_alpha_fn())
+        return self._max_alpha_streaming()
+
+    def _known_properties(self, tolerance: float) -> Optional[Dict[str, bool]]:
+        """Analytic verdicts for the seven structural properties, if available."""
+        if self.spec.properties_fn is None:
+            return None
+        return dict(self.spec.properties_fn(tolerance))
+
+    def _inverse_sample(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        if self.spec.cdf_fn is None or self.n <= self.EXACT_SAMPLING_LIMIT:
+            return self._sample_by_columns(counts, uniforms)
+        return self._sample_by_bisection(counts, uniforms)
+
+    def _sample_by_bisection(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Invert the analytic CDF: smallest ``i`` with ``F(i | j) > u``.
+
+        Classic vectorised bisection with the invariant ``F(low) <= u <
+        F(high)``; ``F(-1) = 0`` and ``F(n) = 1`` make the initial bracket
+        valid for every uniform in ``[0, 1)``.
+        """
+        cdf = self.spec.cdf_fn
+        low = np.full(counts.shape[0], -1, dtype=np.int64)
+        high = np.full(counts.shape[0], self.n, dtype=np.int64)
+        while np.any(high - low > 1):
+            mid = (low + high) // 2
+            above = cdf(mid, counts) > uniforms
+            high = np.where(above, mid, high)
+            low = np.where(above, low, mid)
+        return high
+
+    def storage_bytes(self) -> int:
+        return 0 if self._matrix is None else int(self._matrix.nbytes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact representation descriptor (no matrix)."""
+        return {
+            "representation": "closed-form",
+            "factory": self.spec.factory,
+            "n": self.n,
+            "params": dict(self.spec.params),
+            "name": self.name,
+            "alpha": self.alpha,
+            "metadata": dict(self.metadata),
+        }
+
+    def __reduce__(self):
+        return (Mechanism.from_dict, (self.to_dict(),))
+
+
+class SparseMechanism(Mechanism):
+    """A mechanism stored as a CSC sparse matrix (LP-designed mechanisms).
+
+    The LP solutions of Sections III-IV are sparse/banded; storing only the
+    non-zeros keeps designed mechanisms O(nnz) in memory and lets the
+    design cache persist them as small descriptors.  Sampling uses the
+    shared column-exact inverse-CDF path (bit-identical to a dense
+    mechanism with the same column values on a shared uniform stream), and
+    property checks stream CSC column blocks at O(nnz) expansion cost.
+    """
+
+    representation = "sparse"
+
+    def __init__(
+        self,
+        matrix: Any,
+        name: str = "mechanism",
+        alpha: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        from scipy import sparse
+
+        self.name = name
+        self.alpha = alpha
+        self.metadata = metadata if metadata is not None else {}
+        self.tolerance = tolerance
+        csc = sparse.csc_matrix(matrix, dtype=float, copy=True)
+        csc.sum_duplicates()
+        csc.sort_indices()
+        self._csc = csc
+        self._matrix = None
+        self.validate()
+        self._n = int(csc.shape[0]) - 1
+
+    def validate(self) -> None:
+        csc = self._csc
+        if csc.shape[0] != csc.shape[1]:
+            raise MechanismValidationError(
+                f"mechanism matrix must be square, got shape {csc.shape}"
+            )
+        if csc.shape[0] < 2:
+            raise MechanismValidationError(
+                "mechanism must cover at least the outputs {0, 1} (n >= 1)"
+            )
+        data = csc.data
+        if not np.all(np.isfinite(data)):
+            raise MechanismValidationError("mechanism matrix contains non-finite entries")
+        tol = self.tolerance
+        if data.size and (np.any(data < -tol) or np.any(data > 1.0 + tol)):
+            raise MechanismValidationError("mechanism entries must lie in [0, 1]")
+        column_sums = np.asarray(csc.sum(axis=0)).ravel()
+        if not np.allclose(column_sums, 1.0, atol=max(tol, 1e-7)):
+            worst = float(np.max(np.abs(column_sums - 1.0)))
+            raise MechanismValidationError(
+                f"mechanism columns must sum to 1 (worst deviation {worst:.3e})"
+            )
+        self._validate_alpha()
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self._csc.nnz)
+
+    @property
+    def csc(self):
+        """The underlying ``scipy.sparse.csc_matrix`` (treat as read-only)."""
+        return self._csc
+
+    def storage_bytes(self) -> int:
+        csc = self._csc
+        return int(csc.data.nbytes + csc.indices.nbytes + csc.indptr.nbytes)
+
+    def _densify(self) -> np.ndarray:
+        return self._csc.toarray()
+
+    def _column(self, j: int) -> np.ndarray:
+        csc = self._csc
+        start, end = csc.indptr[j], csc.indptr[j + 1]
+        column = np.zeros(self.size)
+        column[csc.indices[start:end]] = csc.data[start:end]
+        return column
+
+    def _columns_block(self, j0: int, j1: int) -> np.ndarray:
+        return self._csc[:, j0:j1].toarray()
+
+    def _diagonal(self) -> np.ndarray:
+        cached = self.__dict__.get("_diagonal_cache")
+        if cached is None:
+            cached = np.asarray(self._csc.diagonal(), dtype=float)
+            self.__dict__["_diagonal_cache"] = cached
+        return cached
+
+    def _probability(self, i: int, j: int) -> float:
+        return float(self._csc[i, j])
+
+    def _inverse_sample(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        return self._sample_by_columns(counts, uniforms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """CSC representation descriptor: O(nnz) rather than O(n^2) JSON."""
+        csc = self._csc
+        return {
+            "representation": "sparse",
+            "n": self.n,
+            "data": csc.data.tolist(),
+            "indices": csc.indices.tolist(),
+            "indptr": csc.indptr.tolist(),
+            "name": self.name,
+            "alpha": self.alpha,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: Mapping[str, Any]) -> "SparseMechanism":
+        from scipy import sparse
+
+        size = int(payload["n"]) + 1
+        csc = sparse.csc_matrix(
+            (
+                np.asarray(payload["data"], dtype=float),
+                np.asarray(payload["indices"], dtype=np.int32),
+                np.asarray(payload["indptr"], dtype=np.int32),
+            ),
+            shape=(size, size),
+        )
+        return cls(
+            csc,
+            name=str(payload.get("name", "mechanism")),
+            alpha=payload.get("alpha"),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def __reduce__(self):
+        return (Mechanism.from_dict, (self.to_dict(),))
 
 
 def _normalise_prior(prior: Optional[Sequence[float]], size: int) -> np.ndarray:

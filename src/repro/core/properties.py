@@ -25,7 +25,7 @@ meaningful combinations studied in Section V-A.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -166,6 +166,16 @@ def minimal_representation(
 # --------------------------------------------------------------------------- #
 # Checkers
 # --------------------------------------------------------------------------- #
+# Every public checker dispatches on the mechanism's representation:
+#
+# * raw arrays and dense mechanisms use the original full-matrix predicates;
+# * closed-form mechanisms answer from their factory's analytic verdicts
+#   when available (``_known_properties``);
+# * other non-dense mechanisms (sparse CSC, closed forms without analytic
+#   answers) are checked by *streaming* column blocks through the exact
+#   same per-entry predicates, so the verdict is identical to the dense
+#   check without ever materialising the matrix — O(size * block) memory,
+#   and O(nnz + block) expansion cost per block for sparse storage.
 def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
     if isinstance(mechanism, Mechanism):
         return mechanism.matrix
@@ -175,13 +185,54 @@ def _as_matrix(mechanism: MatrixLike) -> np.ndarray:
     return matrix
 
 
+def _is_lazy(mechanism: MatrixLike) -> bool:
+    """Whether property checks should avoid materialising the matrix."""
+    return isinstance(mechanism, Mechanism) and not mechanism.is_dense
+
+
+def _known_verdict(
+    mechanism: MatrixLike, prop: "StructuralProperty", tolerance: float
+) -> Optional[bool]:
+    """Analytic verdict from a closed-form factory, if one exists."""
+    known_fn = getattr(mechanism, "_known_properties", None)
+    if known_fn is None:
+        return None
+    known = known_fn(tolerance)
+    if known is None:
+        return None
+    return bool(known[prop.value])
+
+
+def _stream_column_pairs(mechanism: Mechanism):
+    """Yield ``(j, left_block, right_block)`` adjacent column pairs.
+
+    ``left`` holds columns ``j … j + b - 1`` and ``right`` the columns one
+    to their right, so predicates over neighbouring inputs can scan the
+    whole mechanism in O(size * block) memory.
+    """
+    previous_last: Optional[np.ndarray] = None
+    for j0, j1, block in mechanism.iter_column_blocks():
+        if previous_last is not None:
+            yield j0 - 1, previous_last[:, None], block[:, :1]
+        if block.shape[1] > 1:
+            yield j0, block[:, :-1], block[:, 1:]
+        previous_last = np.array(block[:, -1])
+
+
 def satisfies_differential_privacy(
     mechanism: MatrixLike, alpha: float, tolerance: float = DEFAULT_TOLERANCE
 ) -> bool:
     """Definition 2: ``alpha <= P[i, j] / P[i, j + 1] <= 1 / alpha`` for all i, j."""
-    matrix = _as_matrix(mechanism)
     if not (0.0 <= alpha <= 1.0):
         raise ValueError("alpha must lie in [0, 1]")
+    if _is_lazy(mechanism):
+        for _, left, right in _stream_column_pairs(mechanism):
+            if np.any(left < alpha * right - tolerance) or np.any(
+                right < alpha * left - tolerance
+            ):
+                return False
+        return True
+    matrix = _as_matrix(mechanism)
     size = matrix.shape[0]
     for j in range(size - 1):
         for i in range(size):
@@ -194,6 +245,15 @@ def satisfies_differential_privacy(
 
 def is_row_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """RH (Eq. 7): ``Pr[i | i] >= Pr[i | j]``."""
+    known = _known_verdict(mechanism, StructuralProperty.ROW_HONESTY, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        diagonal = mechanism._diagonal()
+        return all(
+            bool(np.all(block <= diagonal[:, None] + tolerance))
+            for _, _, block in mechanism.iter_column_blocks()
+        )
     matrix = _as_matrix(mechanism)
     diagonal = np.diag(matrix)
     return bool(np.all(matrix <= diagonal[:, None] + tolerance))
@@ -201,6 +261,20 @@ def is_row_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -
 
 def is_row_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """RM (Eq. 8): entries in a row are non-increasing away from the diagonal."""
+    known = _known_verdict(mechanism, StructuralProperty.ROW_MONOTONE, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        rows = np.arange(mechanism.size)[:, None]
+        for j, left, right in _stream_column_pairs(mechanism):
+            columns = np.arange(j, j + left.shape[1])[None, :]
+            # Moving right is *toward* the diagonal for rows below the pair
+            # (i >= j + 1) and *away* from it for rows at or above (i <= j).
+            toward = (rows > columns) & (left > right + tolerance)
+            away = (rows <= columns) & (right > left + tolerance)
+            if bool(np.any(toward)) or bool(np.any(away)):
+                return False
+        return True
     matrix = _as_matrix(mechanism)
     size = matrix.shape[0]
     for i in range(size):
@@ -215,6 +289,15 @@ def is_row_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE)
 
 def is_column_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """CH (Eq. 9): ``Pr[j | j] >= Pr[i | j]``."""
+    known = _known_verdict(mechanism, StructuralProperty.COLUMN_HONESTY, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        diagonal = mechanism._diagonal()
+        return all(
+            bool(np.all(block <= diagonal[None, j0:j1] + tolerance))
+            for j0, j1, block in mechanism.iter_column_blocks()
+        )
     matrix = _as_matrix(mechanism)
     diagonal = np.diag(matrix)
     return bool(np.all(matrix <= diagonal[None, :] + tolerance))
@@ -222,6 +305,19 @@ def is_column_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE
 
 def is_column_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """CM (Eq. 10): entries in a column are non-increasing away from the diagonal."""
+    known = _known_verdict(mechanism, StructuralProperty.COLUMN_MONOTONE, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        rows = np.arange(mechanism.size - 1)[:, None]  # index of each diff
+        for j0, j1, block in mechanism.iter_column_blocks():
+            columns = np.arange(j0, j1)[None, :]
+            steps = np.diff(block, axis=0)  # steps[i] = P[i+1, j] - P[i, j]
+            above = (rows < columns) & (steps < -tolerance)  # must rise toward j
+            below = (rows >= columns) & (steps > tolerance)  # must fall past j
+            if bool(np.any(above)) or bool(np.any(below)):
+                return False
+        return True
     matrix = _as_matrix(mechanism)
     size = matrix.shape[0]
     for j in range(size):
@@ -236,20 +332,45 @@ def is_column_monotone(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERAN
 
 def is_fair(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """F (Eq. 11): every diagonal entry equals the same value ``y``."""
-    matrix = _as_matrix(mechanism)
-    diagonal = np.diag(matrix)
+    known = _known_verdict(mechanism, StructuralProperty.FAIRNESS, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        diagonal = mechanism._diagonal()
+    else:
+        diagonal = np.diag(_as_matrix(mechanism))
     return bool(np.all(np.abs(diagonal - diagonal[0]) <= tolerance))
 
 
 def is_weakly_honest(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """WH (Eq. 13): ``Pr[i | i] >= 1 / (n + 1)``."""
-    matrix = _as_matrix(mechanism)
-    size = matrix.shape[0]
-    return bool(np.all(np.diag(matrix) >= 1.0 / size - tolerance))
+    known = _known_verdict(mechanism, StructuralProperty.WEAK_HONESTY, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        diagonal = mechanism._diagonal()
+        size = mechanism.size
+    else:
+        matrix = _as_matrix(mechanism)
+        diagonal = np.diag(matrix)
+        size = matrix.shape[0]
+    return bool(np.all(diagonal >= 1.0 / size - tolerance))
 
 
 def is_symmetric(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """S (Eq. 14): centro-symmetry, ``Pr[i | j] = Pr[n - i | n - j]``."""
+    known = _known_verdict(mechanism, StructuralProperty.SYMMETRY, tolerance)
+    if known is not None:
+        return known
+    if _is_lazy(mechanism):
+        n = mechanism.n
+        for j0, j1, block in mechanism.iter_column_blocks():
+            if j0 > n - j0:  # every remaining pair was checked from the left
+                break
+            mirror = mechanism._columns_block(n - j1 + 1, n - j0 + 1)
+            if not np.allclose(block, mirror[::-1, ::-1], atol=tolerance):
+                return False
+        return True
     matrix = _as_matrix(mechanism)
     return bool(np.allclose(matrix, matrix[::-1, ::-1], atol=tolerance))
 
@@ -311,6 +432,11 @@ def violations(
 
 def has_gap(mechanism: MatrixLike, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """Whether any output is never reported (a zero row — a "gap" in Fig. 1)."""
+    if _is_lazy(mechanism):
+        row_max = np.zeros(mechanism.size)
+        for _, _, block in mechanism.iter_column_blocks():
+            np.maximum(row_max, block.max(axis=1), out=row_max)
+        return bool(np.any(row_max <= tolerance))
     matrix = _as_matrix(mechanism)
     return bool(np.any(matrix.max(axis=1) <= tolerance))
 
@@ -322,6 +448,12 @@ def spike_ratio(mechanism: MatrixLike) -> float:
     uniform prior) scores 1; the degenerate Figure-1 L2 mechanism, which
     always reports the same value, scores ``n + 1``.
     """
+    if _is_lazy(mechanism):
+        size = mechanism.size
+        row_sum = np.zeros(size)
+        for _, _, block in mechanism.iter_column_blocks():
+            row_sum += block.sum(axis=1)
+        return float(row_sum.max())  # mean over size columns, times size
     matrix = _as_matrix(mechanism)
     size = matrix.shape[0]
     row_mass = matrix.mean(axis=1)

@@ -164,13 +164,21 @@ def choose_mechanism(
     objective: Optional[Objective] = None,
     backend: str = DEFAULT_BACKEND,
     cache: Optional[object] = None,
+    representation: str = "auto",
 ) -> Tuple[Mechanism, SelectorDecision]:
     """Return the optimal mechanism for the requested properties plus the decision.
 
-    The explicit branches (GM, EM) are built in closed form; the two WM
-    branches solve the corresponding LP.  The returned mechanism always
-    satisfies every requested property and is ``L0``-optimal among
-    mechanisms that do (the structural results of Section IV-D).
+    The explicit branches (GM, EM) are built in closed form — matrix-free
+    :class:`~repro.core.mechanism.ClosedFormMechanism` objects whose
+    construction never materialises an ``(n + 1)^2`` array, so the selector
+    scales to arbitrarily large groups.  The two WM branches solve the
+    corresponding LP; under the default ``representation="auto"`` their
+    banded solutions are kept in CSC storage
+    (:class:`~repro.core.mechanism.SparseMechanism`), while
+    ``representation="dense"`` forces the pre-refactor dense wrapping.  The
+    returned mechanism always satisfies every requested property and is
+    ``L0``-optimal among mechanisms that do (the structural results of
+    Section IV-D).
 
     When ``cache`` is a :class:`~repro.serving.cache.DesignCache` (anything
     with a ``get_or_design`` method works), the request is routed through it
@@ -178,6 +186,8 @@ def choose_mechanism(
     what high-volume callers (the serving layer, the ``serve-batch`` CLI)
     rely on.
     """
+    if representation not in ("auto", "dense", "sparse"):
+        raise ValueError(f"unknown mechanism representation {representation!r}")
     if cache is not None:
         return cache.get_or_design(  # type: ignore[attr-defined]
             n, alpha, properties=properties, objective=objective, backend=backend
@@ -188,6 +198,7 @@ def choose_mechanism(
     from repro.mechanisms.geometric import geometric_mechanism
     from repro.mechanisms.weakly_honest import weakly_honest_mechanism
 
+    lp_representation = "sparse" if representation == "auto" else representation
     decision = decide(n, alpha, properties)
     if decision.branch == BRANCH_FAIR:
         mechanism = explicit_fair_mechanism(n, alpha)
@@ -195,11 +206,21 @@ def choose_mechanism(
         mechanism = geometric_mechanism(n, alpha)
     elif decision.branch == BRANCH_WEAK_HONESTY:
         mechanism = weakly_honest_mechanism(
-            n, alpha, column_monotone=False, objective=objective, backend=backend
+            n,
+            alpha,
+            column_monotone=False,
+            objective=objective,
+            backend=backend,
+            representation=lp_representation,
         )
     else:
         mechanism = weakly_honest_mechanism(
-            n, alpha, column_monotone=True, objective=objective, backend=backend
+            n,
+            alpha,
+            column_monotone=True,
+            objective=objective,
+            backend=backend,
+            representation=lp_representation,
         )
     mechanism.metadata["selector_branch"] = decision.branch
     mechanism.metadata["selector_reason"] = decision.reason

@@ -121,6 +121,12 @@ def ascii_heatmap(
     return "\n".join(lines)
 
 
+#: Above this group size the quadratic-work scores (L1, RMSE — full column
+#: scans even columns-on-demand) are skipped by :func:`describe_mechanism`;
+#: the O(n) scores (L0, alpha, properties) are always reported.
+LARGE_N_DESCRIBE_LIMIT = 10_000
+
+
 def describe_mechanism(mechanism: Mechanism, precision: int = 4) -> str:
     """A compact textual profile of a mechanism: scores, properties, privacy."""
     from repro.core.losses import l0_score, l1_score, mechanism_rmse
@@ -130,11 +136,20 @@ def describe_mechanism(mechanism: Mechanism, precision: int = 4) -> str:
     property_text = ", ".join(
         f"{prop.value}={'yes' if value else 'no'}" for prop, value in properties.items()
     )
+    if mechanism.n > LARGE_N_DESCRIBE_LIMIT:
+        scores = (
+            f"  L0={l0_score(mechanism):.{precision}f}  "
+            f"L1/RMSE skipped (n > {LARGE_N_DESCRIBE_LIMIT}: full column scan)"
+        )
+    else:
+        scores = (
+            f"  L0={l0_score(mechanism):.{precision}f}  L1={l1_score(mechanism):.{precision}f}  "
+            f"RMSE={mechanism_rmse(mechanism):.{precision}f}"
+        )
     lines = [
         f"{mechanism.name}: n={mechanism.n}, designed alpha={mechanism.alpha}",
         f"  achieved alpha={mechanism.max_alpha():.{precision}f} (epsilon={mechanism.epsilon():.{precision}f})",
-        f"  L0={l0_score(mechanism):.{precision}f}  L1={l1_score(mechanism):.{precision}f}  "
-        f"RMSE={mechanism_rmse(mechanism):.{precision}f}",
+        scores,
         f"  properties: {property_text}",
     ]
     return "\n".join(lines)

@@ -74,6 +74,8 @@ def exponential_mechanism(
         alpha=None,
         metadata={
             "source": "closed-form",
+            # Stays dense: arbitrary quality functions have no closed CDF.
+            "representation": "dense",
             "definition": "exponential mechanism (McSherry-Talwar)",
             "sensitivity": float(sensitivity),
         },

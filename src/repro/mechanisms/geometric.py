@@ -10,20 +10,30 @@ additionally shows (Theorem 3) that GM is the unique optimum of the plain
 ``L0`` objective under BASICDP, and uses it as the unconstrained reference
 point that the constrained mechanisms are compared against.
 
-Two views of GM are provided and tested against each other:
+Because every column (and the column CDF) has a closed form,
+:func:`geometric_mechanism` returns a
+:class:`~repro.core.mechanism.ClosedFormMechanism`: O(1) memory, analytic
+``max_alpha`` and property answers, and inverse-CDF sampling that never
+builds the matrix.  :func:`geometric_matrix` still materialises the dense
+Figure-3 matrix — it is assembled from the same column function the closed
+form evaluates, so the two representations are bit-identical column by
+column.
 
-* :func:`geometric_mechanism` — the exact probability matrix.
+Three views of GM are provided and tested against each other:
+
+* :func:`geometric_mechanism` / :func:`geometric_matrix` — the exact
+  distribution (closed-form object and dense matrix).
 * :func:`two_sided_geometric_noise` / :func:`sample_geometric_mechanism` —
   the additive-noise sampling procedure of Definition 4.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.core.mechanism import Mechanism
+from repro.core.mechanism import ClosedFormMechanism, ClosedFormSpec, Mechanism
 
 
 def _check_parameters(n: int, alpha: float) -> None:
@@ -31,6 +41,35 @@ def _check_parameters(n: int, alpha: float) -> None:
         raise ValueError("group size n must be a positive integer")
     if not (0.0 <= alpha <= 1.0):
         raise ValueError("alpha must lie in [0, 1]")
+
+
+def geometric_column(n: int, alpha: float, j: int) -> np.ndarray:
+    """Column ``j`` of GM's matrix (Figure 3), evaluated directly.
+
+    This single function backs both representations: the dense
+    :func:`geometric_matrix` stacks it and the closed-form mechanism
+    evaluates it on demand, which is what makes the two bit-identical.
+    """
+    size = n + 1
+    if alpha == 0.0:
+        # Noise collapses onto zero: the identity (truthful) mechanism.
+        column = np.zeros(size)
+        column[j] = 1.0
+        return column
+    if alpha == 1.0:
+        # The two-sided geometric distribution degenerates; all mass is
+        # pushed to the clamping rows.
+        column = np.zeros(size)
+        column[0] = 0.5
+        column[n] = 0.5
+        return column
+    x = 1.0 / (1.0 + alpha)
+    y = (1.0 - alpha) / (1.0 + alpha)
+    exponents = np.abs(np.arange(size) - j).astype(float)
+    column = y * alpha**exponents
+    column[0] = x * alpha ** float(j)
+    column[n] = x * alpha ** float(n - j)
+    return column
 
 
 def geometric_matrix(n: int, alpha: float) -> np.ndarray:
@@ -42,36 +81,101 @@ def geometric_matrix(n: int, alpha: float) -> np.ndarray:
     the limit matrix splits each column evenly between outputs 0 and n.
     """
     _check_parameters(n, alpha)
+    return np.column_stack([geometric_column(n, alpha, j) for j in range(n + 1)])
+
+
+def _geometric_cdf(n: int, alpha: float, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Analytic column CDF ``F(i | j)`` of GM, vectorised over (i, j) arrays.
+
+    The two-sided geometric tails sum in closed form:
+    ``F(i | j) = x α^{j−i}`` for ``i < j`` and ``1 − x α^{i−j+1}`` for
+    ``i >= j`` (with ``F(-1) = 0`` and ``F(n) = 1`` exactly).
+    """
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if alpha == 0.0:
+        cdf = (i >= j).astype(float)
+    elif alpha == 1.0:
+        cdf = np.full(np.broadcast(i, j).shape, 0.5)
+    else:
+        x = 1.0 / (1.0 + alpha)
+        # Clamp exponents at zero so the branch not selected by `where`
+        # cannot overflow (alpha ** -large).
+        below = x * alpha ** np.maximum(j - i, 0).astype(float)
+        above = 1.0 - x * alpha ** np.maximum(i - j + 1, 0).astype(float)
+        cdf = np.where(i < j, below, above)
+    cdf = np.where(i >= n, 1.0, cdf)
+    return np.where(i < 0, 0.0, cdf)
+
+
+def _geometric_diagonal(n: int, alpha: float) -> np.ndarray:
+    """GM's diagonal: ``x`` at the clamped ends, ``y`` in the interior."""
     size = n + 1
     if alpha == 0.0:
-        return np.eye(size)
+        return np.ones(size)
     if alpha == 1.0:
-        matrix = np.zeros((size, size))
-        matrix[0, :] = 0.5
-        matrix[n, :] = 0.5
-        return matrix
+        diagonal = np.zeros(size)
+        diagonal[0] = 0.5
+        diagonal[n] = 0.5
+        return diagonal
     x = 1.0 / (1.0 + alpha)
     y = (1.0 - alpha) / (1.0 + alpha)
-    matrix = np.zeros((size, size))
-    for j in range(size):
-        for i in range(size):
-            if i == 0:
-                matrix[i, j] = x * alpha**j
-            elif i == n:
-                matrix[i, j] = x * alpha ** (n - j)
-            else:
-                matrix[i, j] = y * alpha ** abs(i - j)
-    return matrix
+    diagonal = np.full(size, y)
+    diagonal[0] = x
+    diagonal[n] = x
+    return diagonal
+
+
+def _geometric_properties(n: int, alpha: float, tolerance: float) -> Dict[str, bool]:
+    """Analytic verdicts for the seven structural properties of GM.
+
+    Encodes Theorem 3 and Lemmas 2-3 with the same tolerance semantics as
+    the numeric matrix checks (the equivalence tests assert they agree for
+    every (n, α) on a grid including the α ∈ {0, 1} degenerations).
+    """
+    if n == 1:
+        # The 2x2 GM is [[x, xα], [xα, x]]: every property holds.
+        return {"RH": True, "RM": True, "CH": True, "CM": True, "F": True, "WH": True, "S": True}
+    x = 1.0 / (1.0 + alpha) if alpha < 1.0 else 0.5
+    y = (1.0 - alpha) / (1.0 + alpha)
+    column_ok = x * alpha <= y + tolerance  # Lemma 3 (α <= 1/2), exact at the ends
+    return {
+        "RH": True,  # rows decay away from the diagonal (Section IV-B)
+        "RM": True,
+        "CH": column_ok,
+        "CM": column_ok,
+        "F": abs(x - y) <= tolerance,  # x == y only in the identity limit α = 0
+        "WH": y >= 1.0 / (n + 1) - tolerance,  # Lemma 2 in diagonal form
+        "S": True,
+    }
 
 
 def geometric_mechanism(n: int, alpha: float) -> Mechanism:
-    """The range-restricted geometric mechanism GM as a :class:`Mechanism`."""
-    matrix = geometric_matrix(n, alpha)
-    return Mechanism(
-        matrix,
+    """The range-restricted geometric mechanism GM as a closed-form mechanism."""
+    _check_parameters(n, alpha)
+    alpha = float(alpha)
+    n = int(n)
+    spec = ClosedFormSpec(
+        factory="GM",
+        params={"alpha": alpha},
+        column_fn=lambda j: geometric_column(n, alpha, j),
+        cdf_fn=lambda i, j: _geometric_cdf(n, alpha, i, j),
+        diagonal_fn=lambda: _geometric_diagonal(n, alpha),
+        # Adjacent interior entries differ by exactly one power of α, so
+        # Definition 2 is tight at the design parameter.
+        max_alpha_fn=lambda: alpha,
+        properties_fn=lambda tol: _geometric_properties(n, alpha, tol),
+    )
+    return ClosedFormMechanism(
+        n=n,
+        spec=spec,
         name="GM",
         alpha=alpha,
-        metadata={"source": "closed-form", "definition": "truncated geometric (Def. 4)"},
+        metadata={
+            "source": "closed-form",
+            "representation": "closed-form",
+            "definition": "truncated geometric (Def. 4)",
+        },
     )
 
 

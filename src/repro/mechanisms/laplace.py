@@ -60,6 +60,9 @@ def laplace_mechanism(n: int, alpha: float) -> Mechanism:
         alpha=None,
         metadata={
             "source": "closed-form",
+            # Stays dense: the rounded/truncated CDF differences have no
+            # usefully invertible closed form.
+            "representation": "dense",
             "definition": "rounded + truncated Laplace mechanism",
         },
     )

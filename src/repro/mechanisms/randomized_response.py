@@ -12,15 +12,21 @@ Two variants are implemented:
   otherwise report a uniformly random *other* value.  The paper remarks it
   "gives low utility for count queries"; including it lets the experiments
   quantify that remark.
+
+The n-ary variant has a two-valued column (``p`` on the diagonal, a constant
+off-diagonal mass), so :func:`nary_randomized_response` returns a
+:class:`~repro.core.mechanism.ClosedFormMechanism` with analytic column,
+CDF, ``max_alpha`` and property answers — it scales to any group size in
+O(1) memory.  The binary variant is a 2x2 matrix and stays dense.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.mechanism import Mechanism
+from repro.core.mechanism import ClosedFormMechanism, ClosedFormSpec, Mechanism
 from repro.core.theory import (
     nary_randomized_response_truth_probability,
     randomized_response_truth_probability,
@@ -59,6 +65,60 @@ def binary_randomized_response(
     )
 
 
+def nary_column(n: int, p: float, j: int) -> np.ndarray:
+    """Column ``j`` of n-ary randomized response: ``p`` at ``j``, constant elsewhere."""
+    off_diagonal = (1.0 - p) / n if n > 0 else 0.0
+    column = np.full(n + 1, off_diagonal)
+    column[j] = p
+    return column
+
+
+def _nary_cdf(n: int, p: float, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Analytic column CDF: a uniform ramp with one step of height ``p − q`` at ``j``."""
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    off_diagonal = (1.0 - p) / n if n > 0 else 0.0
+    cdf = (i + 1.0) * off_diagonal + np.where(i >= j, p - off_diagonal, 0.0)
+    cdf = np.where(i >= n, 1.0, cdf)
+    return np.where(i < 0, 0.0, cdf)
+
+
+def _nary_max_alpha(n: int, p: float) -> float:
+    """Analytic :meth:`Mechanism.max_alpha` for n-ary randomized response.
+
+    Adjacent columns differ only in the two rows holding their diagonals,
+    where the entries are ``p`` and ``q = (1 − p)/n``; the binding ratio is
+    ``min(p, q) / max(p, q)`` (zero when only one of them is zero).
+    """
+    q = (1.0 - p) / n if n > 0 else 0.0
+    if p == q:
+        return 1.0
+    if p == 0.0 or q == 0.0:
+        return 0.0
+    return float(min(p / q, q / p))
+
+
+def _nary_properties(n: int, p: float, tolerance: float) -> Dict[str, bool]:
+    """Analytic structural-property verdicts for n-ary randomized response.
+
+    With ``q = (1 − p)/n``: fairness and symmetry are structural; the
+    row/column honesty and monotonicity family holds exactly when the
+    diagonal dominates (``q <= p + tol``); weak honesty needs
+    ``p >= 1/(n+1)``.
+    """
+    q = (1.0 - p) / n if n > 0 else 0.0
+    dominant = q <= p + tolerance
+    return {
+        "RH": dominant,
+        "RM": dominant,
+        "CH": dominant,
+        "CM": dominant,
+        "F": True,
+        "WH": p >= 1.0 / (n + 1) - tolerance,
+        "S": True,
+    }
+
+
 def nary_randomized_response(
     n: int, alpha: float, truth_probability: Optional[float] = None
 ) -> Mechanism:
@@ -73,21 +133,32 @@ def nary_randomized_response(
         raise ValueError("group size n must be a positive integer")
     if not (0.0 <= alpha <= 1.0):
         raise ValueError("alpha must lie in [0, 1]")
-    size = n + 1
+    n = int(n)
+    params = {"alpha": float(alpha)}
+    if truth_probability is not None:
+        params["truth_probability"] = float(truth_probability)
     if truth_probability is None:
         truth_probability = nary_randomized_response_truth_probability(n, alpha)
     p = float(truth_probability)
     if not (0.0 < p <= 1.0):
         raise ValueError("truth probability must lie in (0, 1]")
-    off_diagonal = (1.0 - p) / n if n > 0 else 0.0
-    matrix = np.full((size, size), off_diagonal)
-    np.fill_diagonal(matrix, p)
-    mechanism = Mechanism(
-        matrix,
+    spec = ClosedFormSpec(
+        factory="NRR",
+        params=params,
+        column_fn=lambda j: nary_column(n, p, j),
+        cdf_fn=lambda i, j: _nary_cdf(n, p, i, j),
+        diagonal_fn=lambda: np.full(n + 1, p),
+        max_alpha_fn=lambda: _nary_max_alpha(n, p),
+        properties_fn=lambda tol: _nary_properties(n, p, tol),
+    )
+    mechanism = ClosedFormMechanism(
+        n=n,
+        spec=spec,
         name="NRR",
         alpha=None,
         metadata={
             "source": "closed-form",
+            "representation": "closed-form",
             "definition": "n-ary randomized response (Geng et al.)",
             "truth_probability": p,
         },

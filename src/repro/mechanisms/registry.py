@@ -52,6 +52,34 @@ _ALIASES: Dict[str, str] = {
 #: The four mechanisms compared throughout the paper's evaluation.
 PAPER_MECHANISMS: Tuple[str, ...] = ("GM", "WM", "EM", "UM")
 
+#: Factories that build closed-form (matrix-free) representations.  The
+#: remaining factories (EXP with arbitrary quality functions, LAPLACE's
+#: transcendental CDF differences, WM's LP solve) stay dense/sparse.
+CLOSED_FORM_MECHANISMS: Tuple[str, ...] = ("GM", "EM", "UM", "NRR", "STAIRCASE")
+
+
+def is_closed_form(name: str) -> bool:
+    """Whether the named factory produces a closed-form representation."""
+    return canonical_name(name) in CLOSED_FORM_MECHANISMS
+
+
+def rebuild_closed_form(payload) -> Mechanism:
+    """Rebuild a closed-form mechanism from its serialised descriptor.
+
+    Inverse of :meth:`~repro.core.mechanism.ClosedFormMechanism.to_dict`:
+    the descriptor stores the factory key plus the keyword arguments that
+    reproduce the factory call, so deserialisation re-runs the factory and
+    restores the recorded name/alpha/metadata.
+    """
+    factory = canonical_name(str(payload["factory"]))
+    if factory not in CLOSED_FORM_MECHANISMS:
+        raise ValueError(f"{factory!r} is not a closed-form factory")
+    mechanism = _FACTORIES[factory](n=int(payload["n"]), **dict(payload.get("params", {})))
+    mechanism.name = str(payload.get("name", mechanism.name))
+    mechanism.alpha = payload.get("alpha", mechanism.alpha)
+    mechanism.metadata = dict(payload.get("metadata", {}))
+    return mechanism
+
 
 def available_mechanisms() -> List[str]:
     """Canonical names of every mechanism the registry can build."""

@@ -18,6 +18,14 @@ noise.  The paper cites the staircase mechanism as an example of a *fair*
 mechanism from prior work; the untruncated noise is indeed input-independent,
 though (like GM) the clamped version loses fairness at the boundary, which
 our property checks make visible.
+
+The geometric-family structure gives every column and its CDF a closed form
+(the infinite plateau tails sum analytically), so
+:func:`staircase_mechanism` returns a
+:class:`~repro.core.mechanism.ClosedFormMechanism`.  Property answers and
+``max_alpha`` are left to the generic streaming checks, which cost O(n) per
+column pair — unlike GM/EM, the staircase boundary interactions are not
+worth hand-deriving.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.mechanism import Mechanism
+from repro.core.mechanism import ClosedFormMechanism, ClosedFormSpec, Mechanism
 
 
 def _check_parameters(n: int, alpha: float, width: int) -> None:
@@ -59,6 +67,16 @@ def _unnormalised_upper_tail(threshold: int, alpha: float, width: int) -> float:
     return partial_plateau + remaining_plateaus
 
 
+def _upper_tail_array(thresholds: np.ndarray, alpha: float, width: int) -> np.ndarray:
+    """Vectorised :func:`_unnormalised_upper_tail` over a threshold array (>= 1)."""
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    level = thresholds // width
+    next_boundary = (level + 1) * width
+    partial_plateau = (next_boundary - thresholds) * alpha ** level.astype(float)
+    remaining_plateaus = width * alpha ** (level + 1.0) / (1.0 - alpha)
+    return partial_plateau + remaining_plateaus
+
+
 def staircase_noise_pmf(alpha: float, width: int, support: int) -> np.ndarray:
     """PMF of staircase noise on ``{-support, …, +support}``, renormalised.
 
@@ -73,48 +91,80 @@ def staircase_noise_pmf(alpha: float, width: int, support: int) -> np.ndarray:
     return weights / weights.sum()
 
 
-def staircase_matrix(n: int, alpha: float, width: int = 1) -> np.ndarray:
-    """Transition matrix of the truncated discrete staircase mechanism.
+def staircase_column(n: int, alpha: float, width: int, j: int) -> np.ndarray:
+    """Column ``j`` of the truncated staircase matrix, evaluated directly.
 
     Interior outputs carry the plateau weight of their offset from the true
     count; the clamping outputs 0 and ``n`` absorb the exact mass of the two
     infinite tails, so each column sums to one with no truncation error.
+    This one function backs both the dense matrix and the closed form.
     """
-    _check_parameters(n, alpha, width)
     size = n + 1
     normaliser = 1.0 + 2.0 * _unnormalised_upper_tail(1, alpha, width)
+    column = np.zeros(size)
+    interior = np.arange(1, size - 1)
+    column[1 : size - 1] = alpha ** (np.abs(interior - j) // width).astype(float)
+    # Output 0 absorbs all noise <= -j; by symmetry of the noise this is
+    # the upper tail at threshold j (plus the point mass at 0 when j = 0).
+    if j == 0:
+        column[0] = 1.0 + _unnormalised_upper_tail(1, alpha, width)
+    else:
+        column[0] = _unnormalised_upper_tail(j, alpha, width)
+    # Output n absorbs all noise >= n - j.
+    if j == n:
+        column[n] = 1.0 + _unnormalised_upper_tail(1, alpha, width)
+    else:
+        column[n] = _unnormalised_upper_tail(n - j, alpha, width)
+    return column / normaliser
 
-    matrix = np.zeros((size, size))
-    for j in range(size):
-        column = np.zeros(size)
-        for i in range(1, size - 1):
-            column[i] = _unnormalised_weight(i - j, alpha, width)
-        # Output 0 absorbs all noise <= -j; by symmetry of the noise this is
-        # the upper tail at threshold j (plus the point mass at 0 when j = 0).
-        if j == 0:
-            column[0] = 1.0 + _unnormalised_upper_tail(1, alpha, width)
-        else:
-            column[0] = _unnormalised_upper_tail(j, alpha, width)
-        # Output n absorbs all noise >= n - j.
-        if j == n:
-            column[n] = 1.0 + _unnormalised_upper_tail(1, alpha, width)
-        else:
-            column[n] = _unnormalised_upper_tail(n - j, alpha, width)
-        matrix[:, j] = column / normaliser
-    return matrix
+
+def staircase_matrix(n: int, alpha: float, width: int = 1) -> np.ndarray:
+    """Transition matrix of the truncated discrete staircase mechanism."""
+    _check_parameters(n, alpha, width)
+    return np.column_stack([staircase_column(n, alpha, width, j) for j in range(n + 1)])
+
+
+def _staircase_cdf(
+    n: int, alpha: float, width: int, i: np.ndarray, j: np.ndarray
+) -> np.ndarray:
+    """Analytic column CDF of the truncated staircase mechanism.
+
+    Clamping makes the CDF a pure tail expression of the additive noise:
+    ``F(i | j) = tail(j − i) / Z`` below the true count and
+    ``1 − tail(i − j + 1) / Z`` at or above it.
+    """
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    normaliser = 1.0 + 2.0 * _unnormalised_upper_tail(1, alpha, width)
+    below = _upper_tail_array(np.maximum(j - i, 1), alpha, width) / normaliser
+    above = 1.0 - _upper_tail_array(np.maximum(i - j + 1, 1), alpha, width) / normaliser
+    cdf = np.where(i < j, below, above)
+    cdf = np.where(i >= n, 1.0, cdf)
+    return np.where(i < 0, 0.0, cdf)
 
 
 def staircase_mechanism(n: int, alpha: float, width: int = 1) -> Mechanism:
-    """The truncated discrete staircase mechanism as a :class:`Mechanism`."""
-    matrix = staircase_matrix(n, alpha, width=width)
-    mechanism = Mechanism(
-        matrix,
+    """The truncated discrete staircase mechanism as a closed-form mechanism."""
+    _check_parameters(n, alpha, width)
+    n = int(n)
+    alpha = float(alpha)
+    width = int(width)
+    spec = ClosedFormSpec(
+        factory="STAIRCASE",
+        params={"alpha": alpha, "width": width},
+        column_fn=lambda j: staircase_column(n, alpha, width, j),
+        cdf_fn=lambda i, j: _staircase_cdf(n, alpha, width, i, j),
+    )
+    mechanism = ClosedFormMechanism(
+        n=n,
+        spec=spec,
         name=f"STAIRCASE[{width}]" if width != 1 else "STAIRCASE",
         alpha=None,
         metadata={
             "source": "closed-form",
+            "representation": "closed-form",
             "definition": "truncated discrete staircase mechanism",
-            "width": int(width),
+            "width": width,
         },
     )
     mechanism.alpha = mechanism.max_alpha()

@@ -34,6 +34,7 @@ def weakly_honest_mechanism(
     symmetric: bool = True,
     objective: Optional[Objective] = None,
     backend: str = DEFAULT_BACKEND,
+    representation: str = "dense",
 ) -> Mechanism:
     """Solve the LP for the weakly honest mechanism WM.
 
@@ -54,6 +55,9 @@ def weakly_honest_mechanism(
         Loss to minimise; defaults to ``L0``.
     backend:
         LP backend name.
+    representation:
+        ``"dense"`` or ``"sparse"`` (WM solutions are banded; the serving
+        layer requests sparse storage).
     """
     properties = {StructuralProperty.WEAK_HONESTY}
     if column_monotone:
@@ -69,6 +73,7 @@ def weakly_honest_mechanism(
         objective=objective,
         backend=backend,
         name="WM" if column_monotone else "WM[WH]",
+        representation=representation,
     )
     mechanism.metadata["definition"] = (
         "weakly honest mechanism (LP with WH"

@@ -9,6 +9,13 @@ request string (:func:`design_key`), keeps the most recently used ones in
 memory (LRU), and can mirror every design to a directory of JSON files so
 later processes skip the solver too.
 
+Entries store each mechanism's *representation descriptor* — a closed-form
+factory call for the Figure-5 GM/EM branches, CSC arrays for LP-designed
+mechanisms — rather than a dense matrix blob, so cached designs stay small
+at any group size.  A corrupt or truncated disk entry (killed writer, full
+disk) is treated as a cache miss: the design is re-solved and the bad file
+overwritten.
+
 >>> from repro.serving import DesignCache
 >>> cache = DesignCache(capacity=64)
 >>> mech, decision = cache.get_or_design(8, 0.9, properties="WH+CM")
@@ -164,13 +171,23 @@ class DesignCache:
             entry = self._load_from_disk(key)
             if entry is not None:
                 source = "disk"
-                self._disk_hits += 1
         if entry is not None:
-            self._hits += 1
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            self._evict()
-            return self._materialise(entry, key, source)
+            # A stored payload that no longer materialises (corrupt disk
+            # write, schema from an incompatible version) is treated as a
+            # miss: drop it, re-solve below and overwrite the bad entry.
+            try:
+                materialised = self._materialise(entry, key, source)
+            except Exception:
+                self._entries.pop(key, None)
+                self._remove_from_disk(key)
+            else:
+                self._hits += 1
+                if source == "disk":
+                    self._disk_hits += 1
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                self._evict()
+                return materialised
 
         self._misses += 1
         from repro.core.selector import choose_mechanism  # deferred: avoids import cycle
@@ -214,16 +231,34 @@ class DesignCache:
         return self.directory / f"design-{digest}.json"
 
     def _load_from_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read a disk entry; any corrupt or truncated file is a cache miss.
+
+        A partially written file (process killed mid-write, disk full) may
+        be invalid JSON, valid JSON of the wrong shape, or a stale payload
+        for a colliding hash — all of these return ``None`` so the caller
+        re-solves and overwrites the bad file.
+        """
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
-        if payload.get("key") != key:  # hash collision or stale file
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None  # hash collision, stale or truncated file
+        if "mechanism" not in payload or "decision" not in payload:
             return None
         return payload
+
+    def _remove_from_disk(self, key: str) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
 
     def _store_to_disk(self, key: str, entry: Dict[str, Any]) -> None:
         path = self._disk_path(key)

@@ -149,7 +149,10 @@ class BatchReleaseSession:
             entry = self.cache.get_or_design(
                 n, alpha, properties=properties, objective=objective, backend=self.backend
             )
-            entry[0].column_cdfs()
+            # Representation-aware warm-up: dense mechanisms precompute
+            # their (n+1)^2 CDF table; closed-form / sparse mechanisms warm
+            # per-column caches lazily and need (and must do) nothing here.
+            entry[0].prepare_sampling()
             self._designs[key] = entry
         self._designs.move_to_end(key)
         while len(self._designs) > self.cache.capacity:
