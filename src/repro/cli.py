@@ -150,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--fast", action="store_true")
     experiments.add_argument("--only", nargs="*", default=None)
     experiments.add_argument("--csv-dir", type=Path, default=None)
+    experiments.add_argument(
+        "--max-workers", type=int, default=None,
+        help="fan the sweeps' design and evaluation stages out across this "
+             "many worker processes (results are bit-identical)")
 
     return parser
 
@@ -343,7 +347,9 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
-    runner.run_experiments(names=args.only, fast=args.fast, csv_dir=args.csv_dir)
+    runner.run_experiments(
+        names=args.only, fast=args.fast, csv_dir=args.csv_dir, max_workers=args.max_workers
+    )
     return 0
 
 

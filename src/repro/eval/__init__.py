@@ -12,13 +12,17 @@
 
 from repro.eval.empirical import EmpiricalResult, evaluate_mechanism, evaluate_mechanisms
 from repro.eval.metrics import (
+    distance_metric,
+    distance_metrics,
     empirical_l0,
     empirical_l0d,
     error_rate,
     exceeds_distance_rate,
+    exceeds_rate_profile,
     mean_absolute_error,
     mean_signed_error,
     root_mean_square_error,
+    signed_differences,
 )
 from repro.eval.reporting import ascii_heatmap, format_table, rows_to_csv
 from repro.eval.sweep import SweepResult, sweep
@@ -27,6 +31,10 @@ __all__ = [
     "EmpiricalResult",
     "evaluate_mechanism",
     "evaluate_mechanisms",
+    "distance_metric",
+    "distance_metrics",
+    "exceeds_rate_profile",
+    "signed_differences",
     "empirical_l0",
     "empirical_l0d",
     "error_rate",

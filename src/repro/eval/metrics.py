@@ -4,6 +4,21 @@ These are the empirical counterparts of the analytic losses in
 :mod:`repro.core.losses`: the paper's experiments apply a mechanism to every
 group's true count and then measure how often (and by how much) the released
 count differs from the truth.
+
+Two layers are provided:
+
+* **Matrix kernels** (``*_from_diff``) reduce a shared ``released − true``
+  difference array over its last (group) axis in one vectorised pass.  Fed
+  a ``(repetitions, num_groups)`` matrix they return the per-repetition
+  metric vector the empirical harness records; fed a 1-D array they return
+  a scalar.  :func:`exceeds_rate_profile` answers *every* distance
+  threshold from one histogram pass.
+* **Scalar metrics** (:func:`error_rate`, :func:`mean_absolute_error`, …)
+  keep the original ``f(true, released) -> float`` signatures as thin
+  wrappers over the kernels.  Each carries its kernel as a ``diff_kernel``
+  attribute, which is how :func:`repro.eval.empirical.evaluate_mechanism`
+  recognises metrics it can compute from the shared difference matrix
+  instead of once per repetition.
 """
 
 from __future__ import annotations
@@ -25,6 +40,90 @@ def _as_pair(true_counts: Sequence[int], released_counts: Sequence[int]):
     return true, released
 
 
+def signed_differences(true_counts: Sequence[int], released_counts) -> np.ndarray:
+    """The shared ``released − true`` difference array every kernel reduces.
+
+    ``released_counts`` may be a 1-D array matching ``true_counts`` or a
+    ``(repetitions, num_groups)`` matrix of repeated releases; the 1-D true
+    counts broadcast across the repetition axis.
+    """
+    true = np.asarray(true_counts, dtype=float)
+    released = np.asarray(released_counts, dtype=float)
+    if true.size == 0 or released.size == 0:
+        raise ValueError("cannot compute metrics on empty inputs")
+    if released.shape[-1:] != true.shape[-1:]:
+        raise ValueError(
+            f"released counts with shape {released.shape} do not match "
+            f"true counts with shape {true.shape}"
+        )
+    return released - true
+
+
+# --------------------------------------------------------------------- #
+# Matrix kernels: one pass over the difference array, group axis last
+# --------------------------------------------------------------------- #
+def error_rate_from_diff(diff: np.ndarray) -> np.ndarray:
+    """Fraction of groups with a non-zero difference, per repetition."""
+    return np.mean(np.asarray(diff) != 0.0, axis=-1)
+
+
+def exceeds_rate_from_diff(diff: np.ndarray, d: int) -> np.ndarray:
+    """Fraction of groups whose |difference| exceeds ``d``, per repetition."""
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    return np.mean(np.abs(np.asarray(diff)) > d, axis=-1)
+
+
+def mae_from_diff(diff: np.ndarray) -> np.ndarray:
+    """Mean absolute difference over groups, per repetition."""
+    return np.mean(np.abs(np.asarray(diff)), axis=-1)
+
+
+def rmse_from_diff(diff: np.ndarray) -> np.ndarray:
+    """Root-mean-square difference over groups, per repetition."""
+    return np.sqrt(np.mean(np.asarray(diff) ** 2, axis=-1))
+
+
+def bias_from_diff(diff: np.ndarray) -> np.ndarray:
+    """Mean signed difference (released − true) over groups, per repetition."""
+    return np.mean(np.asarray(diff), axis=-1)
+
+
+def exceeds_rate_profile(diff: np.ndarray, distances: Sequence[int]) -> np.ndarray:
+    """Exceed-rates for *every* distance threshold from one pass over |diff|.
+
+    Counts are integers, so instead of one comparison sweep per threshold
+    (the old Figure-12 inner loop) the kernel histograms ``|diff|`` once per
+    repetition and reads every threshold's tail mass off the reversed
+    cumulative sum.  Returns an array of shape
+    ``(len(distances),) + diff.shape[:-1]`` whose slice ``k`` is exactly
+    ``exceeds_rate_from_diff(diff, distances[k])`` (bit-identical: both are
+    the same integer count divided by the same group count).
+    """
+    distances = np.asarray(distances, dtype=int)
+    if distances.ndim != 1:
+        raise ValueError("distances must be a 1-D sequence")
+    if distances.size and distances.min() < 0:
+        raise ValueError("d must be non-negative")
+    magnitudes = np.abs(np.asarray(diff)).astype(np.int64)
+    groups = magnitudes.shape[-1]
+    flat = magnitudes.reshape(-1, groups)
+    width = int(magnitudes.max()) + 1 if magnitudes.size else 1
+    offsets = np.arange(flat.shape[0], dtype=np.int64) * width
+    histogram = np.bincount(
+        (flat + offsets[:, None]).ravel(), minlength=flat.shape[0] * width
+    ).reshape(flat.shape[0], width)
+    # tails[r, v] = #groups with |diff| >= v; a final zero column answers
+    # thresholds at or beyond the largest observed magnitude.
+    tails = np.zeros((flat.shape[0], width + 1), dtype=np.int64)
+    tails[:, :width] = histogram[:, ::-1].cumsum(axis=1)[:, ::-1]
+    rates = tails[:, np.minimum(distances + 1, width)].T / groups
+    return rates.reshape((distances.shape[0],) + magnitudes.shape[:-1])
+
+
+# --------------------------------------------------------------------- #
+# Scalar metrics: the original signatures, now thin kernel wrappers
+# --------------------------------------------------------------------- #
 def error_rate(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
     """Fraction of groups whose released count differs from the true count.
 
@@ -32,7 +131,7 @@ def error_rate(true_counts: Sequence[int], released_counts: Sequence[int]) -> fl
     the paper's ``(n+1)/n`` rescaling).
     """
     true, released = _as_pair(true_counts, released_counts)
-    return float(np.mean(true != released))
+    return float(error_rate_from_diff(released - true))
 
 
 def exceeds_distance_rate(
@@ -46,7 +145,7 @@ def exceeds_distance_rate(
     if d < 0:
         raise ValueError("d must be non-negative")
     true, released = _as_pair(true_counts, released_counts)
-    return float(np.mean(np.abs(true - released) > d))
+    return float(exceeds_rate_from_diff(released - true, d))
 
 
 def empirical_l0(
@@ -70,29 +169,43 @@ def empirical_l0d(
 def mean_absolute_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
     """Mean absolute deviation of released counts from true counts."""
     true, released = _as_pair(true_counts, released_counts)
-    return float(np.mean(np.abs(true - released)))
+    return float(mae_from_diff(released - true))
 
 
 def root_mean_square_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
     """Root-mean-square deviation (the Figure 13 metric)."""
     true, released = _as_pair(true_counts, released_counts)
-    return float(np.sqrt(np.mean((true - released) ** 2)))
+    return float(rmse_from_diff(released - true))
 
 
 def mean_signed_error(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
     """Mean of (released − true): the empirical bias of the mechanism on this data."""
     true, released = _as_pair(true_counts, released_counts)
-    return float(np.mean(released - true))
+    return float(bias_from_diff(released - true))
+
+
+#: Attach each scalar metric's matrix kernel; the empirical harness uses
+#: these to compute every default metric from one shared difference matrix.
+error_rate.diff_kernel = error_rate_from_diff
+mean_absolute_error.diff_kernel = mae_from_diff
+root_mean_square_error.diff_kernel = rmse_from_diff
+mean_signed_error.diff_kernel = bias_from_diff
 
 
 def summarise(true_counts: Sequence[int], released_counts: Sequence[int]) -> Dict[str, float]:
-    """All scalar metrics at once, keyed by name."""
+    """All scalar metrics at once, keyed by name.
+
+    The inputs are validated once and every scalar is derived from a single
+    shared difference array — five metrics, one subtraction.
+    """
+    true, released = _as_pair(true_counts, released_counts)
+    diff = released - true
     return {
-        "error_rate": error_rate(true_counts, released_counts),
-        "exceeds_1_rate": exceeds_distance_rate(true_counts, released_counts, 1),
-        "mae": mean_absolute_error(true_counts, released_counts),
-        "rmse": root_mean_square_error(true_counts, released_counts),
-        "bias": mean_signed_error(true_counts, released_counts),
+        "error_rate": float(error_rate_from_diff(diff)),
+        "exceeds_1_rate": float(exceeds_rate_from_diff(diff, 1)),
+        "mae": float(mae_from_diff(diff)),
+        "rmse": float(rmse_from_diff(diff)),
+        "bias": float(bias_from_diff(diff)),
     }
 
 
@@ -107,11 +220,45 @@ METRICS = {
 }
 
 
-def distance_metric(d: int):
+class ExceedsDistanceRate:
+    """A named ``exceeds_distance_rate`` metric for a fixed threshold ``d``.
+
+    A module-level class (rather than a closure) so instances pickle into
+    the parallel sweep's worker processes, and carry both the scalar
+    signature and the matrix kernel.  The empirical harness additionally
+    groups several instances into one :func:`exceeds_rate_profile` pass
+    (the Figure-12 sweep over ``d``).
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise ValueError("d must be non-negative")
+        self.d = int(d)
+        self.__name__ = f"exceeds_{self.d}_rate"
+
+    def __call__(self, true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
+        return exceeds_distance_rate(true_counts, released_counts, self.d)
+
+    def diff_kernel(self, diff: np.ndarray) -> np.ndarray:
+        return exceeds_rate_from_diff(diff, self.d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExceedsDistanceRate(d={self.d})"
+
+
+def distance_metric(d: int) -> ExceedsDistanceRate:
     """A named ``exceeds_distance_rate`` metric for a fixed threshold ``d``."""
+    return ExceedsDistanceRate(d)
 
-    def metric(true_counts: Sequence[int], released_counts: Sequence[int]) -> float:
-        return exceeds_distance_rate(true_counts, released_counts, d)
 
-    metric.__name__ = f"exceeds_{d}_rate"
-    return metric
+def distance_metrics(distances: Sequence[int]) -> Dict[str, ExceedsDistanceRate]:
+    """Named exceed-rate metrics for every threshold, keyed ``exceeds_{d}_rate``.
+
+    Passing the whole family to ``evaluate_mechanism`` lets it answer every
+    threshold from one histogram pass (:func:`exceeds_rate_profile`).
+    """
+    metrics = {}
+    for d in distances:
+        metric = ExceedsDistanceRate(d)
+        metrics[metric.__name__] = metric
+    return metrics

@@ -69,15 +69,16 @@ class SweepResult:
         self.rows.extend(other.rows)
 
 
-#: Process-level default for the parallel design stage; ``None`` means run
-#: in-process.  Set via :func:`set_default_max_workers` (the experiment
-#: runner's ``--max-workers`` flag threads through here) so every sweep in a
-#: run picks up the setting without each call site growing a parameter.
+#: Process-level default for the parallel design + evaluation stages;
+#: ``None`` means run in-process.  Set via :func:`set_default_max_workers`
+#: (the experiment runner's ``--max-workers`` flag threads through here) so
+#: every sweep in a run picks up the setting without each call site growing
+#: a parameter.
 DEFAULT_MAX_WORKERS: Optional[int] = None
 
 
 def set_default_max_workers(max_workers: Optional[int]) -> Optional[int]:
-    """Set the default worker count for sweep design stages; returns the old value."""
+    """Set the default worker count for sweep design/evaluation; returns the old value."""
     global DEFAULT_MAX_WORKERS
     previous = DEFAULT_MAX_WORKERS
     DEFAULT_MAX_WORKERS = None if max_workers is None else int(max_workers)
@@ -174,14 +175,20 @@ def sweep(
         Optional pre-computed workloads keyed by ``(group_size, probability)``
         overriding the Binomial generator (used by the Adult experiments).
     max_workers:
-        Opt-in process parallelism for the LP design stage: when > 1, the
-        mechanisms for every ``(alpha, n)`` grid point are designed
-        concurrently in worker processes.  Results are identical to the
-        serial path (design is deterministic and the random streams are
-        drawn in the same order either way).  Defaults to the module-level
+        Opt-in process parallelism for the design *and* evaluation stages:
+        when > 1, the mechanisms for every ``(alpha, n)`` grid point are
+        designed concurrently in worker processes, and the per-(grid point,
+        mechanism) empirical evaluations are then fanned out across the same
+        worker count.  Results are identical to the serial path row-for-row:
+        design is deterministic, every evaluation receives the same
+        independent child seed it would serially (the seeds are drawn in
+        serial order *before* the fan-out), and rows are collected in task
+        order.  Metrics, mechanisms and workloads must be picklable to
+        ship to the workers (everything this library produces is); sweeps
+        with unpicklable custom state (e.g. lambda metrics) fall back to
+        serial evaluation.  Defaults to the module-level
         :data:`DEFAULT_MAX_WORKERS`.
     """
-    result = SweepResult()
     metric_functions = dict(DEFAULT_METRICS if metrics is None else metrics)
     seed_sequence = np.random.SeedSequence(seed)
     if max_workers is None:
@@ -189,43 +196,103 @@ def sweep(
     # Mechanisms depend only on (n, alpha): build them once per pair, in
     # parallel when requested.
     mechanism_grid = _build_mechanism_grid(alphas, group_sizes, mechanisms, backend, max_workers)
-    for alpha in alphas:
-        for group_size in group_sizes:
-            built = mechanism_grid[(float(alpha), int(group_size))]
-            for probability in probabilities:
-                if data is not None and (group_size, probability) in data:
-                    workload = data[(group_size, probability)]
-                else:
-                    data_seed, seed_sequence = _split_seed(seed_sequence)
-                    workload = GroupedCounts(
-                        counts=binomial_group_counts(
-                            num_groups, group_size, probability, rng=np.random.default_rng(data_seed)
-                        ),
-                        group_size=group_size,
-                        label=f"binomial(p={probability})",
-                    )
-                for mechanism in built:
-                    eval_seed, seed_sequence = _split_seed(seed_sequence)
-                    evaluation = evaluate_mechanism(
-                        mechanism,
-                        workload,
-                        repetitions=repetitions,
-                        metrics=metric_functions,
-                        rng=np.random.default_rng(eval_seed),
-                    )
-                    row: Dict[str, Union[str, float, int]] = {
-                        "mechanism": mechanism.name,
-                        "alpha": float(alpha),
-                        "group_size": int(group_size),
-                        "probability": float(probability),
-                        "num_groups": evaluation.num_groups,
-                        "repetitions": repetitions,
-                    }
-                    for metric in evaluation.metrics():
-                        row[metric] = evaluation.mean(metric)
-                        row[f"{metric}_std"] = evaluation.std(metric)
-                    result.rows.append(row)
-    return result
+    # Walk the grid in serial order, drawing every data/evaluation seed
+    # exactly as the serial path would, yielding the (independent)
+    # evaluation tasks lazily.  The serial path keeps only one workload
+    # alive at a time; the parallel path submits every task up front
+    # (Executor.map consumes the generator eagerly), an accepted
+    # O(grid cells) memory cost of opting into worker processes.
+    def tasks() -> Iterable[Tuple]:
+        sequence = seed_sequence
+        for alpha in alphas:
+            for group_size in group_sizes:
+                built = mechanism_grid[(float(alpha), int(group_size))]
+                for probability in probabilities:
+                    if data is not None and (group_size, probability) in data:
+                        workload = data[(group_size, probability)]
+                    else:
+                        data_seed, sequence = _split_seed(sequence)
+                        workload = GroupedCounts(
+                            counts=binomial_group_counts(
+                                num_groups,
+                                group_size,
+                                probability,
+                                rng=np.random.default_rng(data_seed),
+                            ),
+                            group_size=group_size,
+                            label=f"binomial(p={probability})",
+                        )
+                    for mechanism in built:
+                        eval_seed, sequence = _split_seed(sequence)
+                        base_row: Dict[str, Union[str, float, int]] = {
+                            "mechanism": mechanism.name,
+                            "alpha": float(alpha),
+                            "group_size": int(group_size),
+                            "probability": float(probability),
+                        }
+                        yield (
+                            mechanism, workload, repetitions, metric_functions,
+                            eval_seed, base_row,
+                        )
+
+    grid_cells = len(alphas) * len(group_sizes) * len(probabilities)
+    if (
+        max_workers is not None
+        and int(max_workers) > 1
+        and grid_cells * len(mechanisms) > 1
+        and _picklable((metric_functions, mechanism_grid, data))
+    ):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=int(max_workers)) as pool:
+            rows = list(pool.map(_evaluate_sweep_task, tasks()))
+    else:
+        rows = [_evaluate_sweep_task(task) for task in tasks()]
+    return SweepResult(rows=rows)
+
+
+def _picklable(payload) -> bool:
+    """Whether the evaluation tasks' shared state can ship to workers.
+
+    Everything this library produces pickles (module-level metric
+    functions, :class:`~repro.eval.metrics.ExceedsDistanceRate` instances,
+    all three mechanism representations, array workloads), but a
+    caller-supplied lambda metric — or a mechanism carrying unpicklable
+    metadata — does not; those sweeps silently fall back to serial
+    evaluation rather than crash mid-run — the rows are identical either
+    way.
+    """
+    import pickle
+
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _evaluate_sweep_task(task) -> Dict[str, Union[str, float, int]]:
+    """Run one (grid point, mechanism) evaluation and build its result row.
+
+    Module-level so the parallel evaluation stage can pickle its jobs; the
+    serial path runs the very same function in-process, which is what makes
+    the two paths identical row-for-row.
+    """
+    mechanism, workload, repetitions, metric_functions, eval_seed, base_row = task
+    evaluation = evaluate_mechanism(
+        mechanism,
+        workload,
+        repetitions=repetitions,
+        metrics=metric_functions,
+        rng=np.random.default_rng(eval_seed),
+    )
+    row = dict(base_row)
+    row["num_groups"] = evaluation.num_groups
+    row["repetitions"] = repetitions
+    for metric in evaluation.metrics():
+        row[metric] = evaluation.mean(metric)
+        row[f"{metric}_std"] = evaluation.std(metric)
+    return row
 
 
 def _split_seed(seed_sequence: np.random.SeedSequence):

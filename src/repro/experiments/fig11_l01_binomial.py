@@ -55,6 +55,9 @@ def run(
             "backend": backend,
         },
     )
+    # Both metrics carry matrix kernels (and pickle into sweep workers), so
+    # every (grid point, mechanism) cell is one tiled sample + two
+    # single-pass reductions, parallelisable via --max-workers.
     metrics = {"error_rate": error_rate, "exceeds_1_rate": distance_metric(1)}
     for group_size in group_sizes:
         num_groups = max(1, population // group_size)

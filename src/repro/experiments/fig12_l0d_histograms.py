@@ -28,7 +28,7 @@ from repro.core.losses import l0d_score
 from repro.data.groups import GroupedCounts
 from repro.data.synthetic import DEFAULT_POPULATION, binomial_group_counts
 from repro.eval.empirical import evaluate_mechanism
-from repro.eval.metrics import distance_metric
+from repro.eval.metrics import distance_metrics
 from repro.experiments.base import ExperimentResult
 from repro.mechanisms.registry import paper_mechanisms
 
@@ -72,7 +72,10 @@ def run(
             "backend": backend,
         },
     )
-    metrics = {f"exceeds_{d}_rate": distance_metric(d) for d in distances}
+    # The whole d-sweep is one metric family: evaluate_mechanism answers
+    # every threshold from a single histogram pass over the shared |diff|
+    # matrix instead of one metric call per (repetition, d).
+    metrics = distance_metrics(distances)
     for alpha in alphas:
         mechanisms = paper_mechanisms(group_size, alpha, backend=backend)
         for probability in probabilities:

@@ -66,6 +66,8 @@ def run(
             mechanisms=mechanisms,
             repetitions=repetitions,
             num_groups=num_groups,
+            # Matrix-kernel metric: one tiled sample and a single reduction
+            # per cell, parallelisable via --max-workers.
             metrics={"rmse": root_mean_square_error},
             seed=seed,
             backend=backend,

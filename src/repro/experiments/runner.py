@@ -101,10 +101,11 @@ def run_experiments(
 ) -> Dict[str, ExperimentResult]:
     """Run the selected experiments and return their results keyed by name.
 
-    ``max_workers`` opts the sweeps' LP design stage into process
-    parallelism for the duration of the run (see
-    :func:`repro.eval.sweep.set_default_max_workers`); results are identical
-    to a serial run.
+    ``max_workers`` opts the sweeps' LP design *and* empirical evaluation
+    stages into process parallelism for the duration of the run (see
+    :func:`repro.eval.sweep.set_default_max_workers`); every figure module
+    that evaluates through :func:`repro.eval.sweep.sweep` fans out without
+    per-module changes, and results are identical to a serial run.
     """
     settings = _fast_settings() if fast else _full_settings()
     selected = list(names) if names is not None else list(settings)
@@ -145,7 +146,11 @@ def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover - CLI gl
         "--max-workers",
         type=int,
         default=None,
-        help="design LP grid points in this many worker processes (default: in-process)",
+        help=(
+            "fan the sweeps' LP design and empirical evaluation stages out "
+            "across this many worker processes (default: in-process; results "
+            "are bit-identical either way)"
+        ),
     )
     arguments = parser.parse_args(argv)
     run_experiments(

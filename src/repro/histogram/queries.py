@@ -88,21 +88,61 @@ def evaluate_range_queries(
     mean *relative* error (absolute error divided by ``max(true, 1)``) over
     the workload.
     """
+    summary = evaluate_range_queries_matrix(
+        histogram.true_counts, histogram.released_counts[None, :], queries
+    )
+    return {name: float(values[0]) for name, values in summary.items()}
+
+
+def _range_answers(counts: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Answer every ``[start, end]`` query on each row of bucket counts."""
+    prefix = np.zeros((counts.shape[0], counts.shape[1] + 1), dtype=np.int64)
+    np.cumsum(counts, axis=1, out=prefix[:, 1:])
+    return prefix[:, ends + 1] - prefix[:, starts]
+
+
+def evaluate_range_queries_matrix(
+    true_counts: Sequence[int],
+    released_matrix: np.ndarray,
+    queries: Sequence[RangeQuery],
+) -> Dict[str, np.ndarray]:
+    """Per-repetition error summaries of a query workload, all releases at once.
+
+    ``released_matrix`` holds one released histogram per row (the output of
+    :meth:`~repro.histogram.release.HistogramRelease.release_many`); every
+    query is answered on every row with one prefix-sum pass, so the
+    repeated-release experiment needs no Python loop over repetitions or
+    queries.  Each summary value is an array over the repetition axis; row
+    ``r`` matches :func:`evaluate_range_queries` on release ``r`` exactly.
+    """
     if not queries:
         raise ValueError("query workload is empty")
-    absolute_errors = []
-    relative_errors = []
-    for query in queries:
-        true_answer = query.evaluate(histogram.true_counts)
-        noisy_answer = query.evaluate(histogram.released_counts)
-        error = abs(noisy_answer - true_answer)
-        absolute_errors.append(error)
-        relative_errors.append(error / max(true_answer, 1))
-    absolute = np.asarray(absolute_errors, dtype=float)
+    true = np.asarray(true_counts, dtype=np.int64)
+    released = np.atleast_2d(np.asarray(released_matrix, dtype=np.int64))
+    if released.shape[1] != true.shape[0]:
+        raise ValueError(
+            f"released matrix has {released.shape[1]} buckets, expected {true.shape[0]}"
+        )
+    starts = np.asarray([query.start for query in queries], dtype=np.int64)
+    ends = np.asarray([query.end for query in queries], dtype=np.int64)
+    if ends.max() >= true.shape[0]:
+        raise ValueError(
+            f"range [{starts[ends.argmax()]}, {ends.max()}] exceeds histogram "
+            f"with {true.shape[0]} buckets"
+        )
+    true_answers = _range_answers(true[None, :], starts, ends)[0]
+    noisy_answers = _range_answers(released, starts, ends)
+    absolute = np.abs(noisy_answers - true_answers).astype(float)
+    relative = absolute / np.maximum(true_answers, 1)
     return {
-        "mae": float(absolute.mean()),
-        "rmse": float(np.sqrt((absolute**2).mean())),
-        "max_error": float(absolute.max()),
-        "mean_relative_error": float(np.mean(relative_errors)),
-        "num_queries": float(len(queries)),
+        # absolute errors are integer-valued floats, so these reductions sum
+        # exactly in any order and match the one-release path bit-for-bit.
+        "mae": absolute.mean(axis=1),
+        "rmse": np.sqrt((absolute**2).mean(axis=1)),
+        "max_error": absolute.max(axis=1),
+        # relative errors are fractional: reduce row-by-row, because numpy's
+        # multi-row axis reduction sums in a different order than the 1-D
+        # mean the scalar path takes, and would drift by an ulp.
+        "mean_relative_error": np.asarray([np.mean(row) for row in relative]),
+        "num_queries": np.full(released.shape[0], float(len(queries))),
     }

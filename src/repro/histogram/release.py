@@ -181,6 +181,27 @@ class HistogramRelease:
             mechanism_name=mechanism.name,
         )
 
+    def release_many(
+        self,
+        true_counts: Sequence[int],
+        repetitions: int,
+        capacity: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Draw ``repetitions`` independent releases of one histogram at once.
+
+        Returns a ``(repetitions, num_buckets)`` integer matrix whose row
+        ``r`` is bit-identical to the ``r``-th of ``repetitions`` sequential
+        :meth:`release` calls on the same generator (the repeated-release
+        loop of the range-query experiment, collapsed into a single
+        :meth:`~repro.core.mechanism.Mechanism.sample_tiled` call).
+        """
+        counts, capacity = _validated_counts_and_capacity(true_counts, capacity)
+        if rng is None:
+            rng = self.rng if self.rng is not None else np.random.default_rng()
+        mechanism = self.mechanism_for(capacity)
+        return mechanism.sample_tiled(counts, repetitions, rng=rng)
+
 
 def released_histogram(
     true_counts: Sequence[int],
