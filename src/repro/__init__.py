@@ -53,6 +53,8 @@ from repro.core.selector import SelectorDecision, choose_mechanism, decide
 from repro.core.transformations import derive_from_geometric, optimal_remap, post_process
 from repro.core import theory
 from repro import privacy
+from repro.engine import ReleasePlan, StreamExecutor, compile_plan
+from repro.privacy import BudgetExceededError, PrivacyAccountant
 from repro.eval.estimation import (
     debias_released_mean,
     estimate_true_histogram,
@@ -137,6 +139,10 @@ __all__ = [
     "available_mechanisms",
     "create_mechanism",
     "paper_mechanisms",
+    # Release engine (compiled plans + streaming executors)
+    "ReleasePlan",
+    "StreamExecutor",
+    "compile_plan",
     # Serving layer (design cache + vectorised batch release)
     "BatchReleaseSession",
     "DesignCache",
@@ -150,4 +156,6 @@ __all__ = [
     # Theory and accounting
     "theory",
     "privacy",
+    "PrivacyAccountant",
+    "BudgetExceededError",
 ]

@@ -21,7 +21,17 @@ The CLI covers the operations a practitioner needs without writing Python:
     requests — homogeneous (one design, many counts) or mixed (a CSV of
     per-group design requests) — through the design cache and the
     vectorised batch sampler.  ``--cache-dir`` persists designs across
-    invocations so repeat traffic never re-solves the LP.
+    invocations so repeat traffic never re-solves the LP;
+    ``--budget-alpha`` guards the whole session with a
+    :class:`~repro.privacy.PrivacyAccountant`.
+
+``repro-mechanisms serve-stream``
+    The engine as a command: compile one
+    :class:`~repro.engine.plan.ReleasePlan` and stream counts through a
+    :class:`~repro.engine.executor.StreamExecutor` in fixed-size chunks —
+    from a file or stdin, with bounded memory, optional ``--budget-alpha``
+    enforcement (refusing an over-budget chunk before sampling it) and
+    optional ``--max-workers`` process fan-out.
 
 ``repro-mechanisms experiments``
     Thin wrapper around :mod:`repro.experiments.runner`.
@@ -35,6 +45,8 @@ Examples
     repro-mechanisms release --mechanism EM --n 8 --alpha 0.9 --counts 3 5 2 8
     repro-mechanisms serve-batch --n 16 --alpha 0.9 --properties WH+CM \
         --counts-file counts.txt --seed 7 --cache-dir ~/.cache/repro-designs
+    seq 0 99999 | shuf | repro-mechanisms serve-stream --n 100000 --alpha 0.9 \
+        --chunk-size 8192 --budget-alpha 0.5 --seed 7 --stats
     repro-mechanisms experiments --fast --only figure-9
 """
 
@@ -139,10 +151,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=128,
                        help="in-memory LRU capacity of the design cache")
     serve.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    serve.add_argument("--budget-alpha", type=float, default=None,
+                       help="guard the session with a privacy budget: refuse any "
+                            "request that would push the composed guarantee below "
+                            "this alpha (refused before sampling)")
     serve.add_argument("--output", type=Path, default=None,
                        help="write results to this file instead of stdout")
     serve.add_argument("--stats", action="store_true",
-                       help="print cache/solver statistics after serving")
+                       help="print cache/solver/budget statistics after serving")
+
+    stream = subparsers.add_parser(
+        "serve-stream",
+        help="stream counts through a compiled release plan in fixed-size chunks",
+    )
+    stream.add_argument("--n", type=int, required=True, help="group size (counts in 0..n)")
+    stream.add_argument("--alpha", type=float, required=True, help="privacy level in [0, 1]")
+    stream.add_argument("--properties", default="",
+                        help="property set, e.g. 'WH+CM' or 'F' (empty = unconstrained)")
+    stream.add_argument("--counts-file", type=Path, default=None,
+                        help="file with one true count per line (default: read stdin)")
+    stream.add_argument("--chunk-size", type=int, default=8192,
+                        help="counts released per chunk; peak memory is O(chunk-size)")
+    stream.add_argument("--seed", type=int, default=None,
+                        help="seed for the release stream (reproducible runs)")
+    stream.add_argument("--budget-alpha", type=float, default=None,
+                        help="privacy budget: every chunk is charged alpha before "
+                             "sampling; an over-budget chunk is refused with nothing drawn")
+    stream.add_argument("--max-workers", type=int, default=None,
+                        help="sample chunks in this many worker processes (switches to "
+                             "per-chunk seed substreams: output is identical for every "
+                             "worker count, but differs from the serial shared-stream "
+                             "default)")
+    stream.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the on-disk design cache (shared across runs)")
+    stream.add_argument("--cache-size", type=int, default=128,
+                        help="in-memory LRU capacity of the design cache")
+    stream.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    stream.add_argument("--output", type=Path, default=None,
+                        help="write released counts to this file instead of stdout "
+                             "(chunk by chunk, so memory stays bounded)")
+    stream.add_argument("--stats", action="store_true",
+                        help="print plan/executor/budget statistics after serving")
 
     experiments = subparsers.add_parser(
         "experiments", help="run the paper-figure reproduction experiments"
@@ -289,13 +338,16 @@ def _parse_request_rows(path: Path) -> List["ReleaseRequest"]:
 
 def _command_serve_batch(args: argparse.Namespace) -> int:
     from repro.lp.solver import solve_call_count
+    from repro.privacy import BudgetExceededError
     from repro.serving import BatchReleaseSession, DesignCache
 
     solves_before = solve_call_count()
     densifications_before = Mechanism.densifications
     cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
     rng = np.random.default_rng(args.seed)
-    session = BatchReleaseSession(cache=cache, rng=rng, backend=args.backend)
+    session = BatchReleaseSession(
+        cache=cache, rng=rng, backend=args.backend, budget_alpha=args.budget_alpha
+    )
 
     if args.requests_file is not None:
         if args.counts is not None or args.counts_file is not None or args.random_counts is not None:
@@ -305,6 +357,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         requests = _parse_request_rows(args.requests_file)
         try:
             results = session.release(requests)
+        except BudgetExceededError as error:
+            raise SystemExit(f"privacy budget exhausted (nothing released): {error}")
         except ValueError as error:  # e.g. an unknown property code in a row
             raise SystemExit(str(error))
         lines = [
@@ -330,6 +384,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             released = session.release_counts(
                 counts, n=args.n, alpha=args.alpha, properties=args.properties
             )
+        except BudgetExceededError as error:
+            raise SystemExit(f"privacy budget exhausted (nothing released): {error}")
         except ValueError as error:  # e.g. an unknown property code or bad alpha
             raise SystemExit(str(error))
         lines = [str(int(value)) for value in released]
@@ -346,6 +402,98 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_count_lines(args: argparse.Namespace):
+    """Lazily yield integer counts from --counts-file (or stdin), line by line."""
+    handle = args.counts_file.open() if args.counts_file is not None else sys.stdin
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                yield int(text)
+            except ValueError:
+                source = args.counts_file if args.counts_file is not None else "<stdin>"
+                raise SystemExit(f"{source}:{line_number}: expected an integer count, got {text!r}")
+    finally:
+        if args.counts_file is not None:
+            handle.close()
+
+
+def _command_serve_stream(args: argparse.Namespace) -> int:
+    from repro.engine import ReleasePlan, StreamExecutor
+    from repro.lp.solver import solve_call_count
+    from repro.privacy import BudgetExceededError, PrivacyAccountant
+    from repro.serving import DesignCache
+
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be positive")
+    solves_before = solve_call_count()
+    densifications_before = Mechanism.densifications
+    cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
+    try:
+        plan = ReleasePlan.compile(
+            args.n, args.alpha, properties=args.properties, backend=args.backend, cache=cache
+        )
+    except ValueError as error:  # e.g. an unknown property code or bad alpha
+        raise SystemExit(str(error))
+    accountant = (
+        PrivacyAccountant(alpha_target=args.budget_alpha)
+        if args.budget_alpha is not None
+        else None
+    )
+    executor = StreamExecutor(
+        plan,
+        chunk_size=args.chunk_size,
+        accountant=accountant,
+        max_workers=args.max_workers,
+    )
+    counts = _iter_count_lines(args)
+    if args.max_workers is not None:
+        # Passing --max-workers (any value, including 1) switches to the
+        # per-chunk seed-substream discipline so the output is identical
+        # for every worker count.
+        chunks = executor.stream_seeded(counts, seed=args.seed)
+    else:
+        chunks = executor.stream(counts, rng=np.random.default_rng(args.seed))
+
+    out = args.output.open("w") if args.output is not None else sys.stdout
+    status = 0
+    try:
+        for chunk in chunks:
+            out.write("\n".join(str(int(value)) for value in chunk) + "\n")
+    except BudgetExceededError as error:
+        print(
+            f"privacy budget exhausted after {executor.stats.records} released "
+            f"counts; refusing the next chunk before sampling it: {error}",
+            file=sys.stderr,
+        )
+        status = 1
+    except ValueError as error:  # e.g. counts outside [0, n]
+        raise SystemExit(str(error))
+    finally:
+        if args.output is not None:
+            out.close()
+    if args.output is not None:
+        if status == 0:
+            print(f"wrote {executor.stats.records} released counts to {args.output}")
+        else:
+            print(
+                f"wrote only {executor.stats.records} released counts to "
+                f"{args.output} before the budget refusal (PARTIAL output)",
+                file=sys.stderr,
+            )
+    if args.stats:
+        # Stats go to stderr: without --output the released counts own
+        # stdout, and a stats line interleaved there would corrupt a
+        # downstream pipe consumer.
+        print(f"serve-stream: {executor.describe()} "
+              f"lp_solves={solve_call_count() - solves_before} "
+              f"densifications={Mechanism.densifications - densifications_before}",
+              file=sys.stderr)
+    return status
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     runner.run_experiments(
         names=args.only, fast=args.fast, csv_dir=args.csv_dir, max_workers=args.max_workers
@@ -358,6 +506,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "release": _command_release,
     "serve-batch": _command_serve_batch,
+    "serve-stream": _command_serve_stream,
     "experiments": _command_experiments,
 }
 

@@ -1,0 +1,323 @@
+"""Streaming execution of a :class:`~repro.engine.plan.ReleasePlan`.
+
+A serving deployment does not hold a day of traffic in memory: counts
+arrive as a stream (a socket, a file, a generator) and must be released in
+bounded memory.  :class:`StreamExecutor` runs a compiled plan over an
+arbitrary iterable of counts — scalars, arrays, or a mix of batches — in
+fixed-size chunks, with two stream disciplines:
+
+**Shared-stream (serial)** — :meth:`StreamExecutor.stream` /
+:meth:`StreamExecutor.run` consume one shared generator.  Because a numpy
+``Generator`` fills a large array with exactly the draws successive smaller
+requests would produce, the chunked output is *bit-identical to the
+one-shot path* (``plan.execute`` over the concatenated counts) regardless
+of chunk size.  This is the default, and what the ``serve-stream`` CLI uses
+when no worker fan-out is requested.
+
+**Per-chunk substreams (seeded)** — :meth:`StreamExecutor.stream_seeded` /
+:meth:`StreamExecutor.run_seeded` derive one child seed per chunk from a
+root :class:`numpy.random.SeedSequence`, drawn in serial chunk order before
+any sampling happens — the seed discipline of :mod:`repro.eval.sweep`.
+Chunks are then independent, so they can fan out across worker processes:
+the released stream is identical for every ``max_workers`` value
+(including in-process), though it differs from the shared-stream discipline
+(and depends on ``chunk_size``).
+
+Both disciplines charge every chunk against an optional
+:class:`~repro.privacy.PrivacyAccountant` *before* sampling it: an
+over-budget chunk raises :class:`~repro.privacy.BudgetExceededError`
+without consuming a single uniform from the stream, so the refused release
+never happened in any observable sense.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.engine.plan import ReleasePlan
+from repro.privacy import PrivacyAccountant
+
+#: Default number of counts released per chunk.
+DEFAULT_CHUNK_SIZE = 8192
+
+CountStream = Union[Iterable[int], Iterable[np.ndarray], np.ndarray]
+
+
+def iter_count_chunks(counts: CountStream, chunk_size: int) -> Iterator[np.ndarray]:
+    """Re-chunk an arbitrary count stream into fixed-size integer arrays.
+
+    Accepts a numpy array (sliced without copying), an iterable of scalars,
+    an iterable of array batches, or any mix of the latter two; every
+    yielded chunk except possibly the last has exactly ``chunk_size``
+    elements.  Memory is bounded by one chunk regardless of how the source
+    batches its elements.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be a positive integer")
+    if isinstance(counts, np.ndarray):
+        flat = counts.ravel()
+        for start in range(0, flat.shape[0], chunk_size):
+            yield flat[start : start + chunk_size]
+        return
+    buffer = np.empty(chunk_size, dtype=np.int64)
+    filled = 0
+    for item in counts:
+        batch = np.atleast_1d(np.asarray(item, dtype=np.int64)).ravel()
+        offset = 0
+        while batch.shape[0] - offset >= chunk_size - filled:
+            take = chunk_size - filled
+            buffer[filled:] = batch[offset : offset + take]
+            yield buffer.copy()
+            filled = 0
+            offset += take
+        rest = batch.shape[0] - offset
+        if rest:
+            buffer[filled : filled + rest] = batch[offset:]
+            filled += rest
+    if filled:
+        yield buffer[:filled].copy()
+
+
+#: Per-worker mechanism installed by :func:`_init_chunk_worker`: the plan's
+#: mechanism is pickled once per worker process (pool initializer), not once
+#: per submitted chunk — a sparse/dense payload can be megabytes.
+_WORKER_MECHANISM: Optional[object] = None
+
+
+def _init_chunk_worker(mechanism) -> None:
+    """Pool initializer: install the shared mechanism in this worker."""
+    global _WORKER_MECHANISM
+    _WORKER_MECHANISM = mechanism
+
+
+def _sample_chunk_task(task):
+    """Module-level worker for the seeded fan-out (picklable, as in sweep)."""
+    chunk, seed = task
+    return _WORKER_MECHANISM.sample_batch(chunk, rng=np.random.default_rng(seed))
+
+
+@dataclass
+class ExecutorStats:
+    """Running totals for one :class:`StreamExecutor`."""
+
+    chunks: int = 0
+    records: int = 0
+
+
+class StreamExecutor:
+    """Run a compiled plan over a count stream in fixed-size, budgeted chunks.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.engine.plan.ReleasePlan` to execute.
+    chunk_size:
+        Number of counts sampled per chunk; peak incremental memory is
+        ``O(chunk_size)`` in the serial discipline.
+    accountant:
+        Optional :class:`~repro.privacy.PrivacyAccountant`.  Every chunk is
+        charged ``plan.alpha_cost`` (sequential composition — conservative:
+        successive chunks are assumed to observe the same individuals)
+        *before* it is sampled; an over-budget chunk raises
+        :class:`~repro.privacy.BudgetExceededError` without drawing.  Note
+        the unit of charging is the chunk, so the budget buys
+        ``releases_supported(alpha_cost, target)`` *chunks*: halving
+        ``chunk_size`` halves the counts a fixed budget covers.  Released
+        values are chunking-invariant; the spend is not — pick the chunk
+        size to match what one "release" means in your deployment (e.g.
+        one reporting period) rather than tuning it after the accountant
+        is attached.
+    max_workers:
+        Worker processes for the seeded discipline (``None``/1 = in
+        process).  The shared-stream discipline is inherently serial and
+        rejects ``max_workers > 1``.
+    """
+
+    def __init__(
+        self,
+        plan: ReleasePlan,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        accountant: Optional[PrivacyAccountant] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if int(chunk_size) != chunk_size or chunk_size < 1:
+            raise ValueError("chunk_size must be a positive integer")
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError("max_workers must be a positive integer (or None)")
+        self.plan = plan
+        self.chunk_size = int(chunk_size)
+        self.accountant = accountant
+        self.max_workers = None if max_workers is None else int(max_workers)
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------ #
+    # Shared-stream discipline (bit-identical to one-shot)
+    # ------------------------------------------------------------------ #
+    def stream(
+        self,
+        counts: CountStream,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield released chunks, consuming one shared generator serially.
+
+        The concatenation of the yielded *released counts* is bit-identical
+        to ``plan.execute(all_counts, rng=rng)`` on the same generator, for
+        every chunk size.  A plan's post-processing hook is applied per
+        chunk, so the equivalence extends through the hook only when it is
+        elementwise (a cumulative hook such as prefix sums sees one chunk
+        at a time here but the whole stream in the one-shot path).  Charges
+        the accountant per chunk before sampling.
+        """
+        if self.max_workers is not None and self.max_workers > 1:
+            raise ValueError(
+                "the shared-stream discipline is serial; use stream_seeded() "
+                "for process fan-out"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        for index, chunk in enumerate(iter_count_chunks(counts, self.chunk_size)):
+            self._validate_chunk(chunk)
+            self._charge(index, chunk.shape[0])
+            released = self.plan.execute(chunk, rng=rng)
+            self._count(chunk.shape[0])
+            yield released
+
+    def run(
+        self,
+        counts: CountStream,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Release the whole stream and return the concatenated counts."""
+        chunks = list(self.stream(counts, rng=rng))
+        if not chunks:
+            return np.empty(0, dtype=int)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------ #
+    # Seeded substream discipline (parallel == serial)
+    # ------------------------------------------------------------------ #
+    def stream_seeded(
+        self,
+        counts: CountStream,
+        seed: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield released chunks, one child stream per chunk, optionally parallel.
+
+        Child seeds are spawned from ``SeedSequence(seed)`` in serial chunk
+        order before any sampling, so the output is identical for every
+        ``max_workers`` value.  With ``max_workers > 1`` chunks are sampled
+        in worker processes with a bounded submission window (memory stays
+        ``O(max_workers * chunk_size)``); results are yielded in input
+        order.  Accountant charging happens at submission time, still
+        strictly before the chunk is sampled.
+        """
+        root = np.random.SeedSequence(seed)
+        chunks = iter_count_chunks(counts, self.chunk_size)
+        workers = self.max_workers if self.max_workers is not None else 1
+        if workers <= 1:
+            for index, chunk in enumerate(chunks):
+                self._validate_chunk(chunk)
+                self._charge(index, chunk.shape[0])
+                child = root.spawn(1)[0]
+                released = self.plan.mechanism.sample_batch(
+                    chunk, rng=np.random.default_rng(child)
+                )
+                yield self._finish(chunk.shape[0], released)
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        window = 2 * workers
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_chunk_worker,
+            initargs=(self.plan.mechanism,),
+        ) as pool:
+            pending: "deque" = deque()
+            refusal: Optional[BaseException] = None
+            for index, chunk in enumerate(chunks):
+                try:
+                    self._validate_chunk(chunk)
+                    self._charge(index, chunk.shape[0])
+                except Exception as error:
+                    # Chunks already charged and submitted must still reach
+                    # the caller — the budget was spent on them.  Drain the
+                    # window, then re-raise the refusal.
+                    refusal = error
+                    break
+                child = root.spawn(1)[0]
+                pending.append(
+                    (chunk.shape[0], pool.submit(_sample_chunk_task, (chunk, child)))
+                )
+                if len(pending) >= window:
+                    size, future = pending.popleft()
+                    yield self._finish(size, future.result())
+            while pending:
+                size, future = pending.popleft()
+                yield self._finish(size, future.result())
+            if refusal is not None:
+                raise refusal
+
+    def run_seeded(
+        self,
+        counts: CountStream,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Release the whole stream under the seeded discipline."""
+        chunks = list(self.stream_seeded(counts, seed=seed))
+        if not chunks:
+            return np.empty(0, dtype=int)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _validate_chunk(self, chunk: np.ndarray) -> None:
+        """Reject out-of-range counts *before* the chunk is charged.
+
+        The sampler would reject them anyway, but only after
+        :meth:`_charge` has recorded the release — which would burn budget
+        on a chunk that releases nothing.  Validation must precede
+        charging, which must precede sampling.
+        """
+        if chunk.size and (chunk.min() < 0 or chunk.max() > self.plan.n):
+            raise ValueError(
+                f"counts must lie in [0, {self.plan.n}]; "
+                f"got [{chunk.min()}, {chunk.max()}]"
+            )
+
+    def _charge(self, index: int, size: int) -> None:
+        """Charge one chunk before sampling it (raises without drawing)."""
+        self.plan.charge(
+            self.accountant,
+            label=f"{self.plan.mechanism.name} chunk {index} ({size} counts)",
+        )
+
+    def _count(self, size: int) -> None:
+        self.stats.chunks += 1
+        self.stats.records += int(size)
+
+    def _finish(self, size: int, released: np.ndarray) -> np.ndarray:
+        """Account for a seeded chunk and apply the plan's post-processing.
+
+        The seeded path samples outside :meth:`ReleasePlan.execute` (worker
+        processes must not mutate the parent's plan counters, and the
+        post-processing hook need not be picklable), so counters and the
+        hook are applied here in the parent.
+        """
+        self._count(size)
+        self.plan.executions += 1
+        self.plan.records_released += int(size)
+        if self.plan.postprocess is not None:
+            released = np.asarray(self.plan.postprocess(released))
+        return released
+
+    def describe(self) -> str:
+        """One-line summary for CLI ``--stats`` output."""
+        spent = "" if self.accountant is None else f" {self.accountant.describe()}"
+        return (
+            f"chunks={self.stats.chunks} records={self.stats.records} "
+            f"chunk_size={self.chunk_size}{spent} {self.plan.describe()}"
+        )

@@ -25,9 +25,24 @@ import numpy as np
 
 from repro.core.mechanism import Mechanism
 from repro.data.groups import GroupedCounts
+from repro.engine.plan import ReleasePlan
 from repro.eval import metrics as metrics_module
 
 MetricFunction = Callable[[Sequence[int], Sequence[int]], float]
+
+MechanismOrPlan = Union[Mechanism, ReleasePlan]
+
+
+def _as_plan(mechanism: MechanismOrPlan) -> ReleasePlan:
+    """Normalise the evaluator's input to a compiled release plan.
+
+    Passing a plan reuses its prepared sampling state (and counts the
+    evaluation in its stats); passing a bare mechanism compiles a throwaway
+    plan around it — the evaluator draws through the engine either way.
+    """
+    if isinstance(mechanism, ReleasePlan):
+        return mechanism
+    return ReleasePlan.from_mechanism(mechanism)
 
 #: Metrics computed by default in every empirical run.
 DEFAULT_METRICS: Dict[str, MetricFunction] = {
@@ -102,7 +117,7 @@ def _resolve_counts(data: Union[GroupedCounts, Sequence[int], np.ndarray], group
 
 
 def _prepare_evaluation(
-    mechanism: Mechanism,
+    mechanism: MechanismOrPlan,
     data: Union[GroupedCounts, Sequence[int], np.ndarray],
     group_size: Optional[int],
     repetitions: int,
@@ -112,6 +127,8 @@ def _prepare_evaluation(
 ):
     """Shared validation/normalisation for the vectorised and loop evaluators."""
     counts, size = _resolve_counts(data, group_size)
+    if isinstance(mechanism, ReleasePlan):
+        mechanism = mechanism.mechanism
     if mechanism.n != size:
         raise ValueError(
             f"mechanism covers groups of size {mechanism.n} but data has group size {size}"
@@ -175,7 +192,7 @@ def _metric_matrix(
 
 
 def evaluate_mechanism(
-    mechanism: Mechanism,
+    mechanism: MechanismOrPlan,
     data: Union[GroupedCounts, Sequence[int], np.ndarray],
     group_size: Optional[int] = None,
     repetitions: int = 30,
@@ -185,8 +202,9 @@ def evaluate_mechanism(
 ) -> EmpiricalResult:
     """Apply a mechanism to every group's true count, repeatedly, and summarise.
 
-    All repetitions are drawn in one vectorised
-    :meth:`~repro.core.mechanism.Mechanism.sample_tiled` call and the
+    The evaluator is an adapter over the release engine: all repetitions
+    are drawn in one vectorised
+    :meth:`~repro.engine.plan.ReleasePlan.execute_tiled` call and the
     metrics reduced from one shared difference matrix; the numbers are
     bit-identical to the sequential repetition loop (:func:`_evaluate_loop`)
     on the same generator.
@@ -194,7 +212,10 @@ def evaluate_mechanism(
     Parameters
     ----------
     mechanism:
-        The mechanism under test; its size must match ``group_size``.
+        The mechanism under test — a bare
+        :class:`~repro.core.mechanism.Mechanism` or a compiled
+        :class:`~repro.engine.plan.ReleasePlan`; its size must match
+        ``group_size``.
     data:
         Either a :class:`~repro.data.groups.GroupedCounts` or a raw sequence
         of per-group true counts (in which case ``group_size`` is required).
@@ -210,12 +231,13 @@ def evaluate_mechanism(
     rng, seed:
         Randomness control; pass one or neither.
     """
+    plan = _as_plan(mechanism)
     counts, size, metric_functions, rng = _prepare_evaluation(
-        mechanism, data, group_size, repetitions, metrics, rng, seed
+        plan, data, group_size, repetitions, metrics, rng, seed
     )
-    released = mechanism.sample_tiled(counts, repetitions, rng=rng)
+    released = plan.execute_tiled(counts, repetitions, rng=rng)
     return EmpiricalResult(
-        mechanism_name=mechanism.name,
+        mechanism_name=plan.mechanism.name,
         group_size=size,
         num_groups=int(counts.shape[0]),
         repetitions=repetitions,
@@ -239,6 +261,8 @@ def _evaluate_loop(
     :func:`evaluate_mechanism` is proven bit-identical against; do not use
     on large workloads.
     """
+    if isinstance(mechanism, ReleasePlan):
+        mechanism = mechanism.mechanism
     counts, size, metric_functions, rng = _prepare_evaluation(
         mechanism, data, group_size, repetitions, metrics, rng, seed
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.mechanism import Mechanism
 from repro.data.groups import GroupedCounts
 from repro.data.synthetic import binomial_group_counts
+from repro.engine.plan import ReleasePlan
 from repro.eval.empirical import DEFAULT_METRICS, MetricFunction, evaluate_mechanism
 from repro.eval.reporting import format_table, rows_to_csv
 from repro.mechanisms.registry import create_mechanism
@@ -279,8 +280,12 @@ def _evaluate_sweep_task(task) -> Dict[str, Union[str, float, int]]:
     the two paths identical row-for-row.
     """
     mechanism, workload, repetitions, metric_functions, eval_seed, base_row = task
+    # Compile the mechanism into a release plan locally (in the worker, for
+    # the parallel path): the evaluator draws through the engine, and the
+    # plan's sampling warm-up runs once per task instead of per repetition.
+    plan = ReleasePlan.from_mechanism(mechanism)
     evaluation = evaluate_mechanism(
-        mechanism,
+        plan,
         workload,
         repetitions=repetitions,
         metrics=metric_functions,

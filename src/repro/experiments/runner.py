@@ -33,6 +33,7 @@ from repro.experiments import (
     fig12_l0d_histograms,
     fig13_rmse,
 )
+from repro.engine.plan import ReleasePlan
 from repro.eval.sweep import set_default_max_workers
 from repro.experiments.base import ExperimentResult
 
@@ -106,6 +107,11 @@ def run_experiments(
     :func:`repro.eval.sweep.set_default_max_workers`); every figure module
     that evaluates through :func:`repro.eval.sweep.sweep` fans out without
     per-module changes, and results are identical to a serial run.
+
+    The runner itself is a thin adapter over the release engine: every
+    empirical release any experiment performs is drawn through a compiled
+    :class:`~repro.engine.plan.ReleasePlan` (via the sweep and evaluation
+    layers), and a verbose run reports how many plans the engine compiled.
     """
     settings = _fast_settings() if fast else _full_settings()
     selected = list(names) if names is not None else list(settings)
@@ -113,6 +119,7 @@ def run_experiments(
     if unknown:
         raise KeyError(f"unknown experiments {unknown}; available: {list(settings)}")
     results: Dict[str, ExperimentResult] = {}
+    plans_before = ReleasePlan.compilations
     # Only override the sweep-level default when explicitly asked, so a
     # caller's own set_default_max_workers() configuration survives.
     previous_workers = (
@@ -132,6 +139,11 @@ def run_experiments(
     finally:
         if max_workers is not None:
             set_default_max_workers(previous_workers)
+    if verbose:
+        print(
+            f"engine: {ReleasePlan.compilations - plans_before} release plans "
+            f"compiled across {len(results)} experiment(s)"
+        )
     return results
 
 

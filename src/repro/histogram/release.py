@@ -24,6 +24,8 @@ from typing import Callable, Dict, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.mechanism import Mechanism
+from repro.engine.plan import ReleasePlan
+from repro.privacy import PrivacyAccountant
 
 #: Signature of a mechanism factory: (n, alpha) -> Mechanism.
 MechanismFactory = Callable[[int, float], Mechanism]
@@ -115,6 +117,12 @@ class HistogramRelease:
         ``np.random.default_rng(seed)`` to make every release from this
         object reproducible end-to-end; the default is a fresh unseeded
         generator per call.
+    accountant:
+        Optional :class:`~repro.privacy.PrivacyAccountant` charged
+        :meth:`overall_alpha` per released histogram (``overall_alpha ^
+        repetitions`` for :meth:`release_many`) *before* any sampling; an
+        over-budget release raises
+        :class:`~repro.privacy.BudgetExceededError` with nothing drawn.
     """
 
     def __init__(
@@ -123,6 +131,7 @@ class HistogramRelease:
         alpha: float,
         neighbouring: str = "add_remove",
         rng: Optional[np.random.Generator] = None,
+        accountant: Optional[PrivacyAccountant] = None,
     ) -> None:
         if not (0.0 <= alpha <= 1.0):
             raise ValueError("alpha must lie in [0, 1]")
@@ -132,7 +141,8 @@ class HistogramRelease:
         self.alpha = float(alpha)
         self.neighbouring = neighbouring
         self.rng = rng
-        self._cache: Dict[int, Mechanism] = {}
+        self.accountant = accountant
+        self._plans: Dict[int, ReleasePlan] = {}
 
     def overall_alpha(self) -> float:
         """The α guarantee of a full histogram release under the chosen notion."""
@@ -143,13 +153,26 @@ class HistogramRelease:
         alpha = self.overall_alpha()
         return float(np.inf) if alpha == 0.0 else float(-np.log(alpha))
 
-    def mechanism_for(self, capacity: int) -> Mechanism:
-        """The per-bucket mechanism covering counts ``0 … capacity`` (cached)."""
+    def plan_for(self, capacity: int) -> ReleasePlan:
+        """The compiled release plan covering counts ``0 … capacity`` (cached).
+
+        The plan wraps the factory's mechanism with eagerly-prepared
+        sampling state and the histogram's per-release privacy cost
+        (:meth:`overall_alpha` — the whole histogram is one release under
+        the configured neighbouring notion).
+        """
         if capacity < 1:
             raise ValueError("bucket capacity must be at least 1")
-        if capacity not in self._cache:
-            self._cache[capacity] = self._factory(capacity, self.alpha)
-        return self._cache[capacity]
+        if capacity not in self._plans:
+            self._plans[capacity] = ReleasePlan.from_mechanism(
+                self._factory(capacity, self.alpha),
+                alpha_cost=self.overall_alpha(),
+            )
+        return self._plans[capacity]
+
+    def mechanism_for(self, capacity: int) -> Mechanism:
+        """The per-bucket mechanism covering counts ``0 … capacity`` (cached)."""
+        return self.plan_for(capacity).mechanism
 
     def release(
         self,
@@ -165,20 +188,22 @@ class HistogramRelease:
         when the maximum itself is considered sensitive).
 
         The generator priority is ``rng`` argument, then the instance's
-        ``rng``, then a fresh unseeded generator.  Buckets are sampled with
-        one vectorised :meth:`~repro.core.mechanism.Mechanism.apply_batch`
-        call.
+        ``rng``, then a fresh unseeded generator.  All buckets are sampled
+        with one vectorised :meth:`~repro.engine.plan.ReleasePlan.execute`
+        call (bit-identical to the pre-engine ``apply_batch`` path on the
+        same generator); the accountant, when present, is charged first.
         """
         counts, capacity = _validated_counts_and_capacity(true_counts, capacity)
         if rng is None:
             rng = self.rng if self.rng is not None else np.random.default_rng()
-        mechanism = self.mechanism_for(capacity)
-        released = mechanism.apply_batch(counts, rng=rng)
+        plan = self.plan_for(capacity)
+        plan.charge(self.accountant, label=f"histogram ({counts.size} buckets)")
+        released = plan.execute(counts, rng=rng)
         return PrivateHistogram(
             true_counts=counts,
             released_counts=np.asarray(released, dtype=int),
             alpha=self.overall_alpha(),
-            mechanism_name=mechanism.name,
+            mechanism_name=plan.mechanism.name,
         )
 
     def release_many(
@@ -194,13 +219,39 @@ class HistogramRelease:
         ``r`` is bit-identical to the ``r``-th of ``repetitions`` sequential
         :meth:`release` calls on the same generator (the repeated-release
         loop of the range-query experiment, collapsed into a single
-        :meth:`~repro.core.mechanism.Mechanism.sample_tiled` call).
+        :meth:`~repro.engine.plan.ReleasePlan.execute_tiled` call).  The
+        accountant, when present, is charged for all ``repetitions``
+        sequential releases before any sampling.
         """
         counts, capacity = _validated_counts_and_capacity(true_counts, capacity)
         if rng is None:
             rng = self.rng if self.rng is not None else np.random.default_rng()
-        mechanism = self.mechanism_for(capacity)
-        return mechanism.sample_tiled(counts, repetitions, rng=rng)
+        plan = self.plan_for(capacity)
+        plan.charge(
+            self.accountant,
+            releases=int(repetitions),
+            label=f"histogram x{repetitions} ({counts.size} buckets)",
+        )
+        return plan.execute_tiled(counts, repetitions, rng=rng)
+
+    def _release_many_loop(
+        self,
+        true_counts: Sequence[int],
+        repetitions: int,
+        capacity: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Sequential :meth:`release` loop (regression reference).
+
+        Kept as the ground truth :meth:`release_many` is proven
+        bit-identical against on a shared generator; do not use on large
+        workloads.
+        """
+        rows = [
+            self.release(true_counts, capacity=capacity, rng=rng).released_counts
+            for _ in range(int(repetitions))
+        ]
+        return np.stack(rows)
 
 
 def released_histogram(

@@ -162,3 +162,11 @@ class PrivacyAccountant:
     def history(self) -> List[Tuple[str, float]]:
         """The recorded releases as (label, alpha) pairs, in order."""
         return list(self._releases)
+
+    def describe(self) -> str:
+        """One-line budget summary used by the engine/serving ``--stats`` output."""
+        return (
+            f"alpha_spent={self.spent_alpha():g} "
+            f"alpha_remaining={self.remaining_alpha():g} "
+            f"releases={len(self._releases)}"
+        )

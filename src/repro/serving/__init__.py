@@ -10,11 +10,16 @@ configurations — needs neither repeated: this package adds
   memo of designed mechanisms keyed by the full design request, so repeated
   requests never touch the LP solver;
 * :class:`~repro.serving.session.BatchReleaseSession` — routes mixed streams
-  of ``(group, count, design request)`` records through the cache and the
-  vectorised :meth:`~repro.core.mechanism.Mechanism.apply_batch` sampler;
+  of ``(group, count, design request)`` records through the cache into
+  compiled :class:`~repro.engine.plan.ReleasePlan` executions, optionally
+  guarded by a :class:`~repro.privacy.PrivacyAccountant` budget;
 * :class:`~repro.serving.session.ReleaseRequest` /
   :class:`~repro.serving.session.ReleasedCount` — the record types of that
   stream.
+
+The session is a thin adapter over :mod:`repro.engine`; use
+:class:`~repro.engine.executor.StreamExecutor` directly (or the
+``serve-stream`` CLI) for chunked streams of unbounded length.
 
 See ``docs/architecture.md`` for the data-flow diagram and
 ``benchmarks/test_bench_serving.py`` for the throughput guarantees.

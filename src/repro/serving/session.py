@@ -7,11 +7,18 @@ answers such a stream in three vectorised steps:
 
 1. bucket the records by canonical design key (:func:`~repro.serving.cache
    .design_key`);
-2. fetch each bucket's mechanism from the :class:`~repro.serving.cache
-   .DesignCache` (solving the LP only the first time a design is seen);
-3. release each bucket's counts with one
-   :meth:`~repro.core.mechanism.Mechanism.apply_batch` call, then scatter
-   the results back into input order.
+2. fetch each bucket's compiled :class:`~repro.engine.plan.ReleasePlan`
+   (resolving the design through the :class:`~repro.serving.cache
+   .DesignCache` — and solving the LP — only the first time it is seen);
+3. execute each bucket's counts through its plan in one vectorised call,
+   then scatter the results back into input order.
+
+The session is a thin adapter over the engine: plans own mechanism
+resolution and sampling preparation, and an optional
+:class:`~repro.privacy.PrivacyAccountant` is charged for every executed
+batch *before* any sampling happens — an over-budget request raises
+:class:`~repro.privacy.BudgetExceededError` without drawing a single
+uniform.
 
 With a seeded generator the whole session is reproducible: the same records
 in the same order yield the same released counts, because buckets consume
@@ -29,7 +36,9 @@ import numpy as np
 from repro.core.losses import Objective
 from repro.core.mechanism import Mechanism
 from repro.core.properties import StructuralProperty
+from repro.engine.plan import ReleasePlan
 from repro.lp.solver import DEFAULT_BACKEND
+from repro.privacy import PrivacyAccountant
 from repro.serving.cache import DesignCache, design_key
 
 PropertiesLike = Union[None, str, Iterable[Union[str, StructuralProperty]]]
@@ -72,16 +81,25 @@ class ReleasedCount:
 
 @dataclass
 class SessionStats:
-    """Running totals for one :class:`BatchReleaseSession`."""
+    """Running totals for one :class:`BatchReleaseSession`.
+
+    ``alpha_spent`` / ``alpha_remaining`` mirror the session's
+    :class:`~repro.privacy.PrivacyAccountant` after every charge and stay
+    ``None`` on unmetered sessions; ``budget_refusals`` counts requests
+    refused (before sampling) because they would overrun the budget.
+    """
 
     records: int = 0
     batches: int = 0
     distinct_designs: int = 0
+    alpha_spent: Optional[float] = None
+    alpha_remaining: Optional[float] = None
+    budget_refusals: int = 0
     _keys: set = field(default_factory=set, repr=False)
 
 
 class BatchReleaseSession:
-    """Serve mixed streams of count-release records through cache + batch sampler.
+    """Serve mixed streams of count-release records through cached release plans.
 
     Parameters
     ----------
@@ -95,6 +113,15 @@ class BatchReleaseSession:
         default is a fresh unseeded generator.
     backend:
         LP backend used for designs the cache has not seen.
+    accountant:
+        Optional :class:`~repro.privacy.PrivacyAccountant` charged for every
+        executed batch (sequential composition — conservative: successive
+        batches are assumed to observe the same individuals).  Charging
+        happens before sampling; an over-budget request raises
+        :class:`~repro.privacy.BudgetExceededError` with nothing drawn.
+    budget_alpha:
+        Convenience: ``budget_alpha=a`` creates a fresh accountant with
+        target ``a``.  Mutually exclusive with ``accountant``.
     """
 
     def __init__(
@@ -102,17 +129,25 @@ class BatchReleaseSession:
         cache: Optional[DesignCache] = None,
         rng: Optional[np.random.Generator] = None,
         backend: str = DEFAULT_BACKEND,
+        accountant: Optional[PrivacyAccountant] = None,
+        budget_alpha: Optional[float] = None,
     ) -> None:
         self.cache = cache if cache is not None else DesignCache()
         self.rng = rng if rng is not None else np.random.default_rng()
         self.backend = backend
+        if budget_alpha is not None:
+            if accountant is not None:
+                raise ValueError("pass either accountant or budget_alpha, not both")
+            accountant = PrivacyAccountant(alpha_target=float(budget_alpha))
+        self.accountant = accountant
         self.stats = SessionStats()
-        # Session-local materialised designs so repeat traffic reuses the
-        # same Mechanism instance (and its precomputed column CDFs) instead
-        # of rebuilding one from the cache payload per batch.  Bounded by
-        # the cache's LRU capacity so a long-lived session's memory stays
-        # governed by the same knob as the cache itself.
-        self._designs: "OrderedDict[str, Tuple[Mechanism, Any]]" = OrderedDict()
+        self._sync_budget_stats()
+        # Session-local compiled plans so repeat traffic reuses the same
+        # ReleasePlan instance (and its mechanism's precomputed sampling
+        # state) instead of rebuilding one from the cache payload per batch.
+        # Bounded by the cache's LRU capacity so a long-lived session's
+        # memory stays governed by the same knob as the cache itself.
+        self._plans: "OrderedDict[str, ReleasePlan]" = OrderedDict()
         # Raw-request -> canonical-key memo: design_key() re-parses and
         # re-sorts the property spec on every call, which dominates the
         # per-record serving cost once sampling is vectorised.  Keyed on the
@@ -136,28 +171,61 @@ class BatchReleaseSession:
             self._key_memo[memo_key] = cached
         return cached
 
-    def _design(
+    def _plan(
         self,
         n: int,
         alpha: float,
         properties: PropertiesLike,
         objective: Optional[Objective],
         key: str,
-    ) -> Tuple[Mechanism, Any]:
-        entry = self._designs.get(key)
-        if entry is None:
-            entry = self.cache.get_or_design(
+    ) -> ReleasePlan:
+        plan = self._plans.get(key)
+        if plan is None:
+            mechanism, decision = self.cache.get_or_design(
                 n, alpha, properties=properties, objective=objective, backend=self.backend
             )
-            # Representation-aware warm-up: dense mechanisms precompute
-            # their (n+1)^2 CDF table; closed-form / sparse mechanisms warm
-            # per-column caches lazily and need (and must do) nothing here.
-            entry[0].prepare_sampling()
-            self._designs[key] = entry
-        self._designs.move_to_end(key)
-        while len(self._designs) > self.cache.capacity:
-            self._designs.popitem(last=False)
-        return entry
+            # Compiling the plan runs the representation-aware sampling
+            # warm-up eagerly: dense mechanisms precompute their (n+1)^2
+            # CDF table; closed-form / sparse mechanisms warm per-column
+            # caches lazily and need (and must do) nothing here.
+            plan = ReleasePlan(
+                mechanism,
+                decision=decision,
+                alpha_cost=float(alpha),
+                key=key,
+            )
+            self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.cache.capacity:
+            self._plans.popitem(last=False)
+        return plan
+
+    def _charge(self, plans_and_labels: Sequence[Tuple[ReleasePlan, str]]) -> None:
+        """Charge a set of about-to-execute batches, refusing all-or-nothing.
+
+        Delegates to the engine's shared enforcement point
+        (:func:`~repro.engine.plan.charge_release_group`): the whole request
+        is checked against the budget *before* anything is recorded or
+        sampled, so a refusal leaves both the accountant and the generator
+        untouched.
+        """
+        from repro.engine.plan import charge_release_group
+        from repro.privacy import BudgetExceededError
+
+        try:
+            charge_release_group(
+                self.accountant,
+                [(plan.alpha_cost, label) for plan, label in plans_and_labels],
+            )
+        except BudgetExceededError:
+            self.stats.budget_refusals += 1
+            raise
+        self._sync_budget_stats()
+
+    def _sync_budget_stats(self) -> None:
+        if self.accountant is not None:
+            self.stats.alpha_spent = self.accountant.spent_alpha()
+            self.stats.alpha_remaining = self.accountant.remaining_alpha()
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -176,22 +244,35 @@ class BatchReleaseSession:
             )
             buckets.setdefault(key, []).append(index)
 
-        results: List[Optional[ReleasedCount]] = [None] * len(records)
+        # Resolve every bucket's plan, then charge the whole request before
+        # any bucket samples: a refusal must not leak a partial release.
+        plans: Dict[str, ReleasePlan] = {}
         for key, indices in buckets.items():
             first = records[indices[0]]
-            mechanism, decision = self._design(
+            plans[key] = self._plan(
                 first.n, first.alpha, first.properties, first.objective, key
             )
+        self._charge(
+            [
+                (plans[key], f"{plans[key].mechanism.name} batch ({len(indices)} records)")
+                for key, indices in buckets.items()
+            ]
+        )
+
+        results: List[Optional[ReleasedCount]] = [None] * len(records)
+        for key, indices in buckets.items():
+            plan = plans[key]
+            first = records[indices[0]]
             counts = np.asarray([records[i].count for i in indices], dtype=int)
-            released = mechanism.apply_batch(counts, rng=self.rng)
+            released = plan.execute(counts, rng=self.rng)
             for i, value in zip(indices, released):
                 record = records[i]
                 results[i] = ReleasedCount(
                     group=record.group,
                     true_count=int(record.count),
                     released=int(value),
-                    mechanism=mechanism.name,
-                    branch=decision.branch,
+                    mechanism=plan.mechanism.name,
+                    branch=plan.branch,
                     alpha=float(first.alpha),
                 )
             self.stats.batches += 1
@@ -210,20 +291,39 @@ class BatchReleaseSession:
     ) -> np.ndarray:
         """Homogeneous fast path: one design request, a raw vector of counts.
 
-        Skips the per-record bucketing entirely — the design is fetched once
-        and the whole vector goes through a single ``apply_batch``.
+        Skips the per-record bucketing entirely — the plan is fetched once
+        and the whole vector goes through a single
+        :meth:`~repro.engine.plan.ReleasePlan.execute`.
         """
         values = np.asarray(counts, dtype=int)
         if values.ndim != 1:
             raise ValueError("counts must be a 1-D sequence")
+        # Reject out-of-range counts before the accountant is charged: a
+        # request that cannot release anything must not burn budget.
+        if values.size and (values.min() < 0 or values.max() > int(n)):
+            raise ValueError(
+                f"counts must lie in [0, {int(n)}]; got [{values.min()}, {values.max()}]"
+            )
         key = design_key(n, alpha, properties, objective, self.backend)
-        mechanism, _ = self._design(n, alpha, properties, objective, key)
-        released = mechanism.apply_batch(values, rng=self.rng)
+        plan = self._plan(n, alpha, properties, objective, key)
+        self._charge([(plan, f"{plan.mechanism.name} batch ({values.size} records)")])
+        released = plan.execute(values, rng=self.rng)
         self.stats.records += int(values.size)
         self.stats.batches += 1
         self.stats._keys.add(key)
         self.stats.distinct_designs = len(self.stats._keys)
         return released
+
+    def plan_for(
+        self,
+        n: int,
+        alpha: float,
+        properties: PropertiesLike = (),
+        objective: Optional[Objective] = None,
+    ) -> ReleasePlan:
+        """The compiled :class:`~repro.engine.plan.ReleasePlan` for a request."""
+        key = design_key(n, alpha, properties, objective, self.backend)
+        return self._plan(n, alpha, properties, objective, key)
 
     def mechanism_for(
         self,
@@ -233,15 +333,19 @@ class BatchReleaseSession:
         objective: Optional[Objective] = None,
     ) -> Mechanism:
         """The mechanism this session would use for a design request."""
-        key = design_key(n, alpha, properties, objective, self.backend)
-        mechanism, _ = self._design(n, alpha, properties, objective, key)
-        return mechanism
+        return self.plan_for(n, alpha, properties=properties, objective=objective).mechanism
 
     def describe(self) -> str:
-        """One-line summary of traffic served and cache behaviour."""
+        """One-line summary of traffic served, cache behaviour and budget."""
         cache = self.cache.stats()
+        budget = ""
+        if self.accountant is not None:
+            budget = (
+                f" {self.accountant.describe()}"
+                f" budget_refusals={self.stats.budget_refusals}"
+            )
         return (
             f"records={self.stats.records} batches={self.stats.batches} "
             f"designs={self.stats.distinct_designs} cache_hits={cache.hits} "
-            f"cache_misses={cache.misses} hit_rate={cache.hit_rate:.1%}"
+            f"cache_misses={cache.misses} hit_rate={cache.hit_rate:.1%}{budget}"
         )
