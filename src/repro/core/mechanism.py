@@ -50,6 +50,8 @@ from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, S
 
 import numpy as np
 
+from repro.core import _kernels
+
 #: Default numerical tolerance for stochasticity / probability checks.
 DEFAULT_TOLERANCE = 1e-9
 
@@ -456,6 +458,33 @@ class Mechanism:
         uniforms = rng.random(counts.shape[0])
         return self._inverse_sample(counts, uniforms).astype(int, copy=False)
 
+    def sample_with_uniforms(
+        self,
+        true_counts: Union[Sequence[int], np.ndarray],
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """One draw per count from caller-supplied uniforms in ``[0, 1)``.
+
+        The engine's batched-RNG hot path: a :class:`~repro.engine.executor
+        .StreamExecutor` draws one uniform block covering several chunks and
+        releases each chunk from its slice.  Bit-identical to
+        :meth:`sample_batch` whenever ``uniforms`` is ``rng.random(len(
+        true_counts))`` from the same generator state — numpy generators
+        fill a large array with exactly the draws successive smaller
+        requests would produce, so batching draws across chunks does not
+        change a single released count.
+        """
+        counts = self._validated_batch(true_counts)
+        uniforms = np.asarray(uniforms, dtype=float)
+        if uniforms.shape != counts.shape:
+            raise ValueError(
+                f"uniforms with shape {uniforms.shape} do not match "
+                f"{counts.shape[0]} counts"
+            )
+        if counts.size == 0:
+            return np.empty(0, dtype=int)
+        return self._inverse_sample(counts, uniforms).astype(int, copy=False)
+
     def _validated_batch(self, true_counts: Union[Sequence[int], np.ndarray]) -> np.ndarray:
         """Shared batch validation for :meth:`sample_batch` / :meth:`sample_tiled`."""
         counts = np.asarray(true_counts, dtype=int)
@@ -570,22 +599,42 @@ class Mechanism:
             self.__dict__["_guide"] = cached
         return cached
 
+    def _guide_sampling_cdfs(self) -> np.ndarray:
+        """Stacked ``(size, size)`` per-column sampling CDFs (cached).
+
+        Row ``j`` is exactly :meth:`_sampling_cdf_row` ``(j)`` — the CDF the
+        exact fallback inverts — so a kernel doing its own binary search
+        over these rows answers ambiguous guide bins bit-identically to
+        :meth:`_inverse_sample`.  Only the JIT kernel needs the full stack;
+        the numpy path keeps using the per-column caches.
+        """
+        cached = self.__dict__.get("_guide_cdfs")
+        if cached is None:
+            if self.is_dense:
+                cached = self.column_cdfs()
+            else:
+                cached = np.vstack([self._sampling_cdf_row(j) for j in range(self.size)])
+            self.__dict__["_guide_cdfs"] = cached
+        return cached
+
     def _sample_by_guide(self, counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
         """O(1)-per-element exact inverse-CDF sampling via the guide table.
 
         Bit-identical to :meth:`_inverse_sample` on the same inputs: guide
         hits read the pre-computed inverse-CDF index, and the few bin-
-        boundary elements are answered by :meth:`_inverse_sample` itself.
+        boundary elements are answered by :meth:`_inverse_sample` itself
+        (numpy path) or by an inline binary search over the same CDF rows
+        (the optional numba kernel — see :mod:`repro.core._kernels`;
+        ``REPRO_NO_NUMBA=1`` forces the numpy path).
         """
         table = self._guide_table()
-        bins = np.minimum((uniforms * self.GUIDE_BINS).astype(np.int64), self.GUIDE_BINS - 1)
-        released = table[counts * self.GUIDE_BINS + bins].astype(np.int64)
-        ambiguous = np.flatnonzero(released < 0)
-        if ambiguous.size:
-            released[ambiguous] = self._inverse_sample(
-                counts[ambiguous], uniforms[ambiguous]
+        if _kernels.kernel_active():
+            return _kernels.guide_sample_jit(
+                table, self._guide_sampling_cdfs(), counts, uniforms, self.GUIDE_BINS
             )
-        return released
+        return _kernels.guide_sample_numpy(
+            table, counts, uniforms, self.GUIDE_BINS, self._inverse_sample
+        )
 
     def apply_batch(
         self,

@@ -30,6 +30,7 @@ from repro.engine.executor import (
     iter_count_chunks,
 )
 from repro.engine.plan import ReleasePlan, charge_release, charge_release_group
+from repro.engine.stream_io import NpyCountWriter, open_npy_counts
 
 #: Convenience alias: ``compile_plan(...)`` reads naturally at call sites.
 compile_plan = ReleasePlan.compile
@@ -37,10 +38,12 @@ compile_plan = ReleasePlan.compile
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ExecutorStats",
+    "NpyCountWriter",
     "ReleasePlan",
     "StreamExecutor",
     "charge_release",
     "charge_release_group",
     "compile_plan",
     "iter_count_chunks",
+    "open_npy_counts",
 ]

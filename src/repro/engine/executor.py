@@ -47,7 +47,9 @@ DEFAULT_CHUNK_SIZE = 8192
 CountStream = Union[Iterable[int], Iterable[np.ndarray], np.ndarray]
 
 
-def iter_count_chunks(counts: CountStream, chunk_size: int) -> Iterator[np.ndarray]:
+def iter_count_chunks(
+    counts: CountStream, chunk_size: int, copy: bool = True
+) -> Iterator[np.ndarray]:
     """Re-chunk an arbitrary count stream into fixed-size integer arrays.
 
     Accepts a numpy array (sliced without copying), an iterable of scalars,
@@ -55,6 +57,13 @@ def iter_count_chunks(counts: CountStream, chunk_size: int) -> Iterator[np.ndarr
     yielded chunk except possibly the last has exactly ``chunk_size``
     elements.  Memory is bounded by one chunk regardless of how the source
     batches its elements.
+
+    With ``copy=False`` the iterable paths yield views into one
+    preallocated internal buffer instead of copying it per chunk — the
+    zero-copy mode the serial :class:`StreamExecutor` hot path uses.  Each
+    yielded chunk is then only valid until the iterator is advanced; callers
+    that retain chunks (e.g. a worker-pool submission window) must keep the
+    default.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be a positive integer")
@@ -71,7 +80,7 @@ def iter_count_chunks(counts: CountStream, chunk_size: int) -> Iterator[np.ndarr
         while batch.shape[0] - offset >= chunk_size - filled:
             take = chunk_size - filled
             buffer[filled:] = batch[offset : offset + take]
-            yield buffer.copy()
+            yield buffer.copy() if copy else buffer
             filled = 0
             offset += take
         rest = batch.shape[0] - offset
@@ -79,7 +88,8 @@ def iter_count_chunks(counts: CountStream, chunk_size: int) -> Iterator[np.ndarr
             buffer[filled : filled + rest] = batch[offset:]
             filled += rest
     if filled:
-        yield buffer[:filled].copy()
+        tail = buffer[:filled]
+        yield tail.copy() if copy else tail
 
 
 #: Per-worker mechanism installed by :func:`_init_chunk_worker`: the plan's
@@ -137,6 +147,15 @@ class StreamExecutor:
         rejects ``max_workers > 1``.
     """
 
+    #: Number of chunks whose uniforms the unmetered serial path draws in
+    #: one ``rng.random`` call.  Batching draws across chunks is
+    #: bit-identical to per-chunk draws (a numpy generator fills a large
+    #: array with exactly the draws successive smaller requests would
+    #: produce); the same window doubles as the preallocated zero-copy read
+    #: buffer, so peak incremental memory stays
+    #: ``O(UNIFORM_BATCH_CHUNKS * chunk_size)``.
+    UNIFORM_BATCH_CHUNKS = 8
+
     def __init__(
         self,
         plan: ReleasePlan,
@@ -171,6 +190,15 @@ class StreamExecutor:
         elementwise (a cumulative hook such as prefix sums sees one chunk
         at a time here but the whole stream in the one-shot path).  Charges
         the accountant per chunk before sampling.
+
+        Two internal regimes, identical in output: with an accountant
+        attached, every chunk is validated, charged and sampled one at a
+        time, so a refused chunk has consumed *nothing* from the generator;
+        without one, chunks are read into a preallocated zero-copy window
+        of :attr:`UNIFORM_BATCH_CHUNKS` chunks whose uniforms are drawn in
+        a single ``rng.random`` call (the same uniforms, the same order —
+        bit-identity is unaffected).  Counts in a window are validated
+        before any of its uniforms are drawn.
         """
         if self.max_workers is not None and self.max_workers > 1:
             raise ValueError(
@@ -178,12 +206,32 @@ class StreamExecutor:
                 "for process fan-out"
             )
         rng = rng if rng is not None else np.random.default_rng()
-        for index, chunk in enumerate(iter_count_chunks(counts, self.chunk_size)):
-            self._validate_chunk(chunk)
-            self._charge(index, chunk.shape[0])
-            released = self.plan.execute(chunk, rng=rng)
-            self._count(chunk.shape[0])
-            yield released
+        if self.accountant is not None:
+            # Metered regime: the draw for chunk k must not happen before
+            # chunk k's charge succeeds, so uniforms cannot be batched
+            # across chunks here.
+            for index, chunk in enumerate(iter_count_chunks(counts, self.chunk_size)):
+                self._validate_chunk(chunk)
+                self._charge(index, chunk.shape[0])
+                released = self.plan.execute(chunk, rng=rng)
+                self._count(chunk.shape[0])
+                yield released
+            return
+        # Unmetered fast path: zero-copy window buffer + batched RNG draws.
+        # The window is a whole multiple of chunk_size, so the yielded chunk
+        # boundaries (and therefore stats and per-chunk post-processing)
+        # are exactly those of the per-chunk regime.
+        window = self.chunk_size * self.UNIFORM_BATCH_CHUNKS
+        for superchunk in iter_count_chunks(counts, window, copy=False):
+            self._validate_chunk(superchunk)
+            uniforms = rng.random(superchunk.shape[0])
+            for start in range(0, superchunk.shape[0], self.chunk_size):
+                stop = min(start + self.chunk_size, superchunk.shape[0])
+                released = self.plan.execute_with_uniforms(
+                    superchunk[start:stop], uniforms[start:stop]
+                )
+                self._count(stop - start)
+                yield released
 
     def run(
         self,

@@ -292,6 +292,27 @@ class ReleasePlan:
             released = np.asarray(self.postprocess(released))
         return released
 
+    def execute_with_uniforms(
+        self,
+        true_counts: Union[Sequence[int], np.ndarray],
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Release one batch from caller-supplied uniforms (engine hot path).
+
+        Bit-identical to :meth:`execute` whenever ``uniforms`` is
+        ``rng.random(len(true_counts))`` from the same generator state; the
+        :class:`~repro.engine.executor.StreamExecutor` uses this to draw one
+        uniform block covering several chunks and release each chunk from
+        its slice.  Counting and the post-processing hook behave exactly as
+        in :meth:`execute`.
+        """
+        released = self.mechanism.sample_with_uniforms(true_counts, uniforms)
+        self.executions += 1
+        self.records_released += int(released.shape[0])
+        if self.postprocess is not None:
+            released = np.asarray(self.postprocess(released))
+        return released
+
     def execute_tiled(
         self,
         true_counts: Union[Sequence[int], np.ndarray],

@@ -1,0 +1,125 @@
+"""Binary (``.npy``) stream I/O for the serving CLI.
+
+At 10^6+ counts the text protocol of ``serve-stream`` stops being bounded
+by sampling and starts being bounded by parsing: every count costs a line
+split, an ``int()`` call and a string format on the way out.  This module
+provides the binary alternative:
+
+* :func:`open_npy_counts` — memory-map a ``.npy`` file of true counts and
+  hand the array straight to :func:`~repro.engine.executor
+  .iter_count_chunks`, which slices it without copying; no parsing at all.
+* :class:`NpyCountWriter` — write released counts chunk by chunk into a
+  valid ``.npy`` file without knowing the total length up front.  The
+  header is written with a fixed padded size and back-patched with the
+  final shape on :meth:`~NpyCountWriter.close`, so memory stays bounded by
+  one chunk and an interrupted run (e.g. a budget refusal) still leaves a
+  loadable file containing exactly the chunks flushed before the refusal.
+
+The binary path releases byte-identical counts to the text path for the
+same seed: both feed the same integers through the same executor
+discipline; only the serialization differs.  The round trip is pinned by
+the CLI test-suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+#: Total size of the back-patchable ``.npy`` header written by
+#: :class:`NpyCountWriter`: magic (6) + version (2) + header length (2) +
+#: padded header dict.  128 bytes leaves room for any count a ``(N,)``
+#: int64 shape tuple can express.
+_HEADER_TOTAL = 128
+
+#: dtype released counts are stored as (matches the sampler's int64 output).
+COUNT_DTYPE = np.dtype("<i8")
+
+
+def _header_bytes(count: int) -> bytes:
+    """A fixed-size version-1.0 ``.npy`` header for a 1-D int64 array."""
+    body = "{'descr': '<i8', 'fortran_order': False, 'shape': (%d,), }" % int(count)
+    prefix_len = 6 + 2 + 2  # magic + version + header-length field
+    padding = _HEADER_TOTAL - prefix_len - len(body) - 1  # -1 for the final newline
+    if padding < 0:  # pragma: no cover - needs a count of ~2**180
+        raise ValueError(f"count {count} does not fit the fixed .npy header")
+    header = (body + " " * padding + "\n").encode("latin1")
+    return (
+        b"\x93NUMPY"
+        + bytes((1, 0))
+        + len(header).to_bytes(2, "little")
+        + header
+    )
+
+
+def open_npy_counts(path: Union[str, Path]) -> np.ndarray:
+    """Memory-map a ``.npy`` count file for zero-copy streaming.
+
+    Returns a read-only 1-D integer array (a ``numpy.memmap``); chunking it
+    through the executor touches only the pages of the current chunk.
+    Raises :class:`ValueError` for non-integer dtypes or non-1-D shapes —
+    the failure modes a text stream would surface as parse errors.
+    """
+    array = np.load(Path(path), mmap_mode="r", allow_pickle=False)
+    if array.ndim != 1:
+        raise ValueError(
+            f"{path}: expected a 1-D array of counts, got shape {array.shape}"
+        )
+    if not np.issubdtype(array.dtype, np.integer):
+        raise ValueError(
+            f"{path}: expected an integer dtype, got {array.dtype} "
+            "(counts must be whole numbers)"
+        )
+    return array
+
+
+class NpyCountWriter:
+    """Incrementally write released counts as a single valid ``.npy`` file.
+
+    Usage mirrors a file object: :meth:`write` per released chunk,
+    :meth:`close` (or a ``with`` block) to finalise.  The header is written
+    immediately with shape ``(0,)`` and back-patched with the real length
+    at close, so the file on disk is loadable at every point after the
+    first flush — a crash or budget refusal yields the prefix that was
+    actually released, never a corrupt artifact.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("wb")
+        self._handle.write(_header_bytes(0))
+        self.records = 0
+        self._closed = False
+
+    def write(self, chunk: np.ndarray) -> None:
+        """Append one chunk of released counts (any integer dtype)."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        values = np.ascontiguousarray(chunk, dtype=COUNT_DTYPE)
+        if values.ndim != 1:
+            raise ValueError("released chunks must be 1-D")
+        self._handle.write(values.tobytes())
+        self.records += int(values.shape[0])
+
+    def close(self) -> None:
+        """Back-patch the header with the final count and close the file."""
+        if self._closed:
+            return
+        self._handle.flush()
+        self._handle.seek(0)
+        self._handle.write(_header_bytes(self.records))
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "NpyCountWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def is_npy_path(path) -> bool:
+    """Whether a CLI path argument selects the binary protocol."""
+    return path is not None and Path(path).suffix.lower() == ".npy"

@@ -62,31 +62,50 @@ def signed_differences(true_counts: Sequence[int], released_counts) -> np.ndarra
 # --------------------------------------------------------------------- #
 # Matrix kernels: one pass over the difference array, group axis last
 # --------------------------------------------------------------------- #
+def _mean_last_axis(values: np.ndarray) -> np.ndarray:
+    """``np.mean(values, axis=-1)`` with the summation order of a 1-D mean.
+
+    numpy's pairwise summation walks memory, not logical rows: reducing the
+    last axis of an array whose last axis is *not* contiguous (e.g. an
+    F-ordered repetition matrix) can associate the additions differently
+    from a 1-D mean of each row, shifting float results by ~1 ulp.  The
+    matrix kernels promise to be bit-identical to the scalar wrappers row
+    by row, so non-contiguous inputs are compacted first — after which the
+    last-axis reduction is exactly the 1-D loop applied per row.  (The same
+    pitfall is handled for the histogram query path in
+    ``repro.histogram.queries``.)
+    """
+    values = np.asarray(values)
+    if values.ndim > 1 and values.strides[-1] != values.itemsize:
+        values = np.ascontiguousarray(values)
+    return np.mean(values, axis=-1)
+
+
 def error_rate_from_diff(diff: np.ndarray) -> np.ndarray:
     """Fraction of groups with a non-zero difference, per repetition."""
-    return np.mean(np.asarray(diff) != 0.0, axis=-1)
+    return _mean_last_axis(np.asarray(diff) != 0.0)
 
 
 def exceeds_rate_from_diff(diff: np.ndarray, d: int) -> np.ndarray:
     """Fraction of groups whose |difference| exceeds ``d``, per repetition."""
     if d < 0:
         raise ValueError("d must be non-negative")
-    return np.mean(np.abs(np.asarray(diff)) > d, axis=-1)
+    return _mean_last_axis(np.abs(np.asarray(diff)) > d)
 
 
 def mae_from_diff(diff: np.ndarray) -> np.ndarray:
     """Mean absolute difference over groups, per repetition."""
-    return np.mean(np.abs(np.asarray(diff)), axis=-1)
+    return _mean_last_axis(np.abs(np.asarray(diff)))
 
 
 def rmse_from_diff(diff: np.ndarray) -> np.ndarray:
     """Root-mean-square difference over groups, per repetition."""
-    return np.sqrt(np.mean(np.asarray(diff) ** 2, axis=-1))
+    return np.sqrt(_mean_last_axis(np.asarray(diff) ** 2))
 
 
 def bias_from_diff(diff: np.ndarray) -> np.ndarray:
     """Mean signed difference (released − true) over groups, per repetition."""
-    return np.mean(np.asarray(diff), axis=-1)
+    return _mean_last_axis(np.asarray(diff))
 
 
 def exceeds_rate_profile(diff: np.ndarray, distances: Sequence[int]) -> np.ndarray:

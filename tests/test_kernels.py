@@ -1,0 +1,330 @@
+"""Bit-identity of the native sampling kernels, the batched-RNG executor
+hot path and the binary stream I/O.
+
+The PR's contract is that every fast path is *gated on bit-identity*: the
+guide kernel (numba or numpy) must release exactly the counts of the
+sequential reference sampler, the executor's batched uniform draws must not
+change a single released value, and a ``.npy`` round trip must reproduce
+the text protocol byte for byte.  These tests are the gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import _kernels
+from repro.core.mechanism import Mechanism, SparseMechanism
+from repro.engine import ReleasePlan, StreamExecutor, iter_count_chunks
+from repro.engine.stream_io import (
+    COUNT_DTYPE,
+    NpyCountWriter,
+    is_npy_path,
+    open_npy_counts,
+)
+from repro.mechanisms.geometric import geometric_mechanism
+from repro.privacy import PrivacyAccountant
+
+
+def _dense_gm(n=32, alpha=0.5):
+    return Mechanism(geometric_mechanism(n, alpha).matrix, name="gm", alpha=alpha)
+
+
+# --------------------------------------------------------------------- #
+# Kernel dispatch and the REPRO_NO_NUMBA switch
+# --------------------------------------------------------------------- #
+class TestKernelDispatch:
+    def test_env_switch_parsing(self, monkeypatch):
+        for value, disabled in [("", False), ("0", False), ("1", True), ("true", True)]:
+            monkeypatch.setenv(_kernels.NO_NUMBA_ENV, value)
+            assert _kernels.numba_disabled_by_env() is disabled
+        monkeypatch.delenv(_kernels.NO_NUMBA_ENV)
+        assert _kernels.numba_disabled_by_env() is False
+
+    def test_env_switch_deactivates_kernel_per_call(self, monkeypatch):
+        monkeypatch.setenv(_kernels.NO_NUMBA_ENV, "1")
+        assert _kernels.kernel_active() is False
+        assert _kernels.kernel_name() == "numpy"
+        monkeypatch.delenv(_kernels.NO_NUMBA_ENV)
+        # With the switch released, activity reflects numba availability
+        # alone — no re-import required.
+        assert _kernels.kernel_active() is _kernels.numba_available()
+
+    def test_module_importable_without_numba(self):
+        # jit_kernel() must never raise, whatever the environment provides.
+        kernel = _kernels.jit_kernel()
+        assert kernel is None or callable(kernel)
+
+    def test_sampling_unaffected_by_env_switch(self, monkeypatch):
+        """Released counts are identical with the JIT kernel on and off."""
+        mechanism = _dense_gm()
+        counts = np.random.default_rng(7).integers(0, 33, size=4096)
+        monkeypatch.setenv(_kernels.NO_NUMBA_ENV, "1")
+        off = mechanism.sample_tiled(counts, 10, rng=np.random.default_rng(11))
+        monkeypatch.delenv(_kernels.NO_NUMBA_ENV)
+        on = mechanism.sample_tiled(counts, 10, rng=np.random.default_rng(11))
+        assert np.array_equal(off, on)
+
+
+# --------------------------------------------------------------------- #
+# Guide-path bit-identity (numpy path always; JIT path when available)
+# --------------------------------------------------------------------- #
+class TestGuideKernelIdentity:
+    def test_tiled_guide_path_equals_sequential_batches(self):
+        """sample_tiled large enough to take the guide path must equal
+        sequential sample_batch calls on the same stream."""
+        mechanism = _dense_gm(n=32)
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 33, size=512)
+        repetitions = 70  # 70 * 512 > size * GUIDE_BINS / 4: guide regime
+        assert mechanism._use_guide(repetitions * counts.shape[0])
+        tiled = mechanism.sample_tiled(counts, repetitions, rng=np.random.default_rng(5))
+        sequential_rng = np.random.default_rng(5)
+        for r in range(repetitions):
+            row = mechanism.sample_batch(counts, rng=sequential_rng)
+            assert np.array_equal(tiled[r], row), f"repetition {r} deviates"
+
+    def test_numpy_guide_matches_exact_inversion_elementwise(self):
+        mechanism = _dense_gm(n=16)
+        rng = np.random.default_rng(13)
+        counts = rng.integers(0, 17, size=50_000)
+        uniforms = rng.random(50_000)
+        table = mechanism._guide_table()
+        via_guide = _kernels.guide_sample_numpy(
+            table, counts, uniforms, mechanism.GUIDE_BINS, mechanism._inverse_sample
+        )
+        exact = mechanism._inverse_sample(counts, uniforms)
+        assert np.array_equal(via_guide, exact)
+
+    @pytest.mark.skipif(
+        not _kernels.numba_available(), reason="numba not installed"
+    )
+    def test_jit_guide_matches_numpy_guide_elementwise(self):
+        for n in (4, 16, 64, 511):
+            mechanism = _dense_gm(n=n)
+            rng = np.random.default_rng(n)
+            counts = rng.integers(0, n + 1, size=20_000)
+            uniforms = rng.random(20_000)
+            table = mechanism._guide_table()
+            reference = _kernels.guide_sample_numpy(
+                table, counts, uniforms, mechanism.GUIDE_BINS, mechanism._inverse_sample
+            )
+            jitted = _kernels.guide_sample_jit(
+                table,
+                mechanism._guide_sampling_cdfs(),
+                counts,
+                uniforms,
+                mechanism.GUIDE_BINS,
+            )
+            assert np.array_equal(jitted, reference), f"n={n}"
+
+    @pytest.mark.skipif(
+        not _kernels.numba_available(), reason="numba not installed"
+    )
+    def test_jit_guide_matches_for_sparse_representation(self):
+        base = geometric_mechanism(24, 0.4).matrix
+        mechanism = SparseMechanism(base, name="gm-sparse", alpha=0.4)
+        rng = np.random.default_rng(99)
+        counts = rng.integers(0, 25, size=30_000)
+        uniforms = rng.random(30_000)
+        table = mechanism._guide_table()
+        reference = _kernels.guide_sample_numpy(
+            table, counts, uniforms, mechanism.GUIDE_BINS, mechanism._inverse_sample
+        )
+        jitted = _kernels.guide_sample_jit(
+            table,
+            mechanism._guide_sampling_cdfs(),
+            counts,
+            uniforms,
+            mechanism.GUIDE_BINS,
+        )
+        assert np.array_equal(jitted, reference)
+
+    def test_guide_sampling_cdfs_rows_are_the_fallback_cdfs(self):
+        for mechanism in (_dense_gm(n=12), SparseMechanism(
+            geometric_mechanism(12, 0.6).matrix, alpha=0.6
+        )):
+            cdfs = mechanism._guide_sampling_cdfs()
+            assert cdfs.shape == (13, 13)
+            for j in range(13):
+                assert np.array_equal(cdfs[j], mechanism._sampling_cdf_row(j))
+
+
+# --------------------------------------------------------------------- #
+# sample_with_uniforms: the executor's batched-RNG entry point
+# --------------------------------------------------------------------- #
+class TestSampleWithUniforms:
+    def test_equals_sample_batch_on_same_stream(self):
+        mechanism = _dense_gm(n=20)
+        counts = np.random.default_rng(1).integers(0, 21, size=1000)
+        batch = mechanism.sample_batch(counts, rng=np.random.default_rng(2))
+        uniforms = np.random.default_rng(2).random(1000)
+        assert np.array_equal(batch, mechanism.sample_with_uniforms(counts, uniforms))
+
+    def test_empty_batch(self):
+        mechanism = _dense_gm(n=4)
+        released = mechanism.sample_with_uniforms([], np.empty(0))
+        assert released.shape == (0,) and released.dtype.kind == "i"
+
+    def test_shape_mismatch_rejected(self):
+        mechanism = _dense_gm(n=4)
+        with pytest.raises(ValueError, match="do not match"):
+            mechanism.sample_with_uniforms([1, 2, 3], np.zeros(2))
+
+    def test_out_of_range_counts_rejected(self):
+        mechanism = _dense_gm(n=4)
+        with pytest.raises(ValueError, match="must lie in"):
+            mechanism.sample_with_uniforms([5], np.zeros(1))
+
+
+# --------------------------------------------------------------------- #
+# Executor: batched uniforms + zero-copy windows stay bit-identical
+# --------------------------------------------------------------------- #
+class TestExecutorBatchedRng:
+    def _plan(self, n=40, alpha=0.6):
+        return ReleasePlan.from_mechanism(_dense_gm(n=n, alpha=alpha))
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 8192])
+    def test_stream_equals_one_shot_for_every_chunk_size(self, chunk_size):
+        plan = self._plan()
+        counts = np.random.default_rng(8).integers(0, 41, size=3001)
+        expected = plan.execute(counts, rng=np.random.default_rng(21))
+        executor = StreamExecutor(plan, chunk_size=chunk_size)
+        released = executor.run(counts, rng=np.random.default_rng(21))
+        assert np.array_equal(released, expected)
+
+    def test_iterable_source_equals_ndarray_source(self):
+        plan = self._plan()
+        counts = np.random.default_rng(9).integers(0, 41, size=2500)
+        from_array = StreamExecutor(plan, chunk_size=64).run(
+            counts, rng=np.random.default_rng(33)
+        )
+        # A generator of odd-sized batches exercises the preallocated
+        # zero-copy buffer refill logic.
+        def batches():
+            i = 0
+            while i < counts.shape[0]:
+                step = (i % 37) + 1
+                yield counts[i : i + step]
+                i += step
+
+        from_iter = StreamExecutor(plan, chunk_size=64).run(
+            batches(), rng=np.random.default_rng(33)
+        )
+        assert np.array_equal(from_iter, from_array)
+
+    def test_metered_and_unmetered_regimes_release_identically(self):
+        plan = self._plan()
+        counts = np.random.default_rng(10).integers(0, 41, size=2000)
+        unmetered = StreamExecutor(plan, chunk_size=128).run(
+            counts, rng=np.random.default_rng(55)
+        )
+        accountant = PrivacyAccountant(alpha_target=1e-12)  # effectively infinite
+        metered = StreamExecutor(plan, chunk_size=128, accountant=accountant).run(
+            counts, rng=np.random.default_rng(55)
+        )
+        assert np.array_equal(metered, unmetered)
+
+    def test_chunk_boundaries_match_per_chunk_regime(self):
+        plan = self._plan()
+        counts = np.random.default_rng(11).integers(0, 41, size=1000)
+        executor = StreamExecutor(plan, chunk_size=64)
+        sizes = [c.shape[0] for c in executor.stream(counts, rng=np.random.default_rng(1))]
+        assert sizes == [64] * 15 + [40]
+        assert executor.stats.chunks == 16
+        assert executor.stats.records == 1000
+
+    def test_window_validation_precedes_any_draw(self):
+        plan = self._plan(n=10)
+        executor = StreamExecutor(plan, chunk_size=4)
+        rng = np.random.default_rng(77)
+        probe = np.random.default_rng(77)
+        stream = executor.stream([1, 2, 3, 99], rng=rng)
+        with pytest.raises(ValueError, match="must lie in"):
+            next(stream)
+        # The refused window consumed nothing from the shared stream.
+        assert rng.random() == probe.random()
+
+
+class TestIterCountChunksZeroCopy:
+    def test_copy_false_yields_reused_buffer(self):
+        source = (np.arange(4) + 10 * i for i in range(3))
+        chunks = iter_count_chunks(source, 4, copy=False)
+        first = next(chunks)
+        first_snapshot = first.copy()
+        second = next(chunks)
+        # Same backing buffer: advancing the iterator rewrote the first view.
+        assert second is first
+        assert not np.array_equal(first, first_snapshot)
+
+    def test_copy_true_yields_stable_chunks(self):
+        source = (np.arange(4) + 10 * i for i in range(3))
+        chunks = list(iter_count_chunks(source, 4, copy=True))
+        assert [c[0] for c in chunks] == [0, 10, 20]
+
+    def test_ndarray_source_yields_views(self):
+        counts = np.arange(10)
+        chunks = list(iter_count_chunks(counts, 4))
+        assert all(c.base is counts for c in chunks)
+
+
+# --------------------------------------------------------------------- #
+# Binary stream I/O
+# --------------------------------------------------------------------- #
+class TestStreamIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "counts.npy"
+        values = np.random.default_rng(0).integers(0, 100, size=1234)
+        with NpyCountWriter(path) as writer:
+            for start in range(0, 1234, 100):
+                writer.write(values[start : start + 100])
+        loaded = open_npy_counts(path)
+        assert np.array_equal(loaded, values)
+        assert loaded.dtype == COUNT_DTYPE
+        # And numpy's own loader agrees on the file being well-formed.
+        assert np.array_equal(np.load(path), values)
+
+    def test_partial_file_is_loadable_after_every_flush(self, tmp_path):
+        path = tmp_path / "partial.npy"
+        writer = NpyCountWriter(path)
+        writer.write(np.arange(5))
+        writer.close()
+        assert np.array_equal(np.load(path), np.arange(5))
+
+    def test_empty_file_is_loadable(self, tmp_path):
+        path = tmp_path / "empty.npy"
+        with NpyCountWriter(path):
+            pass
+        assert np.load(path).shape == (0,)
+
+    def test_writer_rejects_2d_and_closed_writes(self, tmp_path):
+        writer = NpyCountWriter(tmp_path / "x.npy")
+        with pytest.raises(ValueError, match="1-D"):
+            writer.write(np.zeros((2, 2), dtype=int))
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(np.zeros(1, dtype=int))
+
+    def test_open_rejects_2d_and_float_files(self, tmp_path):
+        two_d = tmp_path / "2d.npy"
+        np.save(two_d, np.zeros((3, 3), dtype=int))
+        with pytest.raises(ValueError, match="1-D"):
+            open_npy_counts(two_d)
+        floats = tmp_path / "float.npy"
+        np.save(floats, np.zeros(3))
+        with pytest.raises(ValueError, match="integer dtype"):
+            open_npy_counts(floats)
+
+    def test_open_is_memory_mapped(self, tmp_path):
+        path = tmp_path / "mmap.npy"
+        np.save(path, np.arange(100))
+        loaded = open_npy_counts(path)
+        assert isinstance(loaded, np.memmap)
+
+    def test_is_npy_path(self):
+        assert is_npy_path("counts.npy")
+        assert is_npy_path("COUNTS.NPY")
+        assert not is_npy_path("counts.txt")
+        assert not is_npy_path("-")
+        assert not is_npy_path(None)

@@ -1,0 +1,114 @@
+"""Bit-identity of the matrix metric kernels against the scalar wrappers.
+
+numpy's pairwise summation walks memory, not logical rows: ``np.mean(m,
+axis=-1)`` on a matrix whose last axis is not contiguous (an F-ordered
+repetition matrix, exactly what a transposed sweep produces) can associate
+the additions differently from a 1-D mean of each row and land ~1 ulp away.
+The empirical harness computes every metric through the matrix kernels and
+*documents* them as bit-identical to the scalar wrappers, so that promise
+is pinned here for both memory orders.  ``test_f_order_naive_mean_differs``
+keeps the motivating pitfall honest: if a future numpy reduces F-ordered
+axes in row order, it skips rather than fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    ExceedsDistanceRate,
+    _mean_last_axis,
+    bias_from_diff,
+    error_rate_from_diff,
+    exceeds_rate_from_diff,
+    exceeds_rate_profile,
+    mae_from_diff,
+    mean_absolute_error,
+    mean_signed_error,
+    root_mean_square_error,
+    rmse_from_diff,
+    signed_differences,
+)
+
+REPS, GROUPS = 6, 129  # smallest shape observed to trip pairwise reordering
+
+KERNEL_WRAPPER_PAIRS = [
+    (mae_from_diff, mean_absolute_error),
+    (rmse_from_diff, root_mean_square_error),
+    (bias_from_diff, mean_signed_error),
+]
+
+
+def _case(order):
+    rng = np.random.default_rng(0)
+    true = rng.integers(0, 8, size=GROUPS)
+    released = true + rng.standard_normal((REPS, GROUPS))
+    diff = signed_differences(true, released)
+    if order == "F":
+        diff = np.asfortranarray(diff)
+        released = np.asfortranarray(released)
+    return true, released, diff
+
+
+def test_f_order_naive_mean_differs():
+    """The pitfall is real on this numpy: naive axis-mean of an F-ordered
+    matrix disagrees with row-by-row means.  (Skip, not fail, if numpy ever
+    changes its reduction order — the kernels' bit-identity tests below are
+    the actual contract.)"""
+    _, _, diff = _case("F")
+    naive = np.mean(diff, axis=-1)
+    rowwise = np.array([np.mean(diff[r]) for r in range(REPS)])
+    if np.array_equal(naive, rowwise):
+        pytest.skip("this numpy reduces F-ordered axes in row order")
+    assert np.max(np.abs(naive - rowwise)) < 1e-12  # ~1 ulp, not a real bug
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+@pytest.mark.parametrize("kernel,wrapper", KERNEL_WRAPPER_PAIRS)
+def test_kernel_rows_bit_identical_to_scalar_wrapper(order, kernel, wrapper):
+    true, released, diff = _case(order)
+    matrix = kernel(diff)
+    assert matrix.shape == (REPS,)
+    for r in range(REPS):
+        assert matrix[r] == wrapper(true, released[r]), (
+            f"{kernel.__name__} row {r} deviates from {wrapper.__name__} "
+            f"on {order}-ordered input"
+        )
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+def test_rate_kernels_rows_match_scalar_wrappers(order):
+    true, released, diff = _case(order)
+    # Integer-valued releases so error/exceed rates are non-trivial.
+    released = np.rint(released)
+    diff = np.asarray(released - true, order=order)
+    err = error_rate_from_diff(diff)
+    exc = exceeds_rate_from_diff(diff, 1)
+    metric = ExceedsDistanceRate(1)
+    for r in range(REPS):
+        assert err[r] == error_rate_from_diff(diff[r])
+        assert exc[r] == metric(true, released[r])
+    # The one-pass histogram profile promises the same identity.
+    profile = exceeds_rate_profile(diff, [0, 1, 2])
+    for k, d in enumerate([0, 1, 2]):
+        assert np.array_equal(profile[k], exceeds_rate_from_diff(diff, d))
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+def test_mean_last_axis_matches_per_row_mean(order):
+    rng = np.random.default_rng(0)
+    values = np.asarray(rng.standard_normal((REPS, GROUPS)), order=order)
+    result = _mean_last_axis(values)
+    for r in range(REPS):
+        assert result[r] == np.mean(values[r])
+
+
+def test_mean_last_axis_handles_1d_and_sliced_inputs():
+    rng = np.random.default_rng(1)
+    row = rng.standard_normal(GROUPS)
+    assert _mean_last_axis(row) == np.mean(row)
+    # A strided view (every other column) is not last-axis contiguous either.
+    matrix = rng.standard_normal((REPS, 2 * GROUPS))
+    view = matrix[:, ::2]
+    result = _mean_last_axis(view)
+    for r in range(REPS):
+        assert result[r] == np.mean(np.ascontiguousarray(view[r]))

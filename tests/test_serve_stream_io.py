@@ -1,0 +1,182 @@
+"""``serve-stream`` error paths and the binary (``.npy``) protocol.
+
+The CLI contract under failure: malformed input dies with a pointed
+message, an exhausted budget exits 1 only *after* flushing every chunk
+served before the refusal, and the binary protocol releases byte-identical
+counts to the text protocol for the same seed — including in the partial
+file a refusal leaves behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def _write_counts(path, values):
+    path.write_text("\n".join(str(int(v)) for v in values) + "\n")
+
+
+class TestServeStreamErrorPaths:
+    def test_malformed_line_reports_file_and_line_number(self, tmp_path, capsys):
+        counts_path = tmp_path / "counts.txt"
+        counts_path.write_text("1\n2\nbanana\n4\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["serve-stream", "--n", "8", "--alpha", "0.9",
+                 "--counts-file", str(counts_path), "--seed", "1"]
+            )
+        message = str(excinfo.value)
+        assert "banana" in message
+        assert ":3:" in message  # the offending line number
+
+    def test_blank_lines_are_skipped_not_errors(self, tmp_path, capsys):
+        sparse_path = tmp_path / "gaps.txt"
+        sparse_path.write_text("1\n\n2\n   \n3\n\n")
+        dense_path = tmp_path / "dense.txt"
+        dense_path.write_text("1\n2\n3\n")
+        outputs = []
+        for path in (sparse_path, dense_path):
+            assert main(
+                ["serve-stream", "--n", "8", "--alpha", "0.9",
+                 "--counts-file", str(path), "--seed", "5"]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_empty_input_serves_nothing_and_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n\n")
+        out_path = tmp_path / "released.txt"
+        assert main(
+            ["serve-stream", "--n", "8", "--alpha", "0.9",
+             "--counts-file", str(empty), "--output", str(out_path), "--seed", "1"]
+        ) == 0
+        assert "wrote 0 released counts" in capsys.readouterr().out
+        assert out_path.read_text() == ""
+
+    def test_zero_count_chunks_from_empty_batches(self, tmp_path, capsys):
+        # An empty .npy input is the executor's zero-chunk regime end to end.
+        in_path = tmp_path / "empty.npy"
+        np.save(in_path, np.empty(0, dtype=np.int64))
+        out_path = tmp_path / "released.npy"
+        assert main(
+            ["serve-stream", "--n", "8", "--alpha", "0.9",
+             "--counts-file", str(in_path), "--output", str(out_path), "--seed", "1"]
+        ) == 0
+        assert np.load(out_path).shape == (0,)
+
+    def test_out_of_range_count_dies_before_serving(self, tmp_path, capsys):
+        counts_path = tmp_path / "counts.txt"
+        counts_path.write_text("1\n99\n")
+        with pytest.raises(SystemExit, match="must lie in"):
+            main(
+                ["serve-stream", "--n", "8", "--alpha", "0.9",
+                 "--counts-file", str(counts_path), "--seed", "1"]
+            )
+
+    def test_budget_refusal_exits_1_after_flushing_served_chunks(self, tmp_path, capsys):
+        counts_path = tmp_path / "counts.txt"
+        _write_counts(counts_path, [1] * 30)
+        exit_code = main(
+            ["serve-stream", "--n", "8", "--alpha", "0.9",
+             "--counts-file", str(counts_path), "--chunk-size", "10",
+             "--seed", "1", "--budget-alpha", str(0.9**2)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        # Budget 0.9^2 buys exactly two alpha=0.9 chunks; both reached stdout.
+        assert len(captured.out.split()) == 20
+        assert "privacy budget exhausted after 20 released counts" in captured.err
+
+
+class TestServeStreamNpyProtocol:
+    def _released(self, capsys, argv):
+        assert main(argv) == 0
+        return [int(line) for line in capsys.readouterr().out.split()]
+
+    def test_npy_input_round_trips_identically_to_text(self, tmp_path, capsys):
+        values = np.random.default_rng(20).integers(0, 33, size=257)
+        text_path = tmp_path / "counts.txt"
+        _write_counts(text_path, values)
+        npy_path = tmp_path / "counts.npy"
+        np.save(npy_path, values)
+        base = ["serve-stream", "--n", "32", "--alpha", "0.9",
+                "--chunk-size", "40", "--seed", "9", "--counts-file"]
+        from_text = self._released(capsys, base + [str(text_path)])
+        from_npy = self._released(capsys, base + [str(npy_path)])
+        assert from_npy == from_text
+
+    def test_npy_output_round_trips_identically_to_text(self, tmp_path, capsys):
+        values = np.random.default_rng(21).integers(0, 17, size=100)
+        counts_path = tmp_path / "counts.npy"
+        np.save(counts_path, values)
+        text_out = tmp_path / "released.txt"
+        npy_out = tmp_path / "released.npy"
+        for out in (text_out, npy_out):
+            assert main(
+                ["serve-stream", "--n", "16", "--alpha", "0.8",
+                 "--counts-file", str(counts_path), "--chunk-size", "33",
+                 "--seed", "4", "--output", str(out)]
+            ) == 0
+            assert "wrote 100 released counts" in capsys.readouterr().out
+        from_text = [int(v) for v in text_out.read_text().split()]
+        assert np.array_equal(np.load(npy_out), from_text)
+
+    def test_budget_refusal_leaves_loadable_partial_npy(self, tmp_path, capsys):
+        counts_path = tmp_path / "counts.npy"
+        np.save(counts_path, np.ones(30, dtype=np.int64))
+        out_path = tmp_path / "partial.npy"
+        exit_code = main(
+            ["serve-stream", "--n", "8", "--alpha", "0.9",
+             "--counts-file", str(counts_path), "--chunk-size", "10",
+             "--seed", "1", "--budget-alpha", str(0.9**2),
+             "--output", str(out_path)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "PARTIAL" in captured.err
+        # The back-patched header makes the prefix a valid .npy file.
+        partial = np.load(out_path)
+        assert partial.shape == (20,)
+        assert partial.min() >= 0 and partial.max() <= 8
+
+    def test_float_npy_input_is_refused(self, tmp_path, capsys):
+        bad = tmp_path / "floats.npy"
+        np.save(bad, np.ones(5))
+        with pytest.raises(SystemExit, match="integer dtype"):
+            main(["serve-stream", "--n", "8", "--alpha", "0.9",
+                  "--counts-file", str(bad), "--seed", "1"])
+
+    def test_2d_npy_input_is_refused(self, tmp_path, capsys):
+        bad = tmp_path / "matrix.npy"
+        np.save(bad, np.ones((2, 3), dtype=np.int64))
+        with pytest.raises(SystemExit, match="1-D"):
+            main(["serve-stream", "--n", "8", "--alpha", "0.9",
+                  "--counts-file", str(bad), "--seed", "1"])
+
+    def test_missing_npy_input_is_a_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-stream", "--n", "8", "--alpha", "0.9",
+                  "--counts-file", str(tmp_path / "nowhere.npy"), "--seed", "1"])
+
+    def test_npy_output_with_seeded_workers_matches_text(self, tmp_path, capsys):
+        values = np.random.default_rng(22).integers(0, 17, size=90)
+        counts_path = tmp_path / "counts.txt"
+        _write_counts(counts_path, values)
+        npy_out = tmp_path / "released.npy"
+        assert main(
+            ["serve-stream", "--n", "16", "--alpha", "0.9",
+             "--counts-file", str(counts_path), "--chunk-size", "25",
+             "--seed", "7", "--max-workers", "1", "--output", str(npy_out)]
+        ) == 0
+        capsys.readouterr()
+        from_text = self._released(
+            capsys,
+            ["serve-stream", "--n", "16", "--alpha", "0.9",
+             "--counts-file", str(counts_path), "--chunk-size", "25",
+             "--seed", "7", "--max-workers", "1"],
+        )
+        assert np.array_equal(np.load(npy_out), from_text)
