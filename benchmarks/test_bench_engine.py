@@ -147,6 +147,61 @@ def test_budget_guarded_stream_charges_without_measurable_cost(rng):
         assert elapsed < 30.0, f"guarded streaming took {elapsed:.1f}s"
 
 
+def test_durable_ledger_overhead_and_bit_identity(rng, tmp_path):
+    """fsync'd WAL accounting stays within 15% of the plain seeded stream.
+
+    The crash-safe path (PR 7) prepends one durable ledger append per chunk
+    charge and one per completion checkpoint — O(chunks) fsyncs against
+    O(requests) sampling work, so at the serving chunk size the overhead
+    must be bookkeeping noise.  Gated at 1.15x (+1s absolute slack for the
+    shared CI box); bit-identity of the released stream is asserted exactly,
+    not within noise — durable accounting never touches the sampled bytes.
+    """
+    from repro.engine.durability import AccountantLedger
+
+    n = N_STREAM
+    requests = REQUESTS_STREAM
+    plan = repro.compile_plan(n, 0.9)
+    counts = rng.integers(0, n + 1, size=requests)
+    chunks = -(-requests // CHUNK_SIZE)
+
+    def plain():
+        executor = StreamExecutor(plan, chunk_size=CHUNK_SIZE)
+        return np.concatenate(list(executor.stream_seeded(counts, seed=17)))
+
+    plain_released, plain_elapsed, _ = _traced(plain)
+
+    ledger_path = tmp_path / "bench-ledger.bin"
+
+    def ledgered():
+        ledger = AccountantLedger.open(
+            ledger_path, alpha_target=0.9 ** (chunks + 1)
+        )
+        executor = StreamExecutor(plan, chunk_size=CHUNK_SIZE, ledger=ledger)
+        parts = []
+        total = 0
+        try:
+            for index, chunk in executor.stream_durable(counts, seed=17):
+                parts.append(chunk)
+                total += chunk.shape[0]
+                ledger.mark_done(index, chunk.shape[0], total, total * 8)
+        finally:
+            ledger.close()
+        return np.concatenate(parts)
+
+    ledger_released, ledger_elapsed, _ = _traced(ledgered)
+    assert np.array_equal(ledger_released, plain_released)
+    # The log replays to the exact spend and a complete resume prefix.
+    with AccountantLedger.open(ledger_path) as replayed:
+        assert replayed.spent_alpha() == pytest.approx(0.9**chunks)
+        assert replayed.resume_state().next_chunk == chunks
+    if not TINY:
+        assert ledger_elapsed < 1.15 * plain_elapsed + 1.0, (
+            f"durable ledger streaming {ledger_elapsed:.2f}s vs plain seeded "
+            f"{plain_elapsed:.2f}s exceeds the 15% overhead gate"
+        )
+
+
 @pytest.mark.benchmark(group="engine")
 def test_stream_executor_throughput(benchmark, rng):
     """Timed: chunked streaming through a compiled plan at the serving size."""

@@ -53,7 +53,14 @@ from repro.core.selector import SelectorDecision, choose_mechanism, decide
 from repro.core.transformations import derive_from_geometric, optimal_remap, post_process
 from repro.core import theory
 from repro import privacy
-from repro.engine import ReleasePlan, StreamExecutor, compile_plan
+from repro.engine import (
+    AccountantLedger,
+    LedgerCorruptionError,
+    LedgerError,
+    ReleasePlan,
+    StreamExecutor,
+    compile_plan,
+)
 from repro.privacy import BudgetExceededError, PrivacyAccountant
 from repro.eval.estimation import (
     debias_released_mean,
@@ -158,4 +165,8 @@ __all__ = [
     "privacy",
     "PrivacyAccountant",
     "BudgetExceededError",
+    # Durable accounting (crash-safe execution)
+    "AccountantLedger",
+    "LedgerError",
+    "LedgerCorruptionError",
 ]

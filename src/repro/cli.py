@@ -129,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve-batch",
         help="serve a batch of release requests through the design cache + vectorised sampler",
+        epilog="exit status: 0 — all requests released; 1 — refused (privacy "
+               "budget exhausted before sampling, or invalid request): nothing "
+               "was released, rerun with a fresh --budget-alpha or fewer "
+               "requests.",
     )
     serve.add_argument("--n", type=int, default=None,
                        help="group size for homogeneous batches (ignored with --requests-file)")
@@ -163,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     stream = subparsers.add_parser(
         "serve-stream",
         help="stream counts through a compiled release plan in fixed-size chunks",
+        epilog="exit status: 0 — stream fully released; 1 — privacy budget "
+               "exhausted mid-stream (the output holds every chunk released "
+               "before the refusal and the ledger, if any, stays consistent); "
+               "2 — durable-ledger error (corrupt ledger, resume parameters "
+               "that do not match the recorded run, or an existing ledger "
+               "without --resume): inspect the message, then either resume "
+               "with the original parameters or delete the ledger to start "
+               "over.",
     )
     stream.add_argument("--n", type=int, required=True, help="group size (counts in 0..n)")
     stream.add_argument("--alpha", type=float, required=True, help="privacy level in [0, 1]")
@@ -184,6 +196,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "per-chunk seed substreams: output is identical for every "
                              "worker count, but differs from the serial shared-stream "
                              "default)")
+    stream.add_argument("--ledger", type=Path, default=None,
+                        help="durable accountant ledger (append-only, fsync'd, "
+                             "checksummed WAL): every chunk's budget charge is "
+                             "persisted before sampling and every served chunk "
+                             "is checkpointed, so a crashed run can be resumed "
+                             "exactly; requires --budget-alpha and --output, "
+                             "and switches to the per-chunk seed-substream "
+                             "discipline (as --max-workers does)")
+    stream.add_argument("--resume", action="store_true",
+                        help="continue the run recorded in --ledger: chunks "
+                             "already served are skipped (input verified "
+                             "against the charged checksums), the output file "
+                             "is truncated to the last durable checkpoint, and "
+                             "the final output is byte-identical to an "
+                             "uninterrupted run")
+    stream.add_argument("--chunk-timeout", type=float, default=None,
+                        help="seconds to wait for a worker chunk before "
+                             "declaring the worker hung and requeueing "
+                             "(seeded pool only; default: wait forever)")
     stream.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the on-disk design cache (shared across runs)")
     stream.add_argument("--cache-size", type=int, default=128,
@@ -424,8 +455,42 @@ def _iter_count_lines(args: argparse.Namespace):
             handle.close()
 
 
+def _serve_stream_ledger(args: argparse.Namespace, run_config: dict):
+    """Open (or resume) the durable ledger; returns (ledger, root, resume).
+
+    Raises :class:`~repro.engine.durability.LedgerError` subclasses for the
+    caller to map to exit status 2.  The root seed is the recorded entropy
+    on resume — a resumed run re-derives exactly the substreams the crashed
+    run would have used, whether or not ``--seed`` was given.
+    """
+    from repro.engine.durability import AccountantLedger, LedgerError, ResumeState
+
+    path = Path(args.ledger)
+    exists = path.exists() and path.stat().st_size > 0
+    if exists and not args.resume:
+        raise LedgerError(
+            f"{path}: ledger already exists; pass --resume to continue the "
+            "recorded run, or delete the ledger file to start over"
+        )
+    if exists:
+        ledger = AccountantLedger.open(
+            path, alpha_target=args.budget_alpha, config=run_config
+        )
+        root = np.random.SeedSequence(int(ledger.config["entropy"]))
+        return ledger, root, ledger.resume_state()
+    root = np.random.SeedSequence(args.seed)
+    config = dict(run_config)
+    config["entropy"] = int(root.entropy)
+    ledger = AccountantLedger.open(path, alpha_target=args.budget_alpha, config=config)
+    return ledger, root, ResumeState(next_chunk=0, records=0, offset=None)
+
+
 def _command_serve_stream(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.properties import parse_properties
     from repro.engine import ReleasePlan, StreamExecutor
+    from repro.engine.durability import LedgerError
     from repro.engine.stream_io import NpyCountWriter, is_npy_path, open_npy_counts
     from repro.lp.solver import solve_call_count
     from repro.privacy import BudgetExceededError, PrivacyAccountant
@@ -433,6 +498,19 @@ def _command_serve_stream(args: argparse.Namespace) -> int:
 
     if args.chunk_size < 1:
         raise SystemExit("--chunk-size must be positive")
+    if args.ledger is not None:
+        if args.budget_alpha is None:
+            raise SystemExit(
+                "--ledger requires --budget-alpha: the ledger exists to make "
+                "the privacy budget durable, so it must know the target"
+            )
+        if args.output is None:
+            raise SystemExit(
+                "--ledger requires --output: checkpointed resume needs a "
+                "seekable output file, not a pipe"
+            )
+    if args.resume and args.ledger is None:
+        raise SystemExit("--resume requires --ledger (there is nothing to resume from)")
     solves_before = solve_call_count()
     densifications_before = Mechanism.densifications
     cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
@@ -442,9 +520,36 @@ def _command_serve_stream(args: argparse.Namespace) -> int:
         )
     except ValueError as error:  # e.g. an unknown property code or bad alpha
         raise SystemExit(str(error))
+
+    ledger = None
+    root = None
+    resume_records = 0
+    resume_offset = None
+    if args.ledger is not None:
+        # The pinned run configuration: a resume with different parameters
+        # would splice two unrelated streams, so it is refused (exit 2).
+        run_config = {
+            "n": int(args.n),
+            "alpha": float(args.alpha),
+            "properties": "+".join(
+                sorted(p.value for p in parse_properties(args.properties))
+            ) or "none",
+            "chunk_size": int(args.chunk_size),
+            "backend": args.backend,
+            "seed": args.seed,
+            "output_format": "npy" if is_npy_path(args.output) else "text",
+        }
+        try:
+            ledger, root, resume = _serve_stream_ledger(args, run_config)
+        except LedgerError as error:
+            print(f"ledger error: {error}", file=sys.stderr)
+            return 2
+        resume_records = resume.records
+        resume_offset = resume.offset
+
     accountant = (
         PrivacyAccountant(alpha_target=args.budget_alpha)
-        if args.budget_alpha is not None
+        if args.budget_alpha is not None and ledger is None
         else None
     )
     executor = StreamExecutor(
@@ -452,6 +557,8 @@ def _command_serve_stream(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         accountant=accountant,
         max_workers=args.max_workers,
+        ledger=ledger,
+        chunk_timeout=args.chunk_timeout,
     )
     if is_npy_path(args.counts_file):
         # Binary input: memory-map the array and let the executor slice it
@@ -462,46 +569,108 @@ def _command_serve_stream(args: argparse.Namespace) -> int:
             raise SystemExit(str(error))
     else:
         counts = _iter_count_lines(args)
-    if args.max_workers is not None:
-        # Passing --max-workers (any value, including 1) switches to the
-        # per-chunk seed-substream discipline so the output is identical
-        # for every worker count.
-        chunks = executor.stream_seeded(counts, seed=args.seed)
+
+    # --ledger and --max-workers both select the per-chunk seed-substream
+    # discipline (the only one whose chunks are independent enough to skip
+    # on resume or fan out); otherwise the serial shared-stream default.
+    if ledger is not None:
+        chunks = executor.stream_durable(counts, seed=root)
+    elif args.max_workers is not None:
+        chunks = executor.stream_durable(counts, seed=args.seed)
     else:
         chunks = executor.stream(counts, rng=np.random.default_rng(args.seed))
 
+    text_records = resume_records
     if is_npy_path(args.output):
-        out = NpyCountWriter(args.output)
+        try:
+            out = NpyCountWriter(
+                args.output,
+                resume_records=resume_records if resume_records else None,
+            )
+        except ValueError as error:
+            print(f"ledger error: {error}", file=sys.stderr)
+            return 2
         write_chunk = out.write
     else:
-        out = args.output.open("w") if args.output is not None else sys.stdout
+        if resume_records and resume_offset is not None:
+            # Truncate the text output back to the last durable checkpoint
+            # (bytes past it belong to a chunk the crashed run never marked
+            # done) and append from there.
+            if not args.output.exists() or args.output.stat().st_size < resume_offset:
+                print(
+                    f"ledger error: {args.output}: output file is shorter than "
+                    f"the ledger's checkpoint ({resume_offset} bytes); it does "
+                    "not match the recorded run",
+                    file=sys.stderr,
+                )
+                return 2
+            out = args.output.open("r+")
+            out.truncate(resume_offset)
+            out.seek(resume_offset)
+        else:
+            out = args.output.open("w") if args.output is not None else sys.stdout
 
         def write_chunk(chunk):
             out.write("\n".join(str(int(value)) for value in chunk) + "\n")
 
     status = 0
     try:
-        for chunk in chunks:
-            write_chunk(chunk)
+        if ledger is not None:
+            for index, chunk in chunks:
+                write_chunk(chunk)
+                # Checkpoint barrier: the chunk's bytes must be durable
+                # before the ledger may promise they are.
+                if isinstance(out, NpyCountWriter):
+                    out.sync()
+                    total, offset = out.records, out.offset
+                else:
+                    out.flush()
+                    os.fsync(out.fileno())
+                    text_records += int(np.size(chunk))
+                    total, offset = text_records, out.tell()
+                ledger.mark_done(index, int(np.size(chunk)), total, offset)
+        elif args.max_workers is not None:
+            for _index, chunk in chunks:
+                write_chunk(chunk)
+        else:
+            for chunk in chunks:
+                write_chunk(chunk)
     except BudgetExceededError as error:
         print(
             f"privacy budget exhausted after {executor.stats.records} released "
-            f"counts; refusing the next chunk before sampling it: {error}",
+            f"counts; refusing the next chunk before sampling it: {error}"
+            + (
+                " (the ledger records every charge: resuming with a larger "
+                "budget is not possible — start a fresh ledger)"
+                if ledger is not None
+                else ""
+            ),
             file=sys.stderr,
         )
         status = 1
+    except LedgerError as error:
+        print(f"ledger error: {error}", file=sys.stderr)
+        status = 2
     except ValueError as error:  # e.g. counts outside [0, n]
         raise SystemExit(str(error))
     finally:
         if args.output is not None:
             out.close()
+        if ledger is not None:
+            ledger.close()
+    served = executor.stats.records + executor.stats.resumed_records
     if args.output is not None:
         if status == 0:
-            print(f"wrote {executor.stats.records} released counts to {args.output}")
+            resumed = (
+                f" ({executor.stats.resumed_chunks} chunks resumed from the ledger)"
+                if executor.stats.resumed_chunks
+                else ""
+            )
+            print(f"wrote {served} released counts to {args.output}{resumed}")
         else:
             print(
-                f"wrote only {executor.stats.records} released counts to "
-                f"{args.output} before the budget refusal (PARTIAL output)",
+                f"wrote only {served} released counts to "
+                f"{args.output} before the refusal (PARTIAL output)",
                 file=sys.stderr,
             )
     if args.stats:

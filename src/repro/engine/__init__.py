@@ -23,6 +23,19 @@ experiment sweeps are all thin adapters over these two classes; see
 ``docs/architecture.md`` for the plan lifecycle diagram.
 """
 
+# Import order matters: ``faults`` (stdlib-only) must initialise before
+# ``durability`` (which uses it), which must initialise before ``executor``
+# and ``stream_io`` (which use both) — otherwise a direct
+# ``import repro.engine.durability`` would re-enter this package mid-import
+# and find a partially initialised module.
+from repro.engine.faults import FaultInjector, InjectedCrash
+from repro.engine.durability import (
+    AccountantLedger,
+    LedgerConfigError,
+    LedgerCorruptionError,
+    LedgerError,
+    ResumeState,
+)
 from repro.engine.executor import (
     DEFAULT_CHUNK_SIZE,
     ExecutorStats,
@@ -36,10 +49,17 @@ from repro.engine.stream_io import NpyCountWriter, open_npy_counts
 compile_plan = ReleasePlan.compile
 
 __all__ = [
+    "AccountantLedger",
     "DEFAULT_CHUNK_SIZE",
     "ExecutorStats",
+    "FaultInjector",
+    "InjectedCrash",
+    "LedgerConfigError",
+    "LedgerCorruptionError",
+    "LedgerError",
     "NpyCountWriter",
     "ReleasePlan",
+    "ResumeState",
     "StreamExecutor",
     "charge_release",
     "charge_release_group",

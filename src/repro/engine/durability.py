@@ -1,0 +1,499 @@
+"""Durable privacy accounting: a write-ahead ledger behind the accountant.
+
+The :class:`~repro.privacy.PrivacyAccountant` tracks the one piece of state
+a DP release system must never lose — how much of the privacy budget has
+already been spent.  In-memory accounting is fine for a one-shot run, but a
+crash mid-``serve-stream`` would forget every charge, and a restart would
+happily re-release what was already paid for.  :class:`AccountantLedger`
+closes that hole with a write-ahead log:
+
+* **Append-only, fsync'd, per-record checksummed.**  Every record is
+  ``<length:u32><crc32:u32><utf-8 json payload>``.  A charge is appended
+  (and fsync'd) *before* it is applied to the in-memory accountant, so the
+  durable state is always at least as spent as the in-memory one — the
+  safe direction for a budget.
+* **Atomic recovery.**  Reopening replays the log into a fresh accountant.
+  A *torn tail* — a record whose length prefix or payload is cut short at
+  EOF, exactly what a crash mid-``write`` leaves behind — is truncated
+  away silently (that charge never took effect in any observable output).
+  A record that is *complete but wrong* (checksum or JSON mismatch, or a
+  replay that no longer fits the budget) is corruption, not a crash
+  artifact, and raises :class:`LedgerCorruptionError` loudly rather than
+  guessing; the tamper-evidence rationale follows the Integrity Coded
+  Databases line of work cited in PAPERS.md.
+* **Checkpointed resume.**  Besides ``charge`` records the executor
+  journals ``done`` records — ``(chunk, size, records, offset)`` — once a
+  chunk's released bytes are durably in the output file.  On restart,
+  :meth:`resume_state` returns the contiguous done prefix so
+  ``serve-stream --resume`` can truncate the output to the last checkpoint
+  and skip exactly the chunks that were already served, while chunks that
+  were *charged but not served* (the crash window) are re-served without
+  being charged again — :meth:`charge` is idempotent by chunk index.
+
+Record types
+------------
+``header``
+    First record of every ledger: schema version, ``alpha_target``, and an
+    arbitrary JSON ``config`` dict pinning the run parameters (n, alpha,
+    properties, chunk size, seed entropy, …) so a resume with different
+    parameters is refused (:class:`LedgerConfigError`) instead of silently
+    producing a stream that matches nothing.
+``charge``
+    ``{chunk, alpha, size, label, crc}`` — one spent release.  ``crc`` is
+    a checksum of the chunk's *input* counts, making a resume against a
+    diverged input stream detectable (:meth:`verify_chunk`).
+``done``
+    ``{chunk, size, records, records_total, offset}`` — the chunk's output
+    reached durable storage at byte ``offset``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine import faults as _faults
+from repro.privacy import BudgetExceededError, PrivacyAccountant
+
+#: Bump on incompatible record-format changes.
+LEDGER_VERSION = 1
+
+#: Per-record head: payload length (u32) + payload crc32 (u32), little-endian.
+_RECORD_HEAD = struct.Struct("<II")
+
+#: Sanity cap on a record payload: ledger records are small JSON documents,
+#: so a length beyond this is corruption, not a big record.
+_MAX_PAYLOAD = 1 << 20
+
+
+class LedgerError(RuntimeError):
+    """Base class for accountant-ledger failures."""
+
+
+class LedgerCorruptionError(LedgerError):
+    """A complete ledger record is damaged, or the log replays inconsistently.
+
+    Never raised for a torn tail (which recovery truncates); raised when
+    the bytes on disk claim to be a full record but fail their checksum,
+    do not parse, or replay into an impossible accounting state.
+    """
+
+
+class LedgerConfigError(LedgerError):
+    """An existing ledger's pinned run configuration does not match the caller's."""
+
+
+def chunk_crc(chunk) -> int:
+    """Checksum of a chunk's input counts (int64 little-endian bytes).
+
+    Stored in ``charge`` records so a resumed run can detect that the
+    input stream it is skipping over is not the stream that was charged.
+    """
+    import numpy as np
+
+    return zlib.crc32(np.ascontiguousarray(chunk, dtype="<i8").tobytes())
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """The contiguous completed prefix recovered from a ledger.
+
+    ``next_chunk`` is the first chunk index that still needs serving;
+    ``records`` is how many released counts the completed prefix contains;
+    ``offset`` is the output-file byte offset recorded by the last done
+    chunk (``None`` when nothing completed — the output starts empty).
+    """
+
+    next_chunk: int
+    records: int
+    offset: Optional[int]
+
+
+class AccountantLedger:
+    """A :class:`~repro.privacy.PrivacyAccountant` with a write-ahead log.
+
+    Construct via :meth:`open`.  The wrapped accountant is exposed as
+    :attr:`accountant`; all budget *decisions* still live in
+    :class:`~repro.privacy.PrivacyAccountant` — this class only makes the
+    outcomes durable and replayable.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        handle,
+        accountant: PrivacyAccountant,
+        config: dict,
+        fsync: bool,
+        charges: Dict[int, dict],
+        done: Dict[int, dict],
+    ) -> None:
+        self.path = path
+        self._handle = handle
+        self.accountant = accountant
+        self.config = config
+        self._fsync = fsync
+        self._charges = charges
+        self._done = done
+        self._closed = False
+        self._crashed = False
+
+    # ------------------------------------------------------------------ #
+    # Open / recover
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        alpha_target: Optional[float] = None,
+        config: Optional[dict] = None,
+        fsync: bool = True,
+    ) -> "AccountantLedger":
+        """Open (creating or recovering) a ledger at ``path``.
+
+        A fresh ledger requires ``alpha_target`` and pins ``config`` (any
+        JSON-serialisable dict) into its header.  Reopening an existing
+        ledger replays the log — truncating a torn tail, refusing complete
+        corruption — and then checks that ``alpha_target`` and every key
+        the caller passes in ``config`` match the pinned header (keys the
+        caller omits, e.g. the recorded seed entropy, are not compared and
+        can be read back from :attr:`config`).
+        """
+        path = Path(path)
+        if path.exists() and path.stat().st_size > 0:
+            return cls._recover(path, alpha_target, config, fsync)
+        if alpha_target is None:
+            raise LedgerError(
+                f"{path}: creating a new ledger requires alpha_target"
+            )
+        accountant = PrivacyAccountant(alpha_target=alpha_target)
+        handle = path.open("wb+")
+        ledger = cls(path, handle, accountant, dict(config or {}), fsync, {}, {})
+        ledger._append(
+            {
+                "type": "header",
+                "version": LEDGER_VERSION,
+                "alpha_target": float(accountant.alpha_target),
+                "config": ledger.config,
+            },
+            faultable=False,
+        )
+        return ledger
+
+    @classmethod
+    def _recover(
+        cls,
+        path: Path,
+        alpha_target: Optional[float],
+        config: Optional[dict],
+        fsync: bool,
+    ) -> "AccountantLedger":
+        handle = path.open("rb+")
+        try:
+            records, keep_bytes = cls._read_records(path, handle)
+        except LedgerError:
+            handle.close()
+            raise
+        if not records:
+            # The creating process died inside the very first (header)
+            # write: nothing was ever charged, so start over.
+            handle.close()
+            path.unlink()
+            return cls.open(path, alpha_target=alpha_target, config=config, fsync=fsync)
+        header = records[0]
+        if header.get("type") != "header" or header.get("version") != LEDGER_VERSION:
+            handle.close()
+            raise LedgerCorruptionError(
+                f"{path}: first record is not a version-{LEDGER_VERSION} header "
+                f"(got {header.get('type')!r} v{header.get('version')!r})"
+            )
+        stored_target = float(header["alpha_target"])
+        if alpha_target is not None and float(alpha_target) != stored_target:
+            handle.close()
+            raise LedgerConfigError(
+                f"{path}: ledger was opened with --budget-alpha {stored_target:g}, "
+                f"not {float(alpha_target):g}; resume with the original budget"
+            )
+        stored_config = dict(header.get("config") or {})
+        for key, value in (config or {}).items():
+            if stored_config.get(key) != value:
+                handle.close()
+                raise LedgerConfigError(
+                    f"{path}: ledger pins {key}={stored_config.get(key)!r} but this "
+                    f"run requests {key}={value!r}; resume with the original "
+                    "parameters or start a fresh ledger"
+                )
+        accountant = PrivacyAccountant(alpha_target=stored_target)
+        charges: Dict[int, dict] = {}
+        done: Dict[int, dict] = {}
+        for record in records[1:]:
+            kind = record.get("type")
+            if kind == "charge":
+                chunk = int(record["chunk"])
+                if chunk in charges:
+                    handle.close()
+                    raise LedgerCorruptionError(
+                        f"{path}: chunk {chunk} is charged twice in the log"
+                    )
+                try:
+                    accountant.record(
+                        float(record["alpha"]), label=record.get("label", "")
+                    )
+                except (BudgetExceededError, ValueError) as error:
+                    # A charge was only ever appended after can_release()
+                    # passed, so a log that replays over budget (or with an
+                    # invalid alpha) was not written by this code path.
+                    handle.close()
+                    raise LedgerCorruptionError(
+                        f"{path}: replaying chunk {chunk}'s charge fails "
+                        f"({error}); the log is inconsistent"
+                    ) from error
+                charges[chunk] = record
+            elif kind == "done":
+                chunk = int(record["chunk"])
+                if chunk not in charges:
+                    handle.close()
+                    raise LedgerCorruptionError(
+                        f"{path}: chunk {chunk} is marked done but never charged"
+                    )
+                done[chunk] = record
+            else:
+                handle.close()
+                raise LedgerCorruptionError(
+                    f"{path}: unknown record type {kind!r}"
+                )
+        if keep_bytes < path.stat().st_size:
+            # Torn tail: drop the partial record a crash left behind, then
+            # make the truncation itself durable before appending anything.
+            handle.truncate(keep_bytes)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        handle.seek(0, os.SEEK_END)
+        return cls(path, handle, accountant, stored_config, fsync, charges, done)
+
+    @staticmethod
+    def _read_records(path: Path, handle) -> tuple:
+        """Parse every complete record; return (records, bytes_to_keep)."""
+        records = []
+        keep = 0
+        handle.seek(0)
+        while True:
+            head = handle.read(_RECORD_HEAD.size)
+            if len(head) == 0:
+                break
+            if len(head) < _RECORD_HEAD.size:
+                break  # torn head at EOF
+            length, crc = _RECORD_HEAD.unpack(head)
+            if length > _MAX_PAYLOAD:
+                raise LedgerCorruptionError(
+                    f"{path}: record at byte {keep} claims {length} payload bytes "
+                    f"(cap {_MAX_PAYLOAD}); the log is damaged"
+                )
+            payload = handle.read(length)
+            if len(payload) < length:
+                break  # torn payload at EOF
+            if zlib.crc32(payload) != crc:
+                raise LedgerCorruptionError(
+                    f"{path}: record at byte {keep} fails its checksum; "
+                    "the log is damaged (not merely torn) — refusing to guess "
+                    "the spent budget"
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise LedgerCorruptionError(
+                    f"{path}: record at byte {keep} passes its checksum but is "
+                    f"not valid JSON ({error}); the log is damaged"
+                ) from error
+            records.append(record)
+            keep += _RECORD_HEAD.size + length
+        return records, keep
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _append(self, record: dict, faultable: bool = True) -> None:
+        """Serialise, checksum, append and fsync one record.
+
+        The in-memory accountant is only updated *after* this returns, so
+        a crash anywhere inside leaves the durable state ahead of (never
+        behind) the memory state.
+        """
+        if self._closed:
+            raise LedgerError(f"{self.path}: ledger is closed")
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        blob = _RECORD_HEAD.pack(len(payload), zlib.crc32(payload)) + payload
+        if faultable:
+            injector = _faults.get_injector()
+            if injector.io_error("ledger_append"):
+                raise OSError(f"injected I/O error appending to {self.path}")
+            if injector.torn("ledger_append"):
+                # Crash mid-write: half the record reaches the disk, the
+                # process dies.  close() must not tidy up after a corpse.
+                self._handle.write(blob[: max(1, len(blob) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._crashed = True
+                raise _faults.InjectedCrash(
+                    f"torn write injected at {self.path}"
+                )
+        self._handle.write(blob)
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def charge(
+        self,
+        chunk: int,
+        alpha: float,
+        size: int,
+        label: str = "",
+        crc: Optional[int] = None,
+    ) -> bool:
+        """Durably charge one chunk; idempotent by chunk index.
+
+        Returns ``True`` when the charge was applied now, ``False`` when
+        the ledger already holds it (a resumed run replaying the schedule —
+        the chunk is *not* double-counted, but its parameters must match
+        the recorded ones or :class:`LedgerCorruptionError` is raised).
+        An over-budget or invalid ``alpha`` raises *before* anything is
+        appended: a refused release leaves no trace, durable or otherwise.
+        """
+        chunk = int(chunk)
+        existing = self._charges.get(chunk)
+        if existing is not None:
+            if (
+                float(existing["alpha"]) != float(alpha)
+                or int(existing["size"]) != int(size)
+                or (crc is not None and int(existing.get("crc", crc)) != int(crc))
+            ):
+                raise LedgerCorruptionError(
+                    f"{self.path}: chunk {chunk} was charged as "
+                    f"(alpha={existing['alpha']:g}, size={existing['size']}) but is "
+                    f"now presented as (alpha={float(alpha):g}, size={int(size)}); "
+                    "the resumed run does not match the recorded one"
+                )
+            return False
+        # Validate + budget-check before the WAL append, so refusals are
+        # trace-free; mirrors charge_release()'s non-positive-alpha rule.
+        if not (0.0 < float(alpha) <= 1.0):
+            raise BudgetExceededError(
+                f"release at alpha={float(alpha):g} has unbounded privacy cost "
+                "(epsilon = inf); an accountant-guarded path cannot serve it"
+            )
+        if not self.accountant.can_release(alpha):
+            raise BudgetExceededError(
+                f"release at alpha={float(alpha):g} would push the guarantee below "
+                f"the target {self.accountant.alpha_target:g} "
+                f"(already spent alpha={self.accountant.spent_alpha():g})"
+            )
+        record = {
+            "type": "charge",
+            "chunk": chunk,
+            "alpha": float(alpha),
+            "size": int(size),
+            "label": label,
+        }
+        if crc is not None:
+            record["crc"] = int(crc)
+        self._append(record)
+        self.accountant.record(float(alpha), label=label)
+        self._charges[chunk] = record
+        return True
+
+    def mark_done(self, chunk: int, size: int, records: int, offset: int) -> None:
+        """Record that a charged chunk's output is durably at byte ``offset``.
+
+        ``records`` is the *cumulative* released-count total through this
+        chunk — what a resumed writer needs to rebuild its length header.
+        """
+        chunk = int(chunk)
+        if chunk not in self._charges:
+            raise LedgerError(
+                f"{self.path}: chunk {chunk} cannot be done before it is charged"
+            )
+        if chunk in self._done:
+            return
+        record = {
+            "type": "done",
+            "chunk": chunk,
+            "size": int(size),
+            "records": int(records),
+            "offset": int(offset),
+        }
+        self._append(record)
+        self._done[chunk] = record
+
+    # ------------------------------------------------------------------ #
+    # Introspection / resume
+    # ------------------------------------------------------------------ #
+    def charged(self, chunk: int) -> bool:
+        """Whether the ledger holds a charge for ``chunk``."""
+        return int(chunk) in self._charges
+
+    def is_done(self, chunk: int) -> bool:
+        """Whether ``chunk``'s output is recorded as durable."""
+        return int(chunk) in self._done
+
+    def verify_chunk(self, chunk: int, crc: int) -> None:
+        """Check a skipped chunk's input counts against the recorded checksum.
+
+        Raises :class:`LedgerCorruptionError` when the input stream a
+        resumed run is skipping over differs from the one that was charged
+        — resuming would then splice together two unrelated streams.
+        """
+        record = self._charges.get(int(chunk))
+        if record is None or "crc" not in record:
+            return
+        if int(record["crc"]) != int(crc):
+            raise LedgerCorruptionError(
+                f"{self.path}: chunk {chunk}'s input counts differ from the "
+                "charged stream (checksum mismatch); refusing to resume "
+                "against a diverged input"
+            )
+
+    def resume_state(self) -> ResumeState:
+        """The contiguous completed prefix: where a resumed run picks up."""
+        next_chunk = 0
+        records = 0
+        offset: Optional[int] = None
+        while next_chunk in self._done:
+            record = self._done[next_chunk]
+            records = int(record["records"])
+            offset = int(record["offset"])
+            next_chunk += 1
+        return ResumeState(next_chunk=next_chunk, records=records, offset=offset)
+
+    def spent_alpha(self) -> float:
+        """The wrapped accountant's composed spend (durable by construction)."""
+        return self.accountant.spent_alpha()
+
+    def describe(self) -> str:
+        """One-line summary for CLI ``--stats`` output."""
+        return (
+            f"ledger={self.path.name} charges={len(self._charges)} "
+            f"done={len(self._done)} {self.accountant.describe()}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the log file (a no-op after an injected crash)."""
+        if self._closed or self._crashed:
+            self._closed = True
+            return
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "AccountantLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

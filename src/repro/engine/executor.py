@@ -28,18 +28,42 @@ Both disciplines charge every chunk against an optional
 over-budget chunk raises :class:`~repro.privacy.BudgetExceededError`
 without consuming a single uniform from the stream, so the refused release
 never happened in any observable sense.
+
+Crash-safety (PR 7) extends the seeded discipline in two directions:
+
+* **Durable accounting + resume** — attach an
+  :class:`~repro.engine.durability.AccountantLedger` instead of a bare
+  accountant and every charge is fsync'd to a write-ahead log before
+  sampling; :meth:`stream_durable` then skips chunks the ledger records as
+  already served (verifying the skipped input against the charged
+  checksum), re-deriving the exact per-chunk substreams, so a restarted
+  run continues byte-for-byte where the crashed one stopped — and a chunk
+  that was charged but not served is re-served without being charged
+  again.
+* **Worker retry/requeue** — a dead or hung pool worker no longer aborts
+  the fan-out: its uncharged-*output* chunks (their budget was already
+  durably spent) are requeued to a rebuilt pool with bounded retries,
+  exponential backoff and deterministic jitter derived from the chunk's
+  own substream (zero draws consumed), degrading to in-process serial
+  sampling when the pool is unrecoverable.  Because chunk substreams are
+  independent of *where* they are sampled, none of this changes a single
+  released byte — worker-count invariance extends to worker-death
+  invariance.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Union
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.engine import faults as _faults
+from repro.engine.durability import AccountantLedger, LedgerError, chunk_crc
 from repro.engine.plan import ReleasePlan
-from repro.privacy import PrivacyAccountant
+from repro.privacy import BudgetExceededError, PrivacyAccountant
 
 #: Default number of counts released per chunk.
 DEFAULT_CHUNK_SIZE = 8192
@@ -105,8 +129,22 @@ def _init_chunk_worker(mechanism) -> None:
 
 
 def _sample_chunk_task(task):
-    """Module-level worker for the seeded fan-out (picklable, as in sweep)."""
-    chunk, seed = task
+    """Module-level worker for the seeded fan-out (picklable, as in sweep).
+
+    ``task`` is ``(chunk_index, attempt, chunk, seed)``; index and attempt
+    exist only for the fault injector, so chaos tests can kill or hang the
+    worker holding a specific chunk on a specific attempt.  A retried
+    attempt samples from the *same* child seed — where a chunk is sampled
+    (which worker, which attempt) never changes what it releases.
+    """
+    index, attempt, chunk, seed = task
+    injector = _faults.get_injector()
+    if injector.should_kill_worker(index, attempt):
+        import os
+
+        os._exit(_faults.KILLED_WORKER_EXIT)
+    if injector.should_hang_worker(index, attempt):
+        time.sleep(injector.hang_seconds)
     return _WORKER_MECHANISM.sample_batch(chunk, rng=np.random.default_rng(seed))
 
 
@@ -116,6 +154,14 @@ class ExecutorStats:
 
     chunks: int = 0
     records: int = 0
+    #: Chunks skipped on resume because the ledger recorded them as served.
+    resumed_chunks: int = 0
+    resumed_records: int = 0
+    #: Chunk submissions replayed after a worker death/hang broke the pool.
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    #: Whether the run fell back to in-process sampling (pool unrecoverable).
+    degraded: bool = False
 
 
 class StreamExecutor:
@@ -145,6 +191,23 @@ class StreamExecutor:
         Worker processes for the seeded discipline (``None``/1 = in
         process).  The shared-stream discipline is inherently serial and
         rejects ``max_workers > 1``.
+    ledger:
+        Optional :class:`~repro.engine.durability.AccountantLedger` making
+        the accounting durable (mutually exclusive with ``accountant``;
+        the ledger's wrapped accountant becomes :attr:`accountant`).  Only
+        the seeded discipline supports a ledger — the shared-stream
+        discipline's draws depend on every preceding chunk, so a partial
+        run cannot be resumed without replaying it.
+    chunk_timeout:
+        Seconds to wait for one chunk's pool result before declaring the
+        worker hung and requeueing (``None`` = wait forever).
+    max_retries:
+        Resubmissions allowed per chunk after pool failures before the
+        executor gives up on the pool and degrades to in-process sampling.
+    retry_backoff:
+        Base of the exponential backoff slept before each pool rebuild;
+        the jitter factor is derived deterministically from the waiting
+        chunk's substream (consuming zero sampling draws).
     """
 
     #: Number of chunks whose uniforms the unmetered serial path draws in
@@ -162,15 +225,30 @@ class StreamExecutor:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         accountant: Optional[PrivacyAccountant] = None,
         max_workers: Optional[int] = None,
+        ledger: Optional[AccountantLedger] = None,
+        chunk_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if int(chunk_size) != chunk_size or chunk_size < 1:
             raise ValueError("chunk_size must be a positive integer")
         if max_workers is not None and int(max_workers) < 1:
             raise ValueError("max_workers must be a positive integer (or None)")
+        if ledger is not None and accountant is not None:
+            raise ValueError(
+                "pass either accountant or ledger, not both; the ledger "
+                "already wraps an accountant"
+            )
+        if int(max_retries) != max_retries or max_retries < 0:
+            raise ValueError("max_retries must be a non-negative integer")
         self.plan = plan
         self.chunk_size = int(chunk_size)
-        self.accountant = accountant
+        self.ledger = ledger
+        self.accountant = ledger.accountant if ledger is not None else accountant
         self.max_workers = None if max_workers is None else int(max_workers)
+        self.chunk_timeout = chunk_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         self.stats = ExecutorStats()
 
     # ------------------------------------------------------------------ #
@@ -204,6 +282,12 @@ class StreamExecutor:
             raise ValueError(
                 "the shared-stream discipline is serial; use stream_seeded() "
                 "for process fan-out"
+            )
+        if self.ledger is not None:
+            raise ValueError(
+                "the shared-stream discipline cannot checkpoint (every draw "
+                "depends on all preceding chunks); attach the ledger to the "
+                "seeded discipline (stream_seeded/stream_durable) instead"
             )
         rng = rng if rng is not None else np.random.default_rng()
         if self.accountant is not None:
@@ -245,7 +329,7 @@ class StreamExecutor:
         return np.concatenate(chunks)
 
     # ------------------------------------------------------------------ #
-    # Seeded substream discipline (parallel == serial)
+    # Seeded substream discipline (parallel == serial == resumed)
     # ------------------------------------------------------------------ #
     def stream_seeded(
         self,
@@ -261,52 +345,43 @@ class StreamExecutor:
         ``O(max_workers * chunk_size)``); results are yielded in input
         order.  Accountant charging happens at submission time, still
         strictly before the chunk is sampled.
+
+        Worker deaths and hangs are survived: see :meth:`stream_durable`,
+        which this method wraps (dropping the chunk indices).
         """
-        root = np.random.SeedSequence(seed)
-        chunks = iter_count_chunks(counts, self.chunk_size)
+        for _index, released in self.stream_durable(counts, seed=seed):
+            yield released
+
+    def stream_durable(
+        self,
+        counts: CountStream,
+        seed: Optional[Union[int, np.random.SeedSequence]] = None,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(chunk_index, released)`` under the seeded discipline.
+
+        The crash-safe entry point: with a ledger attached, chunks the log
+        records as served are *skipped* (after checksum-verifying their
+        input against the charged stream) and every surviving chunk is
+        durably charged before sampling — so the concatenation of this
+        run's output with the resumed prefix is byte-identical to an
+        uninterrupted run with the same seed.  ``seed`` may be an int, a
+        prebuilt :class:`~numpy.random.SeedSequence` (a resumed run passes
+        the entropy recorded in the ledger header), or ``None``.
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        tasks = self._seeded_tasks(counts, root)
         workers = self.max_workers if self.max_workers is not None else 1
         if workers <= 1:
-            for index, chunk in enumerate(chunks):
-                self._validate_chunk(chunk)
-                self._charge(index, chunk.shape[0])
-                child = root.spawn(1)[0]
-                released = self.plan.mechanism.sample_batch(
-                    chunk, rng=np.random.default_rng(child)
+            for index, chunk, child in tasks:
+                yield index, self._finish(
+                    chunk.shape[0], self._sample_local(chunk, child)
                 )
-                yield self._finish(chunk.shape[0], released)
             return
-        from concurrent.futures import ProcessPoolExecutor
-
-        window = 2 * workers
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_chunk_worker,
-            initargs=(self.plan.mechanism,),
-        ) as pool:
-            pending: "deque" = deque()
-            refusal: Optional[BaseException] = None
-            for index, chunk in enumerate(chunks):
-                try:
-                    self._validate_chunk(chunk)
-                    self._charge(index, chunk.shape[0])
-                except Exception as error:
-                    # Chunks already charged and submitted must still reach
-                    # the caller — the budget was spent on them.  Drain the
-                    # window, then re-raise the refusal.
-                    refusal = error
-                    break
-                child = root.spawn(1)[0]
-                pending.append(
-                    (chunk.shape[0], pool.submit(_sample_chunk_task, (chunk, child)))
-                )
-                if len(pending) >= window:
-                    size, future = pending.popleft()
-                    yield self._finish(size, future.result())
-            while pending:
-                size, future = pending.popleft()
-                yield self._finish(size, future.result())
-            if refusal is not None:
-                raise refusal
+        yield from self._stream_pool(tasks, workers)
 
     def run_seeded(
         self,
@@ -318,6 +393,196 @@ class StreamExecutor:
         if not chunks:
             return np.empty(0, dtype=int)
         return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------ #
+    # Seeded internals
+    # ------------------------------------------------------------------ #
+    def _seeded_tasks(
+        self, counts: CountStream, root: np.random.SeedSequence
+    ) -> Iterator[Tuple[int, np.ndarray, np.random.SeedSequence]]:
+        """Validate, charge and seed every chunk that still needs serving.
+
+        Child seeds are spawned for *every* chunk in serial order —
+        including resumed ones — so chunk ``k``'s substream is always the
+        ``k``-th spawn, exactly as in an uninterrupted run.  A refused
+        chunk raises out of the generator (after zero draws and zero
+        durable writes for that chunk).
+        """
+        for index, chunk in enumerate(iter_count_chunks(counts, self.chunk_size)):
+            child = root.spawn(1)[0]
+            if self.ledger is not None and self.ledger.is_done(index):
+                self.ledger.verify_chunk(index, chunk_crc(chunk))
+                self.stats.resumed_chunks += 1
+                self.stats.resumed_records += int(chunk.shape[0])
+                continue
+            self._validate_chunk(chunk)
+            if self.ledger is not None:
+                self.ledger.charge(
+                    index,
+                    self.plan.alpha_cost,
+                    chunk.shape[0],
+                    label=(
+                        f"{self.plan.mechanism.name} chunk {index} "
+                        f"({chunk.shape[0]} counts)"
+                    ),
+                    crc=chunk_crc(chunk),
+                )
+            else:
+                self._charge(index, chunk.shape[0])
+            yield index, chunk, child
+
+    def _sample_local(
+        self, chunk: np.ndarray, child: np.random.SeedSequence
+    ) -> np.ndarray:
+        """Sample one chunk in-process from its own substream."""
+        return self.plan.mechanism.sample_batch(
+            chunk, rng=np.random.default_rng(child)
+        )
+
+    def _stream_pool(self, tasks, workers: int) -> Iterator[Tuple[int, np.ndarray]]:
+        """Pool fan-out with bounded retry/requeue and serial degradation.
+
+        Charged chunks always reach the caller: their budget is spent (and,
+        with a ledger, durably so), so a worker death merely requeues them
+        — same chunk, same substream, attempt+1 — after an exponential
+        backoff whose jitter comes from the waiting chunk's seed (zero
+        sampling draws).  When any chunk exhausts ``max_retries`` the pool
+        is abandoned and everything still pending (plus the rest of the
+        stream) is sampled in-process, preserving output exactly.
+        """
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+        from concurrent.futures.process import BrokenProcessPool
+
+        window = 2 * workers
+        pool = self._make_pool(workers)
+        #: Pending items: [index, chunk, child, attempt, future], input order.
+        pending: "deque" = deque()
+        refusal: Optional[BaseException] = None
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and refusal is None and len(pending) < window:
+                    try:
+                        index, chunk, child = next(tasks)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    except (BudgetExceededError, ValueError, LedgerError) as error:
+                        # Chunks already charged and submitted must still
+                        # reach the caller — the budget was spent on them.
+                        # Drain the window, then re-raise the refusal.
+                        refusal = error
+                        break
+                    item = [index, chunk, child, 0, None]
+                    self._submit(pool, item)
+                    pending.append(item)
+                if not pending:
+                    break
+                head = pending[0]
+                try:
+                    result = head[4].result(timeout=self.chunk_timeout)
+                except (BrokenProcessPool, FutureTimeoutError, OSError):
+                    pool = self._requeue(pool, pending, workers)
+                    if pool is None:
+                        # Unrecoverable: drain in-process, then keep going
+                        # serially.  Same chunks, same substreams, same
+                        # bytes — just no fan-out anymore.
+                        self.stats.degraded = True
+                        while pending:
+                            index, chunk, child, _attempt, _future = pending.popleft()
+                            yield index, self._finish(
+                                chunk.shape[0], self._sample_local(chunk, child)
+                            )
+                        for index, chunk, child in tasks:
+                            yield index, self._finish(
+                                chunk.shape[0], self._sample_local(chunk, child)
+                            )
+                        if refusal is not None:
+                            raise refusal
+                        return
+                    continue
+                pending.popleft()
+                yield head[0], self._finish(head[1].shape[0], result)
+            if refusal is not None:
+                raise refusal
+        finally:
+            self._terminate_pool(pool)
+
+    def _make_pool(self, workers: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_chunk_worker,
+            initargs=(self.plan.mechanism,),
+        )
+
+    def _terminate_pool(self, pool) -> None:
+        """Tear a pool down even when some workers are dead or hung.
+
+        ``shutdown(wait=True)`` would join a hung worker forever, so kill
+        the processes first (best-effort, via the executor's private
+        process table) and then shut down without waiting.
+        """
+        if pool is None:
+            return
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue(self, pool, pending: "deque", workers: int):
+        """Rebuild the pool and resubmit everything pending; None if hopeless.
+
+        Every pending chunk's charge already happened (possibly durably),
+        so dropping one would lose paid-for output; resubmitting one with
+        a fresh generator from the same child seed changes nothing about
+        its released bytes.  Retries are bounded per chunk; backoff grows
+        exponentially with the head chunk's attempt count, jittered
+        deterministically from its seed lineage (spawn-key extension — the
+        sampling substream itself is never touched).
+        """
+        self._terminate_pool(pool)
+        head = pending[0]
+        if head[3] + 1 > self.max_retries:
+            return None
+        self.stats.pool_rebuilds += 1
+        delay = self.retry_backoff * (2 ** head[3])
+        if delay > 0:
+            jitter_source = np.random.SeedSequence(
+                entropy=head[2].entropy,
+                spawn_key=tuple(head[2].spawn_key) + (0xB0FF, head[3]),
+            )
+            jitter = jitter_source.generate_state(1, dtype=np.uint32)[0] / 2**32
+            time.sleep(delay * (0.5 + float(jitter)))
+        pool = self._make_pool(workers)
+        for item in pending:
+            item[3] += 1
+            self._submit(pool, item)
+            self.stats.requeues += 1
+        return pool
+
+    def _submit(self, pool, item) -> None:
+        """Submit one pending item, absorbing a pool that broke mid-submit.
+
+        A worker can die between our liveness checks; ``submit`` then
+        raises.  Installing the error as the item's "result" routes the
+        failure through the same head-of-queue requeue path as a death
+        detected while waiting.
+        """
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            item[4] = pool.submit(
+                _sample_chunk_task, (item[0], item[3], item[1], item[2])
+            )
+        except BrokenProcessPool as error:
+            placeholder: Future = Future()
+            placeholder.set_exception(error)
+            item[4] = placeholder
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -365,7 +630,19 @@ class StreamExecutor:
     def describe(self) -> str:
         """One-line summary for CLI ``--stats`` output."""
         spent = "" if self.accountant is None else f" {self.accountant.describe()}"
+        resumed = (
+            f" resumed_chunks={self.stats.resumed_chunks}"
+            if self.stats.resumed_chunks
+            else ""
+        )
+        recovery = (
+            f" requeues={self.stats.requeues} pool_rebuilds={self.stats.pool_rebuilds}"
+            f"{' degraded' if self.stats.degraded else ''}"
+            if self.stats.requeues or self.stats.degraded
+            else ""
+        )
         return (
             f"chunks={self.stats.chunks} records={self.stats.records} "
-            f"chunk_size={self.chunk_size}{spent} {self.plan.describe()}"
+            f"chunk_size={self.chunk_size}{resumed}{recovery}{spent} "
+            f"{self.plan.describe()}"
         )

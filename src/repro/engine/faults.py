@@ -1,0 +1,255 @@
+"""Fault injection for chaos-testing the crash-safe execution layer.
+
+A durability layer is only as good as the failures it has actually been
+tested against.  This module is the single switchboard through which the
+engine's failure-sensitive code paths — the seeded worker pool, the
+accountant ledger, the binary stream writer and the design cache's disk
+tier — ask "should I fail *here*, *now*?".  Production code pays one
+predicate call per site; tests (and the ``tests-chaos`` CI leg) turn the
+switchboard on to prove the recovery invariants under injected failure.
+
+Faults are configured either programmatically (:func:`install`,
+:func:`injected`) or through the ``REPRO_FAULTS`` environment variable, a
+comma-separated list of ``name[:arg]`` specs::
+
+    REPRO_FAULTS="kill_worker:3,io_error:0.1,torn_write"
+
+Supported faults
+----------------
+``kill_worker[:index]``
+    The pool worker sampling chunk ``index`` (default 0) calls
+    ``os._exit`` on the chunk's first attempt — a hard worker death the
+    parent observes as a broken pool.  Retried attempts survive, so the
+    requeue path is exercised end to end.
+``hang_worker[:index]``
+    Like ``kill_worker`` but the worker sleeps past any per-chunk timeout
+    instead of dying — the failure mode ``chunk_timeout`` exists for.
+``io_error[:rate]``
+    Deterministic pseudo-random ``OSError`` at I/O sites (ledger appends,
+    ``.npy`` chunk writes, design-cache stores) with the given rate
+    (default 1.0).  The decision hashes ``(site, call-counter)``, so a
+    given run fails at exactly the same calls every time.
+``torn_write[:k]``
+    The ``k``-th (default 0) *ledger* append after the header writes only
+    half its record, then raises :class:`InjectedCrash` — simulating a
+    process killed mid-``write`` with a torn tail on disk.
+``torn_npy[:k]``
+    The ``k``-th ``.npy`` chunk write flushes only half the chunk's bytes
+    before raising :class:`InjectedCrash` — a crash mid-output-write.
+``torn_cache[:k]``
+    The ``k``-th design-cache disk store crashes after writing half the
+    temp file — proving the atomic-rename path never exposes a truncated
+    entry.
+
+One-shot semantics: each ``torn_*`` spec fires exactly once per injector
+instance, and ``kill_worker``/``hang_worker`` fire only on attempt 0 of
+their chunk (``kill_attempts`` raises that for unrecoverable-pool tests).
+A crashed-and-restarted process naturally gets a fresh injector from the
+environment, which is why the chaos tests reset or re-install between the
+"crash" and the "restart" halves of a scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Environment variable holding the fault spec string.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit status an injected worker death uses (visible in pool diagnostics).
+KILLED_WORKER_EXIT = 43
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death raised by a ``torn_*`` fault.
+
+    Deliberately *not* one of the exception types the CLI or executor
+    handles: like a real ``kill -9`` it must unwind straight out of the
+    run (components set their ``_crashed`` flag first so ``finally``
+    cleanup cannot tidy up state a dead process would have left behind).
+    """
+
+
+@dataclass
+class FaultInjector:
+    """Holds the active fault specs plus per-site firing state.
+
+    All fields default to "off"; an all-default injector is a no-op and
+    is what production runs (no ``REPRO_FAULTS``) pay for: one attribute
+    check per site.
+    """
+
+    kill_worker: Optional[int] = None
+    hang_worker: Optional[int] = None
+    #: Attempts (per chunk) that die/hang; attempt numbers >= this survive.
+    kill_attempts: int = 1
+    #: Seconds a hung worker sleeps (bounded so leaked workers die on their own).
+    hang_seconds: float = 20.0
+    io_error_rate: float = 0.0
+    torn_write: Optional[int] = None
+    torn_npy: Optional[int] = None
+    torn_cache: Optional[int] = None
+    _counters: Dict[str, int] = field(default_factory=dict)
+    _fired: Dict[str, bool] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjector":
+        """Build an injector from a ``REPRO_FAULTS``-style spec string."""
+        injector = cls()
+        for entry in (spec or "").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, _, arg = entry.partition(":")
+            name = name.strip()
+            arg = arg.strip()
+            if name == "kill_worker":
+                injector.kill_worker = int(arg) if arg else 0
+            elif name == "hang_worker":
+                injector.hang_worker = int(arg) if arg else 0
+            elif name == "io_error":
+                injector.io_error_rate = float(arg) if arg else 1.0
+            elif name == "torn_write":
+                injector.torn_write = int(arg) if arg else 0
+            elif name == "torn_npy":
+                injector.torn_npy = int(arg) if arg else 0
+            elif name == "torn_cache":
+                injector.torn_cache = int(arg) if arg else 0
+            else:
+                raise ValueError(
+                    f"unknown fault {name!r} in {FAULTS_ENV} spec {spec!r} "
+                    "(known: kill_worker, hang_worker, io_error, torn_write, "
+                    "torn_npy, torn_cache)"
+                )
+        return injector
+
+    @classmethod
+    def from_env(cls) -> "FaultInjector":
+        """Parse the ``REPRO_FAULTS`` environment variable (empty = no faults)."""
+        return cls.parse(os.environ.get(FAULTS_ENV, ""))
+
+    def active(self) -> bool:
+        """Whether any fault is configured at all."""
+        return (
+            self.kill_worker is not None
+            or self.hang_worker is not None
+            or self.io_error_rate > 0.0
+            or self.torn_write is not None
+            or self.torn_npy is not None
+            or self.torn_cache is not None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Site predicates
+    # ------------------------------------------------------------------ #
+    def should_kill_worker(self, chunk_index: int, attempt: int) -> bool:
+        """Whether the worker sampling ``chunk_index`` dies on this attempt."""
+        return (
+            self.kill_worker is not None
+            and chunk_index == self.kill_worker
+            and attempt < self.kill_attempts
+        )
+
+    def should_hang_worker(self, chunk_index: int, attempt: int) -> bool:
+        """Whether the worker sampling ``chunk_index`` hangs on this attempt."""
+        return (
+            self.hang_worker is not None
+            and chunk_index == self.hang_worker
+            and attempt < self.kill_attempts
+        )
+
+    def io_error(self, site: str) -> bool:
+        """Deterministic pseudo-random I/O failure at ``site``.
+
+        Hashes ``(site, per-site call counter)`` so the same run fails at
+        exactly the same calls on every execution — reproducible chaos.
+        """
+        if self.io_error_rate <= 0.0:
+            return False
+        count = self._counters[site] = self._counters.get(site, 0) + 1
+        draw = zlib.crc32(f"{site}:{count}".encode()) / 2**32
+        return draw < self.io_error_rate
+
+    def torn(self, site: str) -> bool:
+        """Whether the current call at a ``torn_*`` site crashes mid-write.
+
+        Sites: ``ledger_append`` (``torn_write``), ``npy_write``
+        (``torn_npy``), ``cache_store`` (``torn_cache``).  Each spec fires
+        exactly once — the ``k``-th call at its site — so a restarted run
+        that replays the site does not crash again.
+        """
+        target = {
+            "ledger_append": self.torn_write,
+            "npy_write": self.torn_npy,
+            "cache_store": self.torn_cache,
+        }.get(site)
+        if target is None or self._fired.get(site):
+            if target is not None:
+                self._counters[f"torn:{site}"] = self._counters.get(f"torn:{site}", 0) + 1
+            return False
+        count = self._counters.get(f"torn:{site}", 0)
+        self._counters[f"torn:{site}"] = count + 1
+        if count == target:
+            self._fired[site] = True
+            return True
+        return False
+
+
+#: The process-global injector; ``None`` until first use (lazy env parse).
+_INJECTOR: Optional[FaultInjector] = None
+
+
+def get_injector() -> FaultInjector:
+    """The active global injector (parsed from ``REPRO_FAULTS`` on first use).
+
+    Worker processes forked by the seeded pool inherit the parent's
+    installed injector; spawned workers re-parse the environment, which
+    carries the same spec.
+    """
+    global _INJECTOR
+    if _INJECTOR is None:
+        _INJECTOR = FaultInjector.from_env()
+    return _INJECTOR
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Install an injector as the process-global one (returns it)."""
+    global _INJECTOR
+    _INJECTOR = injector
+    return _INJECTOR
+
+
+def reset() -> None:
+    """Drop the global injector; the next :func:`get_injector` re-reads the env."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+class injected:
+    """Context manager installing an injector (or spec string) temporarily.
+
+    >>> from repro.engine import faults
+    >>> with faults.injected("io_error:0.0"):
+    ...     pass
+    """
+
+    def __init__(self, spec) -> None:
+        self.injector = (
+            spec if isinstance(spec, FaultInjector) else FaultInjector.parse(spec)
+        )
+
+    def __enter__(self) -> FaultInjector:
+        global _INJECTOR
+        self._previous = _INJECTOR
+        _INJECTOR = self.injector
+        return self.injector
+
+    def __exit__(self, *exc_info) -> None:
+        global _INJECTOR
+        _INJECTOR = self._previous

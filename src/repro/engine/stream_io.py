@@ -19,14 +19,28 @@ The binary path releases byte-identical counts to the text path for the
 same seed: both feed the same integers through the same executor
 discipline; only the serialization differs.  The round trip is pinned by
 the CLI test-suite.
+
+Crash-safe resume (PR 7): the layout — a fixed 128-byte header followed by
+``records`` little-endian int64 values — makes a partial file trivially
+resumable.  ``NpyCountWriter(path, resume_records=k)`` truncates the file
+to the ledger's last durable checkpoint (``128 + 8k`` bytes, discarding
+any bytes a crash landed past it) and appends from there; :meth:`sync`
+fsyncs so the checkpoint offset recorded in the ledger never runs ahead of
+the bytes actually on disk.  The fault injector can tear a chunk write in
+half (``REPRO_FAULTS=torn_npy``), after which the writer plays dead:
+:meth:`close` refuses to back-patch the header, exactly as a killed
+process would have left it.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
+
+from repro.engine import faults as _faults
 
 #: Total size of the back-patchable ``.npy`` header written by
 #: :class:`NpyCountWriter`: magic (6) + version (2) + header length (2) +
@@ -84,14 +98,43 @@ class NpyCountWriter:
     at close, so the file on disk is loadable at every point after the
     first flush — a crash or budget refusal yields the prefix that was
     actually released, never a corrupt artifact.
+
+    Pass ``resume_records`` to reopen a partial file at a known-good
+    checkpoint: the file is truncated to exactly that many values (payload
+    bytes past the checkpoint — a torn chunk from the crashed run — are
+    discarded) and subsequent writes append after them.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self, path: Union[str, Path], resume_records: Optional[int] = None
+    ) -> None:
         self.path = Path(path)
-        self._handle = self.path.open("wb")
-        self._handle.write(_header_bytes(0))
-        self.records = 0
         self._closed = False
+        self._crashed = False
+        if resume_records is None:
+            self._handle = self.path.open("wb")
+            self._handle.write(_header_bytes(0))
+            self.records = 0
+            return
+        resume_records = int(resume_records)
+        if resume_records < 0:
+            raise ValueError("resume_records must be non-negative")
+        keep = _HEADER_TOTAL + resume_records * COUNT_DTYPE.itemsize
+        if not self.path.exists() or self.path.stat().st_size < keep:
+            raise ValueError(
+                f"{self.path}: cannot resume at {resume_records} records — the "
+                f"file holds fewer bytes than the checkpoint ({keep}); the "
+                "output does not match the ledger"
+            )
+        self._handle = self.path.open("r+b")
+        self._handle.truncate(keep)
+        self._handle.seek(keep)
+        self.records = resume_records
+
+    @property
+    def offset(self) -> int:
+        """Byte offset after the last fully written chunk (checkpoint value)."""
+        return _HEADER_TOTAL + self.records * COUNT_DTYPE.itemsize
 
     def write(self, chunk: np.ndarray) -> None:
         """Append one chunk of released counts (any integer dtype)."""
@@ -100,12 +143,40 @@ class NpyCountWriter:
         values = np.ascontiguousarray(chunk, dtype=COUNT_DTYPE)
         if values.ndim != 1:
             raise ValueError("released chunks must be 1-D")
+        injector = _faults.get_injector()
+        if injector.io_error("npy_write"):
+            raise OSError(f"injected I/O error writing to {self.path}")
+        if injector.torn("npy_write"):
+            # Crash mid-chunk: half the payload reaches the disk and the
+            # process dies — records stays at the last full chunk, and
+            # close() must not back-patch for a corpse.
+            blob = values.tobytes()
+            self._handle.write(blob[: max(1, len(blob) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._crashed = True
+            raise _faults.InjectedCrash(f"torn .npy write injected at {self.path}")
         self._handle.write(values.tobytes())
         self.records += int(values.shape[0])
 
+    def sync(self) -> None:
+        """Flush and fsync the payload written so far (checkpoint barrier).
+
+        Called before the ledger records a chunk as done, so the durable
+        checkpoint never claims bytes the page cache could still lose.
+        """
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
     def close(self) -> None:
-        """Back-patch the header with the final count and close the file."""
-        if self._closed:
+        """Back-patch the header with the final count and close the file.
+
+        After an injected crash this is a no-op: a dead process would
+        never have reached the back-patch, and the resume path must see
+        the file exactly as the crash left it.
+        """
+        if self._closed or self._crashed:
+            self._closed = True
             return
         self._handle.flush()
         self._handle.seek(0)

@@ -27,8 +27,11 @@ import math
 
 
 def _check_alpha(alpha: float) -> float:
-    if not (0.0 < alpha <= 1.0):
-        raise ValueError("alpha must lie in (0, 1] for composition")
+    # The interval test already excludes NaN (all comparisons false) and
+    # ±inf, but spell the finiteness check out so the rejection of a
+    # poisoned alpha is a contract, not a side effect of comparison rules.
+    if not math.isfinite(alpha) or not (0.0 < alpha <= 1.0):
+        raise ValueError("alpha must be a finite value in (0, 1] for composition")
     return float(alpha)
 
 

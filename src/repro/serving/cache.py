@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -77,6 +78,9 @@ class CacheStats:
     evictions: int
     disk_hits: int
     size: int
+    #: Disk-tier stores that failed (I/O error) and were swallowed; the
+    #: in-memory tier keeps serving, so these are observability, not errors.
+    disk_errors: int = 0
 
     @property
     def requests(self) -> int:
@@ -120,6 +124,7 @@ class DesignCache:
         self._misses = 0
         self._evictions = 0
         self._disk_hits = 0
+        self._disk_errors = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -138,6 +143,7 @@ class DesignCache:
             evictions=self._evictions,
             disk_hits=self._disk_hits,
             size=len(self._entries),
+            disk_errors=self._disk_errors,
         )
 
     def clear(self, disk: bool = False) -> None:
@@ -261,11 +267,47 @@ class DesignCache:
             pass
 
     def _store_to_disk(self, key: str, entry: Dict[str, Any]) -> None:
+        """Mirror one entry to disk atomically (temp file + ``os.replace``).
+
+        A crash mid-write must never leave a truncated entry at the final
+        path: the payload goes to a same-directory temp file first and is
+        renamed over the target only once fully written, so readers see
+        either the old entry, the new entry, or nothing — never half a
+        file.  Disk-tier failures (I/O errors, full disk) are counted and
+        swallowed: the cache result itself is already in memory, and a
+        cache that cannot persist must not fail the design it memoises.
+        """
         path = self._disk_path(key)
         if path is None:
             return
+        from repro.engine import faults as _faults
+
+        injector = _faults.get_injector()
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(entry))
+        temp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        payload = json.dumps(entry)
+        try:
+            if injector.io_error("cache_store"):
+                raise OSError(f"injected I/O error storing {path}")
+            with temp.open("w") as handle:
+                if injector.torn("cache_store"):
+                    # Crash mid-write: half the payload lands in the temp
+                    # file and the process dies — the final path is never
+                    # touched, so a restart sees a clean miss.
+                    handle.write(payload[: max(1, len(payload) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise _faults.InjectedCrash(f"torn cache store injected at {temp}")
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+        except OSError:
+            self._disk_errors += 1
+            try:
+                temp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def _decision_to_dict(decision: SelectorDecision) -> Dict[str, Any]:

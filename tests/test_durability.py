@@ -1,0 +1,303 @@
+"""Durable-accountant ledger tests: WAL format, recovery, idempotence, resume.
+
+The ledger's contract is exact: a reopened ledger reconstructs *precisely*
+the accountant state an uninterrupted run would hold — torn tails (the
+signature of a crash mid-``write``) are truncated silently because they
+never took effect anywhere, while complete-but-wrong records (checksum or
+replay failures — tampering or bitrot, not crashes) are refused loudly.
+``charge`` is idempotent by chunk index so a resumed schedule can replay
+itself without double-spending, and ``resume_state`` exposes the
+contiguous done prefix a restarted ``serve-stream`` picks up from.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.engine import faults
+from repro.engine.durability import (
+    AccountantLedger,
+    LedgerConfigError,
+    LedgerCorruptionError,
+    LedgerError,
+    ResumeState,
+    chunk_crc,
+)
+from repro.privacy import BudgetExceededError, PrivacyAccountant
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Keep these tests deterministic even under a REPRO_FAULTS sweep."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestLedgerLifecycle:
+    def test_fresh_ledger_requires_alpha_target(self, tmp_path):
+        with pytest.raises(LedgerError, match="alpha_target"):
+            AccountantLedger.open(tmp_path / "ledger.bin")
+
+    def test_charge_and_reopen_reconciles_spent_alpha(self, tmp_path):
+        path = tmp_path / "ledger.bin"
+        reference = PrivacyAccountant(alpha_target=0.5)
+        with AccountantLedger.open(path, alpha_target=0.5) as ledger:
+            for chunk in range(4):
+                assert ledger.charge(chunk, 0.9, 64, label=f"chunk {chunk}")
+                reference.record(0.9, label=f"chunk {chunk}")
+        with AccountantLedger.open(path) as reopened:
+            assert reopened.spent_alpha() == reference.spent_alpha()
+            assert reopened.accountant.alpha_target == 0.5
+            assert all(reopened.charged(c) for c in range(4))
+            assert not reopened.charged(4)
+            # The restarted accountant refuses exactly what the
+            # uninterrupted one would.
+            assert reopened.accountant.can_release(0.9) == reference.can_release(0.9)
+
+    def test_refused_charge_leaves_no_durable_trace(self, tmp_path):
+        path = tmp_path / "ledger.bin"
+        with AccountantLedger.open(path, alpha_target=0.8) as ledger:
+            assert ledger.charge(0, 0.9, 10)
+            size_after_first = path.stat().st_size
+            with pytest.raises(BudgetExceededError):
+                ledger.charge(1, 0.5, 10)
+            assert path.stat().st_size == size_after_first
+        with AccountantLedger.open(path) as reopened:
+            assert reopened.spent_alpha() == pytest.approx(0.9)
+            assert not reopened.charged(1)
+
+    def test_invalid_alpha_refused_like_charge_release(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            for bad in (0.0, -0.1, float("nan"), float("inf"), 1.5):
+                with pytest.raises(BudgetExceededError):
+                    ledger.charge(0, bad, 10)
+            assert not ledger.charged(0)
+
+    def test_config_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.bin"
+        config = {"n": 8, "chunk_size": 16, "entropy": 987654321}
+        AccountantLedger.open(path, alpha_target=0.5, config=config).close()
+        with AccountantLedger.open(path, config={"n": 8, "chunk_size": 16}) as ledger:
+            # Omitted keys (entropy) are not compared but are readable back.
+            assert ledger.config["entropy"] == 987654321
+
+
+class TestChargeIdempotence:
+    def test_replayed_charge_is_detected_not_double_counted(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            assert ledger.charge(0, 0.9, 32, crc=7) is True
+            assert ledger.charge(0, 0.9, 32, crc=7) is False
+            assert ledger.spent_alpha() == pytest.approx(0.9)
+
+    def test_replay_survives_reopen(self, tmp_path):
+        path = tmp_path / "l.bin"
+        with AccountantLedger.open(path, alpha_target=0.5) as ledger:
+            ledger.charge(0, 0.9, 32, crc=7)
+        with AccountantLedger.open(path) as reopened:
+            assert reopened.charge(0, 0.9, 32, crc=7) is False
+            assert reopened.spent_alpha() == pytest.approx(0.9)
+
+    def test_mismatched_replay_is_corruption(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            ledger.charge(0, 0.9, 32, crc=7)
+            with pytest.raises(LedgerCorruptionError, match="does not match"):
+                ledger.charge(0, 0.8, 32, crc=7)
+            with pytest.raises(LedgerCorruptionError):
+                ledger.charge(0, 0.9, 64, crc=7)
+            with pytest.raises(LedgerCorruptionError):
+                ledger.charge(0, 0.9, 32, crc=8)
+
+    def test_verify_chunk_detects_diverged_input(self, tmp_path):
+        counts = np.arange(10)
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            ledger.charge(0, 0.9, 10, crc=chunk_crc(counts))
+            ledger.verify_chunk(0, chunk_crc(counts))  # matches: no error
+            with pytest.raises(LedgerCorruptionError, match="diverged"):
+                ledger.verify_chunk(0, chunk_crc(counts + 1))
+
+
+class TestRecovery:
+    def _ledger_with_charges(self, path, chunks=3):
+        ledger = AccountantLedger.open(path, alpha_target=0.5, config={"k": 1})
+        for chunk in range(chunks):
+            ledger.charge(chunk, 0.95, 16, label=f"chunk {chunk}")
+        ledger.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "l.bin"
+        self._ledger_with_charges(path)
+        intact = path.stat().st_size
+        # A crash mid-append leaves a prefix of a record: simulate by
+        # appending a record head plus half a payload.
+        with path.open("ab") as handle:
+            payload = b'{"type": "charge"}'
+            handle.write(struct.pack("<II", len(payload), zlib.crc32(payload)))
+            handle.write(payload[: len(payload) // 2])
+        with AccountantLedger.open(path) as recovered:
+            assert recovered.spent_alpha() == pytest.approx(0.95**3)
+        assert path.stat().st_size == intact  # tail durably truncated
+
+    def test_torn_head_is_truncated(self, tmp_path):
+        path = tmp_path / "l.bin"
+        self._ledger_with_charges(path)
+        with path.open("ab") as handle:
+            handle.write(b"\x05\x00")  # 2 of the 8 head bytes
+        with AccountantLedger.open(path) as recovered:
+            assert recovered.spent_alpha() == pytest.approx(0.95**3)
+
+    def test_injected_torn_write_recovers_to_consistent_state(self, tmp_path):
+        path = tmp_path / "l.bin"
+        ledger = AccountantLedger.open(path, alpha_target=0.5)
+        ledger.charge(0, 0.95, 16)
+        with faults.injected("torn_write:0"):
+            with pytest.raises(faults.InjectedCrash):
+                ledger.charge(1, 0.95, 16)
+        # The torn charge never happened: recovery truncates it away.
+        with AccountantLedger.open(path) as recovered:
+            assert recovered.spent_alpha() == pytest.approx(0.95)
+            assert recovered.charged(0) and not recovered.charged(1)
+            # The recovered ledger keeps working.
+            assert recovered.charge(1, 0.95, 16)
+
+    def test_corrupt_record_is_refused_loudly(self, tmp_path):
+        path = tmp_path / "l.bin"
+        self._ledger_with_charges(path)
+        blob = bytearray(path.read_bytes())
+        blob[blob.find(b'"label"')] ^= 0xFF  # flip one byte inside a payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(LedgerCorruptionError, match="checksum"):
+            AccountantLedger.open(path)
+
+    def test_insane_length_field_is_corruption(self, tmp_path):
+        path = tmp_path / "l.bin"
+        self._ledger_with_charges(path)
+        with path.open("ab") as handle:
+            handle.write(struct.pack("<II", 1 << 30, 0))
+        with pytest.raises(LedgerCorruptionError, match="payload bytes"):
+            AccountantLedger.open(path)
+
+    def test_io_error_injection_fails_the_append(self, tmp_path):
+        ledger = AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5)
+        with faults.injected("io_error:1.0"):
+            with pytest.raises(OSError, match="injected"):
+                ledger.charge(0, 0.9, 8)
+        # Failed append -> no charge, durable or in-memory.
+        assert not ledger.charged(0)
+        assert ledger.spent_alpha() == 1.0
+        assert ledger.charge(0, 0.9, 8)
+        ledger.close()
+
+    def test_config_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "l.bin"
+        AccountantLedger.open(path, alpha_target=0.5, config={"n": 8}).close()
+        with pytest.raises(LedgerConfigError, match="n=8"):
+            AccountantLedger.open(path, config={"n": 16})
+        with pytest.raises(LedgerConfigError, match="budget"):
+            AccountantLedger.open(path, alpha_target=0.25)
+
+    def test_crash_before_header_restarts_clean(self, tmp_path):
+        path = tmp_path / "l.bin"
+        path.write_bytes(b"\x10\x00")  # torn header write, nothing committed
+        with AccountantLedger.open(path, alpha_target=0.5, config={"n": 4}) as ledger:
+            assert ledger.spent_alpha() == 1.0
+            assert ledger.config == {"n": 4}
+
+
+class TestResumeState:
+    def test_empty_ledger_resumes_from_zero(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            assert ledger.resume_state() == ResumeState(0, 0, None)
+
+    def test_contiguous_done_prefix(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            for chunk in range(3):
+                ledger.charge(chunk, 0.95, 16)
+            ledger.mark_done(0, 16, 16, 256)
+            ledger.mark_done(1, 16, 32, 384)
+            # Chunk 2 charged but never served: the crash window.
+            state = ledger.resume_state()
+            assert state == ResumeState(next_chunk=2, records=32, offset=384)
+            assert ledger.is_done(1) and not ledger.is_done(2)
+
+    def test_out_of_order_done_stops_at_the_gap(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            for chunk in range(3):
+                ledger.charge(chunk, 0.95, 16)
+            ledger.mark_done(0, 16, 16, 256)
+            ledger.mark_done(2, 16, 48, 512)
+            assert ledger.resume_state().next_chunk == 1
+
+    def test_done_requires_charge(self, tmp_path):
+        with AccountantLedger.open(tmp_path / "l.bin", alpha_target=0.5) as ledger:
+            with pytest.raises(LedgerError, match="before it is charged"):
+                ledger.mark_done(0, 16, 16, 256)
+
+    def test_done_survives_reopen(self, tmp_path):
+        path = tmp_path / "l.bin"
+        with AccountantLedger.open(path, alpha_target=0.5) as ledger:
+            ledger.charge(0, 0.95, 16)
+            ledger.mark_done(0, 16, 16, 256)
+        with AccountantLedger.open(path) as reopened:
+            assert reopened.resume_state() == ResumeState(1, 16, 256)
+
+    def test_done_without_charge_in_log_is_corruption(self, tmp_path):
+        path = tmp_path / "l.bin"
+        AccountantLedger.open(path, alpha_target=0.5).close()
+        payload = b'{"type": "done", "chunk": 0, "size": 1, "records": 1, "offset": 136}'
+        with path.open("ab") as handle:
+            handle.write(struct.pack("<II", len(payload), zlib.crc32(payload)))
+            handle.write(payload)
+        with pytest.raises(LedgerCorruptionError, match="never charged"):
+            AccountantLedger.open(path)
+
+
+class TestAccountantFloatEdges:
+    """Satellite: float-edge behavior of the accountant the ledger wraps."""
+
+    def test_charge_within_one_ulp_of_remaining_budget(self):
+        accountant = PrivacyAccountant(alpha_target=0.25)
+        accountant.record(0.5)
+        exact = 0.25 / accountant.spent_alpha()
+        one_ulp_under = math.nextafter(exact, 0.0)
+        assert accountant.can_release(exact)
+        # One ulp under the exact remainder is within the 1e-15 tolerance:
+        # float rounding must not refuse a mathematically affordable release.
+        assert accountant.can_release(one_ulp_under)
+        accountant.record(one_ulp_under)
+        # ... but a materially over-budget alpha still gets refused.
+        with pytest.raises(BudgetExceededError):
+            accountant.record(1.0 - 1e-9)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf"), 0.0, -0.5, 1.0 + 1e-9]
+    )
+    def test_non_finite_and_out_of_range_alphas_rejected(self, bad):
+        accountant = PrivacyAccountant(alpha_target=0.5)
+        with pytest.raises(ValueError):
+            accountant.record(bad)
+        with pytest.raises(ValueError):
+            accountant.can_release(bad)
+        assert accountant.spent_alpha() == 1.0
+
+    def test_nan_target_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(alpha_target=float("nan"))
+
+    def test_ledger_replay_preserves_ulp_exact_spend(self, tmp_path):
+        path = tmp_path / "l.bin"
+        alphas = [0.9, 0.8071, 0.999999999]
+        with AccountantLedger.open(path, alpha_target=0.25) as ledger:
+            for index, alpha in enumerate(alphas):
+                ledger.charge(index, alpha, 8)
+            spent = ledger.spent_alpha()
+        with AccountantLedger.open(path) as reopened:
+            # Bit-exact, not approx: replay composes the same floats in the
+            # same order.
+            assert reopened.spent_alpha() == spent
