@@ -1,0 +1,30 @@
+"""Side-channel for benchmark cases to attach structured metrics.
+
+The perf-trajectory recorder in ``conftest.py`` captures wall time and
+memory passively, but some suites measure quantities pytest cannot see —
+requests/sec and latency percentiles from the daemon's closed-loop harness,
+for instance.  A case calls :func:`record_case_metrics` with its own name
+and the recorder merges the values into the case's entry in
+``BENCH_<suite>.json`` under a ``"metrics"`` key, where
+``scripts/check_bench_regression.py`` gates the ones it understands
+(``req_per_s`` higher-is-better, ``p50_ms``/``p99_ms`` lower-is-better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Pending metrics keyed by case name (the part of the nodeid after ``::``).
+_EXTRA: Dict[str, Dict[str, float]] = {}
+
+
+def record_case_metrics(case: str, **metrics: float) -> None:
+    """Attach numeric metrics to ``case``'s record in the suite artifact."""
+    _EXTRA.setdefault(case, {}).update(
+        {key: round(float(value), 6) for key, value in metrics.items()}
+    )
+
+
+def pop_case_metrics(case: str) -> Dict[str, float]:
+    """Drain the pending metrics for one case (used by the recorder)."""
+    return _EXTRA.pop(case, {})

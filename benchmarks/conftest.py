@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _metrics import pop_case_metrics
 from _tiny import TINY
 
 #: Version of the BENCH_*.json schema (bump on incompatible changes).
@@ -121,6 +122,12 @@ def pytest_runtest_logreport(report):
             "max_rss_mb": _max_rss_mb(),
             "outcome": report.outcome,
         }
+        # Structured metrics the case measured itself (req/s, latency
+        # percentiles, ...) ride along under a "metrics" key; see
+        # benchmarks/_metrics.py.
+        extra = pop_case_metrics(case)
+        if extra:
+            cases[case]["metrics"] = extra
     elif report.when == "setup" and report.outcome in ("skipped", "failed"):
         # Skipped (or setup-errored) cases never reach the call phase but
         # must still appear in the artifact, so coverage loss is visible to

@@ -11,7 +11,16 @@ reference run and fails CI when the trajectory degrades:
 * a baselined case is missing from the artifact, failed, or silently
   became a skip (coverage loss),
 * a case that was substantial in the baseline (``--min-seconds``) got more
-  than ``--max-ratio`` times slower.
+  than ``--max-ratio`` times slower,
+* a structured case metric (recorded via ``benchmarks/_metrics.py`` under
+  the case's ``"metrics"`` key) regressed: ``req_per_s`` is
+  higher-is-better and gated whenever baselined; ``p50_ms``/``p99_ms`` are
+  lower-is-better and gated when the baseline latency clears
+  ``--min-latency-ms`` (sub-millisecond percentiles on shared runners are
+  noise).  Metrics use their own ``--metric-max-ratio`` (looser than the
+  wall-clock gate: a percentile from a short closed-loop run is a noisier
+  estimator than an aggregate duration).  A baselined metric that
+  vanishes from the artifact fails, like a vanished case.
 
 Structure and outcome are gated unconditionally; wall-clock ratios only
 for cases whose baseline duration clears ``--min-seconds``, because
@@ -36,6 +45,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Structured case metrics the gate understands and their better-direction.
+METRIC_GATES = {
+    "req_per_s": "higher",
+    "p50_ms": "lower",
+    "p99_ms": "lower",
+}
+
 
 def load_bench(path: Path) -> dict:
     payload = json.loads(path.read_text())
@@ -45,12 +61,55 @@ def load_bench(path: Path) -> dict:
     return payload
 
 
+def compare_metrics(
+    suite: str,
+    case: str,
+    base_metrics: dict,
+    new_metrics: dict,
+    *,
+    max_ratio: float,
+    min_latency_ms: float,
+) -> tuple[list[str], list[str]]:
+    """Gate one case's structured metrics (req/s up, latency down)."""
+    failures: list[str] = []
+    notes: list[str] = []
+    for name in sorted(set(base_metrics) & set(METRIC_GATES)):
+        direction = METRIC_GATES[name]
+        if name not in new_metrics:
+            failures.append(
+                f"{suite}::{case}: baselined metric {name!r} missing from artifact"
+            )
+            continue
+        base_value = float(base_metrics[name])
+        value = float(new_metrics[name])
+        if direction == "lower":
+            if base_value < min_latency_ms:
+                continue  # sub-threshold latencies are runner noise
+            ratio = value / base_value if base_value > 0 else float("inf")
+            detail = f"{value:.3f}ms vs baseline {base_value:.3f}ms"
+        else:
+            ratio = base_value / value if value > 0 else float("inf")
+            detail = f"{value:.1f}/s vs baseline {base_value:.1f}/s"
+        if ratio > max_ratio:
+            failures.append(
+                f"{suite}::{case}: {name} regressed — {detail} "
+                f"({ratio:.2f}x > {max_ratio:.2f}x)"
+            )
+        elif ratio > 1.0:
+            notes.append(
+                f"{suite}::{case}: {name} {detail} ({ratio:.2f}x, within gate)"
+            )
+    return failures, notes
+
+
 def compare_suite(
     baseline: dict,
     artifact: dict,
     *,
     max_ratio: float,
     min_seconds: float,
+    min_latency_ms: float = 2.0,
+    metric_max_ratio: float = 4.0,
 ) -> tuple[list[str], list[str]]:
     """Return (failures, notes) for one suite's baseline/artifact pair."""
     failures: list[str] = []
@@ -89,6 +148,16 @@ def compare_suite(
             continue
         if base["outcome"] != "passed" or current["outcome"] != "passed":
             continue
+        metric_failures, metric_notes = compare_metrics(
+            suite,
+            case,
+            base.get("metrics", {}),
+            current.get("metrics", {}),
+            max_ratio=metric_max_ratio,
+            min_latency_ms=min_latency_ms,
+        )
+        failures.extend(metric_failures)
+        notes.extend(metric_notes)
         base_wall = float(base["wall_s"])
         wall = float(current["wall_s"])
         if base_wall < min_seconds:
@@ -137,6 +206,21 @@ def main(argv=None) -> int:
         help="only gate wall time for cases whose baseline took at least this long",
     )
     parser.add_argument(
+        "--min-latency-ms",
+        type=float,
+        default=2.0,
+        help="only gate p50/p99 latency metrics whose baseline is at least "
+             "this many milliseconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--metric-max-ratio",
+        type=float,
+        default=4.0,
+        help="fail when a gated case metric (req/s, p50/p99) is more than "
+             "this factor worse (default 4.0 — looser than --max-ratio "
+             "because short-run percentiles are noisier than durations)",
+    )
+    parser.add_argument(
         "--suites",
         nargs="*",
         default=None,
@@ -171,6 +255,8 @@ def main(argv=None) -> int:
             load_bench(artifact_path),
             max_ratio=args.max_ratio,
             min_seconds=args.min_seconds,
+            min_latency_ms=args.min_latency_ms,
+            metric_max_ratio=args.metric_max_ratio,
         )
         failures.extend(suite_failures)
         notes.extend(suite_notes)

@@ -33,6 +33,13 @@ The CLI covers the operations a practitioner needs without writing Python:
     enforcement (refusing an over-budget chunk before sampling it) and
     optional ``--max-workers`` process fan-out.
 
+``repro-mechanisms serve``
+    The long-lived multi-tenant daemon: per-tenant privacy budgets over one
+    shared design cache, with a coalescing batcher that merges same-plan
+    requests from different tenants into single vectorised draws
+    (bit-identical to per-request serving).  Speaks line-delimited JSON
+    over TCP or a unix socket; see :mod:`repro.serving.daemon`.
+
 ``repro-mechanisms experiments``
     Thin wrapper around :mod:`repro.experiments.runner`.
 
@@ -163,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write results to this file instead of stdout")
     serve.add_argument("--stats", action="store_true",
                        help="print cache/solver/budget statistics after serving")
+    serve.add_argument("--stats-json", action="store_true",
+                       help="emit one machine-readable JSON statistics object "
+                            "to stderr after serving (alpha spent/remaining, "
+                            "refusals, cache hit rate, plans compiled — the "
+                            "same schema the daemon's 'stats' op returns)")
 
     stream = subparsers.add_parser(
         "serve-stream",
@@ -227,6 +239,55 @@ def build_parser() -> argparse.ArgumentParser:
                              "counts of the same seed are identical either way")
     stream.add_argument("--stats", action="store_true",
                         help="print plan/executor/budget statistics after serving")
+    stream.add_argument("--stats-json", action="store_true",
+                        help="emit one machine-readable JSON statistics object "
+                             "to stderr after serving (same schema as "
+                             "serve-batch --stats-json and the daemon)")
+
+    daemon = subparsers.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant serving daemon (request coalescing)",
+        epilog="protocol: line-delimited JSON over TCP or a unix socket; "
+               "response codes mirror serve-stream exit statuses (0 served, "
+               "1 refused over budget — nothing drawn, 2 error). See "
+               "examples/daemon_client.py for a complete client.",
+    )
+    daemon.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    daemon.add_argument("--port", type=int, default=None,
+                        help="TCP port (0 or omitted = pick a free port; the "
+                             "bound address is printed on startup)")
+    daemon.add_argument("--unix-socket", type=Path, default=None,
+                        help="serve on a unix socket at this path instead of TCP")
+    daemon.add_argument("--max-tenants", type=int, default=64,
+                        help="refuse hello for new tenants beyond this many sessions")
+    daemon.add_argument("--batch-window-ms", type=float, default=2.0,
+                        help="coalescing window: hold the first pending request "
+                             "this long to merge same-plan requests from other "
+                             "tenants into one draw (0 = serve each request "
+                             "immediately; outputs are bit-identical either way)")
+    daemon.add_argument("--max-batch", type=int, default=256,
+                        help="flush the batcher once this many requests are pending")
+    daemon.add_argument("--budget-alpha", type=float, default=None,
+                        help="default per-tenant privacy budget: each new tenant "
+                             "gets its own accountant with this target (a "
+                             "tenant's hello may override); over-budget requests "
+                             "are shed from the batch with a code-1 refusal, "
+                             "never blocking other tenants")
+    daemon.add_argument("--seed", type=int, default=None,
+                        help="server seed: fixes every tenant's substream root "
+                             "(absent per-tenant hello seeds) so a whole "
+                             "serving run is reproducible")
+    daemon.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the on-disk design cache (shared across runs)")
+    daemon.add_argument("--cache-size", type=int, default=128,
+                        help="in-memory LRU capacity of the shared design cache "
+                             "(also bounds the compiled-plans LRU)")
+    daemon.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    daemon.add_argument("--stats", action="store_true",
+                        help="print serving statistics on shutdown")
+    daemon.add_argument("--stats-json", action="store_true",
+                        help="emit the machine-readable JSON statistics object "
+                             "to stderr on shutdown")
 
     experiments = subparsers.add_parser(
         "experiments", help="run the paper-figure reproduction experiments"
@@ -372,12 +433,14 @@ def _parse_request_rows(path: Path) -> List["ReleaseRequest"]:
 
 
 def _command_serve_batch(args: argparse.Namespace) -> int:
+    from repro.engine.plan import ReleasePlan
     from repro.lp.solver import solve_call_count
     from repro.privacy import BudgetExceededError
     from repro.serving import BatchReleaseSession, DesignCache
 
     solves_before = solve_call_count()
     densifications_before = Mechanism.densifications
+    compilations_before = ReleasePlan.compilations
     cache = DesignCache(capacity=args.cache_size, directory=args.cache_dir)
     rng = np.random.default_rng(args.seed)
     session = BatchReleaseSession(
@@ -434,6 +497,29 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         print(f"serve-batch: {session.describe()} "
               f"lp_solves={solve_call_count() - solves_before} "
               f"densifications={Mechanism.densifications - densifications_before}")
+    if args.stats_json:
+        # Stderr, like serve-stream's --stats: the released counts (or the
+        # summary line) own stdout, and a machine consumer wants the JSON
+        # object on its own clean channel.
+        from repro.serving.stats import stats_payload
+
+        print(
+            json.dumps(
+                stats_payload(
+                    "serve-batch",
+                    records=session.stats.records,
+                    batches=session.stats.batches,
+                    distinct_designs=session.stats.distinct_designs,
+                    cache=cache.stats(),
+                    accountant=session.accountant,
+                    budget_refusals=session.stats.budget_refusals,
+                    lp_solves=solve_call_count() - solves_before,
+                    plans_compiled=ReleasePlan.compilations - compilations_before,
+                    densifications=Mechanism.densifications - densifications_before,
+                )
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -681,7 +767,81 @@ def _command_serve_stream(args: argparse.Namespace) -> int:
               f"lp_solves={solve_call_count() - solves_before} "
               f"densifications={Mechanism.densifications - densifications_before}",
               file=sys.stderr)
+    if args.stats_json:
+        from repro.serving.stats import stats_payload
+
+        print(
+            json.dumps(
+                stats_payload(
+                    "serve-stream",
+                    records=served,
+                    chunks=executor.stats.chunks,
+                    resumed_chunks=executor.stats.resumed_chunks,
+                    cache=cache.stats(),
+                    accountant=executor.accountant,
+                    budget_refusals=1 if status == 1 else 0,
+                    lp_solves=solve_call_count() - solves_before,
+                    plans_compiled=1,
+                    densifications=Mechanism.densifications - densifications_before,
+                )
+            ),
+            file=sys.stderr,
+        )
     return status
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serving.daemon import ServingDaemon
+
+    if args.batch_window_ms < 0:
+        raise SystemExit("--batch-window-ms must be non-negative")
+    if args.max_batch < 1:
+        raise SystemExit("--max-batch must be positive")
+    if args.max_tenants < 1:
+        raise SystemExit("--max-tenants must be positive")
+
+    async def _serve() -> ServingDaemon:
+        daemon = ServingDaemon(
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_tenants=args.max_tenants,
+            budget_alpha=args.budget_alpha,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            cache_size=args.cache_size,
+            backend=args.backend,
+        )
+        await daemon.start(
+            host=args.host, port=args.port, unix_path=args.unix_socket
+        )
+        # The bound address line is the startup handshake: with --port 0 a
+        # harness parses the picked port from it, so flush immediately.
+        print(f"serving on {daemon.address}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(daemon.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loop: rely on the shutdown op
+        await daemon.wait_closed()
+        return daemon
+
+    daemon = asyncio.run(_serve())
+    if args.unix_socket is not None:
+        try:
+            Path(args.unix_socket).unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    if args.stats:
+        print(f"serve: {daemon.describe()}")
+    if args.stats_json:
+        print(json.dumps(daemon.stats_payload()), file=sys.stderr)
+    return 0
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
@@ -697,6 +857,7 @@ _COMMANDS = {
     "release": _command_release,
     "serve-batch": _command_serve_batch,
     "serve-stream": _command_serve_stream,
+    "serve": _command_serve,
     "experiments": _command_experiments,
 }
 

@@ -15,24 +15,48 @@ configurations — needs neither repeated: this package adds
   guarded by a :class:`~repro.privacy.PrivacyAccountant` budget;
 * :class:`~repro.serving.session.ReleaseRequest` /
   :class:`~repro.serving.session.ReleasedCount` — the record types of that
-  stream.
+  stream;
+* :class:`~repro.serving.daemon.ServingDaemon` — the long-lived asyncio
+  front-end (``repro-mechanisms serve``): per-tenant
+  :class:`~repro.privacy.PrivacyAccountant` sessions over one shared
+  cache/plans-LRU, with a coalescing batcher that merges same-plan
+  requests from different tenants into single vectorised draws while
+  staying bit-identical to per-request serving;
+* :class:`~repro.serving.protocol.AsyncDaemonClient` and the line-delimited
+  JSON protocol helpers (:mod:`repro.serving.protocol`), plus the shared
+  machine-readable statistics schema (:mod:`repro.serving.stats`).
 
 The session is a thin adapter over :mod:`repro.engine`; use
 :class:`~repro.engine.executor.StreamExecutor` directly (or the
 ``serve-stream`` CLI) for chunked streams of unbounded length.
 
 See ``docs/architecture.md`` for the data-flow diagram and
-``benchmarks/test_bench_serving.py`` for the throughput guarantees.
+``benchmarks/test_bench_serving.py`` / ``benchmarks/test_bench_daemon.py``
+for the throughput guarantees.
 """
 
 from repro.serving.cache import CacheStats, DesignCache, design_key
+from repro.serving.daemon import DaemonStats, ServingDaemon, TenantSession
+from repro.serving.protocol import (
+    AsyncDaemonClient,
+    ProtocolError,
+    tenant_seed_sequence,
+)
 from repro.serving.session import BatchReleaseSession, ReleaseRequest, ReleasedCount
+from repro.serving.stats import stats_payload
 
 __all__ = [
+    "AsyncDaemonClient",
     "BatchReleaseSession",
     "CacheStats",
+    "DaemonStats",
     "DesignCache",
+    "ProtocolError",
     "ReleaseRequest",
     "ReleasedCount",
+    "ServingDaemon",
+    "TenantSession",
     "design_key",
+    "stats_payload",
+    "tenant_seed_sequence",
 ]

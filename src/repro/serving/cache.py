@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -112,6 +113,12 @@ class DesignCache:
     rebuilt from the stored payload, so callers may mutate metadata freely
     without polluting the cache.  ``metadata["design_cache"]`` records
     whether the instance came from ``"solve"``, ``"memory"`` or ``"disk"``.
+
+    The cache is thread-safe: one re-entrant lock guards the LRU order,
+    the counters and the design resolution itself, so concurrent tenants
+    sharing a cache (the serving daemon, a thread-pool client) can never
+    corrupt the ``OrderedDict`` — and concurrent misses on the same key
+    serialise into exactly one LP solve process-wide.
     """
 
     def __init__(self, capacity: int = 128, directory: Optional[Union[str, Path]] = None):
@@ -120,6 +127,7 @@ class DesignCache:
         self.capacity = int(capacity)
         self.directory = Path(directory) if directory is not None else None
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -130,28 +138,32 @@ class DesignCache:
     # Introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> CacheStats:
-        """Current hit/miss/eviction counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            disk_hits=self._disk_hits,
-            size=len(self._entries),
-            disk_errors=self._disk_errors,
-        )
+        """Current hit/miss/eviction counters (a consistent snapshot)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                disk_hits=self._disk_hits,
+                size=len(self._entries),
+                disk_errors=self._disk_errors,
+            )
 
     def clear(self, disk: bool = False) -> None:
         """Drop every in-memory entry (and the on-disk tier when ``disk``)."""
-        self._entries.clear()
-        if disk and self.directory is not None and self.directory.exists():
-            for path in self.directory.glob("design-*.json"):
-                path.unlink()
+        with self._lock:
+            self._entries.clear()
+            if disk and self.directory is not None and self.directory.exists():
+                for path in self.directory.glob("design-*.json"):
+                    path.unlink()
 
     # ------------------------------------------------------------------ #
     # The main entry point
@@ -169,50 +181,55 @@ class DesignCache:
         On a miss the Figure-5 selector runs (solving the LP only on the WM
         branches) and the result is stored in memory and, when configured,
         on disk.  On a hit no selector or solver work happens at all.
+
+        The whole lookup-or-solve runs under the cache lock, so two threads
+        missing on the same key cannot race into two LP solves: the second
+        thread blocks until the first has stored the entry, then hits it.
         """
         key = design_key(n, alpha, properties, objective, backend)
-        entry = self._entries.get(key)
-        source = "memory"
-        if entry is None:
-            entry = self._load_from_disk(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            source = "memory"
+            if entry is None:
+                entry = self._load_from_disk(key)
+                if entry is not None:
+                    source = "disk"
             if entry is not None:
-                source = "disk"
-        if entry is not None:
-            # A stored payload that no longer materialises (corrupt disk
-            # write, schema from an incompatible version) is treated as a
-            # miss: drop it, re-solve below and overwrite the bad entry.
-            try:
-                materialised = self._materialise(entry, key, source)
-            except Exception:
-                self._entries.pop(key, None)
-                self._remove_from_disk(key)
-            else:
-                self._hits += 1
-                if source == "disk":
-                    self._disk_hits += 1
-                self._entries[key] = entry
-                self._entries.move_to_end(key)
-                self._evict()
-                return materialised
+                # A stored payload that no longer materialises (corrupt disk
+                # write, schema from an incompatible version) is treated as a
+                # miss: drop it, re-solve below and overwrite the bad entry.
+                try:
+                    materialised = self._materialise(entry, key, source)
+                except Exception:
+                    self._entries.pop(key, None)
+                    self._remove_from_disk(key)
+                else:
+                    self._hits += 1
+                    if source == "disk":
+                        self._disk_hits += 1
+                    self._entries[key] = entry
+                    self._entries.move_to_end(key)
+                    self._evict()
+                    return materialised
 
-        self._misses += 1
-        from repro.core.selector import choose_mechanism  # deferred: avoids import cycle
+            self._misses += 1
+            from repro.core.selector import choose_mechanism  # deferred: avoids import cycle
 
-        mechanism, decision = choose_mechanism(
-            n, alpha, properties=properties, objective=objective, backend=backend
-        )
-        entry = {
-            "key": key,
-            "mechanism": mechanism.to_dict(),
-            "decision": _decision_to_dict(decision),
-        }
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self._evict()
-        self._store_to_disk(key, entry)
-        mechanism.metadata["design_cache"] = "solve"
-        mechanism.metadata["design_cache_key"] = key
-        return mechanism, decision
+            mechanism, decision = choose_mechanism(
+                n, alpha, properties=properties, objective=objective, backend=backend
+            )
+            entry = {
+                "key": key,
+                "mechanism": mechanism.to_dict(),
+                "decision": _decision_to_dict(decision),
+            }
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._evict()
+            self._store_to_disk(key, entry)
+            mechanism.metadata["design_cache"] = "solve"
+            mechanism.metadata["design_cache_key"] = key
+            return mechanism, decision
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,0 +1,623 @@
+"""Long-lived multi-tenant serving daemon with cross-tenant request coalescing.
+
+Every CLI invocation of ``serve-batch``/``serve-stream`` pays process
+startup and plan compilation before releasing a single count.  The daemon
+amortises both across a process lifetime — and across *tenants*:
+
+* **Per-tenant sessions.**  Each tenant (bound by the ``hello`` op) owns a
+  :class:`~repro.privacy.PrivacyAccountant` (budget isolation: one tenant
+  exhausting its budget never affects another) and a substream root from
+  :func:`~repro.serving.protocol.tenant_seed_sequence`.  Request ``k`` of a
+  tenant always samples from the ``k``-th spawn of that root, regardless of
+  how requests are batched — the worker-invariance discipline of
+  :meth:`~repro.engine.executor.StreamExecutor.stream_seeded` applied to
+  tenants instead of chunks.
+
+* **One shared plans-LRU.**  A single :class:`~repro.serving.cache
+  .DesignCache` (thread-safe since this PR) plus one compiled
+  :class:`~repro.engine.plan.ReleasePlan` per distinct ``(n, alpha,
+  properties)`` serve *all* tenants: the second tenant to request a design
+  never compiles, let alone solves, anything.
+
+* **Coalescing batcher.**  In-flight requests are collected for a short
+  window (``batch_window_ms``, default 2 ms) and same-plan requests from
+  different tenants merge into **one** vectorised draw.  Identity is
+  preserved exactly: each request's uniforms are drawn from its *own*
+  substream generator, concatenated, and pushed through a single
+  :meth:`~repro.engine.plan.ReleasePlan.execute_with_uniforms` call — the
+  samplers are elementwise in ``(count, uniform)`` pairs, so the merged
+  batch is bit-identical to serving each request alone (``batch_window_ms
+  = 0``).  The window is a *cap*: a batch flushes early when every open
+  connection has a request waiting (closed-loop traffic never idles the
+  window out) or when ``max_batch`` requests are pending.
+
+* **Budget shedding.**  Each batched request is charged against its
+  tenant's accountant *before* any sampling, in arrival order.  An
+  over-budget request is shed from the batch with a code-1 refusal —
+  consuming zero uniforms from its substream — while the rest of the batch
+  proceeds untouched.  Charges against distinct tenants' accountants
+  commute, so batching order cannot change any tenant's spend.
+
+* **Graceful shutdown.**  ``stop()`` (or the ``shutdown`` op, or SIGTERM
+  via the CLI) stops accepting connections, flushes the in-flight batch so
+  every admitted request is answered, then closes.
+
+See ``docs/architecture.md`` (serving-daemon section) for the lifecycle
+diagram and ``benchmarks/test_bench_daemon.py`` for the throughput/p99
+harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.engine.plan import ReleasePlan
+from repro.lp.solver import DEFAULT_BACKEND, solve_call_count
+from repro.privacy import BudgetExceededError, PrivacyAccountant
+from repro.serving.cache import DesignCache, design_key
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    ReleaseCommand,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_release,
+    refusal_response,
+    tenant_seed_sequence,
+)
+from repro.serving.stats import budget_payload, stats_payload
+
+#: Default coalescing window in milliseconds.
+DEFAULT_BATCH_WINDOW_MS = 2.0
+
+#: Default cap on requests merged into one flush.
+DEFAULT_MAX_BATCH = 256
+
+#: Default cap on distinct tenant sessions.
+DEFAULT_MAX_TENANTS = 64
+
+
+class TenantSession:
+    """One tenant's serving state: accountant, substream root, counters."""
+
+    def __init__(
+        self,
+        name: str,
+        root: np.random.SeedSequence,
+        accountant: Optional[PrivacyAccountant],
+        seed: Optional[int] = None,
+        budget_alpha: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.root = root
+        self.accountant = accountant
+        self.seed = seed
+        self.budget_alpha = budget_alpha
+        self.requests = 0
+        self.records = 0
+        self.refusals = 0
+
+    def next_substream(self) -> np.random.SeedSequence:
+        """The substream of this tenant's next admitted request.
+
+        Spawned in admission order, so request ``k`` is always the ``k``-th
+        spawn — whether it is later served alone, coalesced with other
+        tenants, or shed over budget (a shed request consumes its spawn but
+        zero uniforms, exactly as in per-request serving).
+        """
+        self.requests += 1
+        return self.root.spawn(1)[0]
+
+    def payload(self) -> Dict[str, Any]:
+        """This tenant's slice of the ``stats`` response."""
+        return {
+            "tenant": self.name,
+            "requests": self.requests,
+            "records": self.records,
+            "budget": budget_payload(self.accountant, self.refusals),
+        }
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted release waiting in the batcher."""
+
+    tenant: TenantSession
+    key: str
+    plan: ReleasePlan
+    command: ReleaseCommand
+    child: np.random.SeedSequence
+    future: "asyncio.Future[dict]"
+
+
+@dataclass
+class DaemonStats:
+    """Process-wide serving totals (see :meth:`ServingDaemon.stats_payload`)."""
+
+    requests: int = 0
+    records: int = 0
+    #: Batcher flushes (each is one merged draw per distinct plan present).
+    batches: int = 0
+    #: Requests that were served in a flush of more than one request.
+    coalesced_requests: int = 0
+    max_batch: int = 0
+    budget_refusals: int = 0
+    protocol_errors: int = 0
+
+
+class ServingDaemon:
+    """The asyncio front-end over the engine (``repro-mechanisms serve``).
+
+    Parameters
+    ----------
+    batch_window_ms:
+        Coalescing window: how long the batcher may hold the first pending
+        request while waiting for more.  ``0`` disables coalescing (each
+        request is served the moment it arrives — the per-request baseline
+        the benchmark compares against).  Outputs are bit-identical either
+        way.
+    max_batch:
+        Flush immediately once this many requests are pending.
+    max_tenants:
+        Refuse ``hello`` for new tenants beyond this many sessions.
+    budget_alpha:
+        Default per-tenant budget: every new tenant gets a fresh
+        :class:`~repro.privacy.PrivacyAccountant` with this target unless
+        its ``hello`` overrides it.  ``None`` = unmetered tenants.
+    seed:
+        Server seed for :func:`~repro.serving.protocol.tenant_seed_sequence`
+        — fixes every tenant's substream root (absent per-tenant seeds) so
+        whole serving runs are reproducible.
+    cache / cache_dir / cache_size / backend:
+        The shared :class:`~repro.serving.cache.DesignCache` (or the
+        parameters to build one) and the LP backend for cold designs.
+    """
+
+    def __init__(
+        self,
+        batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+        budget_alpha: Optional[float] = None,
+        seed: Optional[int] = None,
+        cache: Optional[DesignCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_size: int = 128,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if int(max_batch) != max_batch or max_batch < 1:
+            raise ValueError("max_batch must be a positive integer")
+        if int(max_tenants) != max_tenants or max_tenants < 1:
+            raise ValueError("max_tenants must be a positive integer")
+        self.batch_window = float(batch_window_ms) / 1000.0
+        self.max_batch = int(max_batch)
+        self.max_tenants = int(max_tenants)
+        self.budget_alpha = budget_alpha
+        self.seed = seed
+        self.backend = backend
+        self.cache = (
+            cache
+            if cache is not None
+            else DesignCache(capacity=cache_size, directory=cache_dir)
+        )
+        self.stats = DaemonStats()
+        self._tenants: Dict[str, TenantSession] = {}
+        #: Shared compiled plans, LRU-bounded by the cache capacity (the
+        #: same knob that bounds the design cache itself).
+        self._plans: "OrderedDict[str, ReleasePlan]" = OrderedDict()
+        self._plans_compiled = 0
+        self._pending: List[_PendingRequest] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._connections = 0
+        self._inflight = 0
+        self._closing = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped = asyncio.Event()
+        self._solves_at_start = solve_call_count()
+        self._densifications_at_start = Mechanism.densifications
+        self.address: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        """Bind the listening socket (unix when ``unix_path``, else TCP)."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        if unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(unix_path), limit=MAX_LINE_BYTES
+            )
+            self.address = str(unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=host,
+                port=0 if port is None else int(port),
+                limit=MAX_LINE_BYTES,
+            )
+            name = self._server.sockets[0].getsockname()
+            self.address = f"{name[0]}:{name[1]}"
+            self.port = int(name[1])
+
+    async def stop(self) -> None:
+        """Graceful shutdown: flush in-flight batches, answer, then close."""
+        if self._closing:
+            await self._stopped.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        # Flush whatever the batcher is holding so every admitted request
+        # is answered, then give the connection handlers a chance to write
+        # the resolved responses out before the loop is torn down.
+        self._flush()
+        for _ in range(400):
+            if self._inflight == 0:
+                break
+            await asyncio.sleep(0.005)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------ #
+    # Tenants and plans
+    # ------------------------------------------------------------------ #
+    def _hello(self, message: dict) -> TenantSession:
+        name = message.get("tenant")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("hello requires a non-empty 'tenant' string")
+        seed = message.get("seed")
+        budget = message.get("budget_alpha")
+        existing = self._tenants.get(name)
+        if existing is not None:
+            # Reconnecting resumes the session; conflicting parameters
+            # would silently fork the tenant's stream or budget, so refuse.
+            if seed is not None and seed != existing.seed:
+                raise ProtocolError(
+                    f"tenant {name!r} already exists with a different seed"
+                )
+            if budget is not None and budget != existing.budget_alpha:
+                raise ProtocolError(
+                    f"tenant {name!r} already exists with a different budget_alpha"
+                )
+            return existing
+        if len(self._tenants) >= self.max_tenants:
+            raise ProtocolError(
+                f"tenant limit reached ({self.max_tenants}); "
+                "raise --max-tenants or retire a session"
+            )
+        effective_budget = self.budget_alpha if budget is None else float(budget)
+        accountant = (
+            PrivacyAccountant(alpha_target=float(effective_budget))
+            if effective_budget is not None
+            else None
+        )
+        root = tenant_seed_sequence(
+            name,
+            server_seed=self.seed,
+            tenant_seed=None if seed is None else int(seed),
+        )
+        session = TenantSession(
+            name,
+            root,
+            accountant,
+            seed=None if seed is None else int(seed),
+            budget_alpha=None if budget is None else float(budget),
+        )
+        self._tenants[name] = session
+        return session
+
+    def _plan_for(self, command: ReleaseCommand) -> ReleasePlan:
+        """The shared compiled plan for a design request (one per key).
+
+        Compilation (and any LP solve, through the shared cache) happens
+        once per distinct ``(n, alpha, properties)`` across *all* tenants;
+        repeat traffic from any tenant reuses the same prepared plan
+        instance and its warmed sampling state.
+        """
+        try:
+            key = design_key(
+                command.n, command.alpha, command.properties, None, self.backend
+            )
+        except ValueError as error:  # unknown property code
+            raise ProtocolError(str(error)) from error
+        plan = self._plans.get(key)
+        if plan is None:
+            try:
+                mechanism, decision = self.cache.get_or_design(
+                    command.n,
+                    command.alpha,
+                    properties=command.properties,
+                    backend=self.backend,
+                )
+            except ValueError as error:
+                raise ProtocolError(str(error)) from error
+            plan = ReleasePlan(
+                mechanism,
+                decision=decision,
+                alpha_cost=float(command.alpha),
+                key=key,
+            )
+            self._plans[key] = plan
+            self._plans_compiled += 1
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.cache.capacity:
+            self._plans.popitem(last=False)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # The coalescing batcher
+    # ------------------------------------------------------------------ #
+    async def _admit(self, tenant: TenantSession, command: ReleaseCommand) -> dict:
+        """Queue one validated release and await its response.
+
+        The tenant's substream spawn happens here, in admission order, so
+        batching can never permute a tenant's per-request substreams.
+        """
+        plan = self._plan_for(command)  # ProtocolError propagates to the handler
+        child = tenant.next_substream()
+        self.stats.requests += 1
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending.append(
+            _PendingRequest(
+                tenant=tenant, key=plan.key, plan=plan,
+                command=command, child=child, future=future,
+            )
+        )
+        self._maybe_flush()
+        return await future
+
+    def _maybe_flush(self) -> None:
+        """Flush now, or arm the window timer for the first pending request.
+
+        Immediate flush when coalescing is off, the batch is full, the
+        daemon is closing, or every open connection already has a request
+        waiting (the protocol allows one in-flight request per connection,
+        so no further request can arrive before a response goes out —
+        waiting the window out would be pure added latency).
+        """
+        if (
+            self.batch_window <= 0.0
+            or self._closing
+            or len(self._pending) >= self.max_batch
+            or len(self._pending) >= self._connections
+        ):
+            self._flush()
+            return
+        if self._flush_handle is None:
+            self._flush_handle = asyncio.get_running_loop().call_later(
+                self.batch_window, self._flush
+            )
+
+    def _flush(self) -> None:
+        """Serve everything pending: charge per request, merge per plan, draw once.
+
+        Phase 1 charges every request against its tenant's accountant in
+        admission order — all charging strictly precedes all sampling, and
+        a refused request is shed with a code-1 response having consumed
+        zero uniforms.  Phase 2 groups the survivors by plan, draws each
+        request's uniforms from its own substream, and answers every group
+        with a single merged ``execute_with_uniforms`` call, scattering the
+        released slices back to the per-request futures.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        if len(batch) > 1:
+            self.stats.coalesced_requests += len(batch)
+
+        survivors: List[_PendingRequest] = []
+        for item in batch:
+            try:
+                item.plan.charge(
+                    item.tenant.accountant,
+                    label=(
+                        f"{item.tenant.name}: {item.plan.mechanism.name} "
+                        f"release ({item.command.counts.shape[0]} counts)"
+                    ),
+                )
+            except BudgetExceededError as error:
+                item.tenant.refusals += 1
+                self.stats.budget_refusals += 1
+                self._resolve(
+                    item, refusal_response(str(error), id=item.command.request_id)
+                )
+                continue
+            survivors.append(item)
+
+        groups: "OrderedDict[str, List[_PendingRequest]]" = OrderedDict()
+        for item in survivors:
+            groups.setdefault(item.key, []).append(item)
+        for items in groups.values():
+            self._serve_group(items)
+
+    def _serve_group(self, items: List[_PendingRequest]) -> None:
+        """One merged draw for every same-plan request in a flush.
+
+        Each request's uniforms come from its own substream generator —
+        exactly the uniforms per-request serving would draw — so the
+        concatenated ``sample_with_uniforms`` call (elementwise in
+        ``(count, uniform)`` pairs for every representation) releases
+        bit-identical counts to serving the requests one at a time.
+        """
+        plan = items[0].plan
+        try:
+            uniforms = [
+                np.random.default_rng(item.child).random(
+                    item.command.counts.shape[0]
+                )
+                for item in items
+            ]
+            merged = plan.execute_with_uniforms(
+                np.concatenate([item.command.counts for item in items]),
+                np.concatenate(uniforms),
+            )
+        except Exception as error:  # pragma: no cover - defensive: keep serving
+            for item in items:
+                self._resolve(
+                    item,
+                    error_response(
+                        f"internal error while sampling: {error}",
+                        id=item.command.request_id,
+                    ),
+                )
+            return
+        offset = 0
+        for item in items:
+            size = item.command.counts.shape[0]
+            released = merged[offset : offset + size]
+            offset += size
+            item.tenant.records += size
+            self.stats.records += size
+            self._resolve(
+                item,
+                ok_response(
+                    id=item.command.request_id,
+                    released=[int(value) for value in released],
+                    mechanism=plan.mechanism.name,
+                    branch=plan.branch,
+                    alpha=item.command.alpha,
+                    coalesced=len(items),
+                ),
+            )
+
+    @staticmethod
+    def _resolve(item: _PendingRequest, response: dict) -> None:
+        if not item.future.done():
+            item.future.set_result(response)
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        tenant: Optional[TenantSession] = None
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                closing = False
+                message: Any = None
+                try:
+                    message = decode_message(line)
+                    op = message.get("op", "release")
+                    if op == "hello":
+                        tenant = self._hello(message)
+                        response = ok_response(
+                            tenant=tenant.name,
+                            budget_alpha=(
+                                None
+                                if tenant.accountant is None
+                                else tenant.accountant.alpha_target
+                            ),
+                        )
+                    elif op == "release":
+                        if self._closing:
+                            raise ProtocolError("daemon is shutting down")
+                        if tenant is None:
+                            raise ProtocolError("send 'hello' before 'release'")
+                        command = parse_release(message)
+                        self._inflight += 1
+                        try:
+                            response = await self._admit(tenant, command)
+                        finally:
+                            self._inflight -= 1
+                    elif op == "stats":
+                        response = ok_response(
+                            stats=self.stats_payload(),
+                            tenant=None if tenant is None else tenant.payload(),
+                        )
+                    elif op == "shutdown":
+                        response = ok_response(message="shutting down")
+                        closing = True
+                    elif op in ("quit", "bye"):
+                        response = ok_response(message="bye")
+                        closing = True
+                    else:
+                        raise ProtocolError(f"unknown op {op!r}")
+                except ProtocolError as error:
+                    self.stats.protocol_errors += 1
+                    request_id = (
+                        message.get("id") if isinstance(message, dict) else None
+                    )
+                    response = error_response(str(error), id=request_id)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if closing:
+                    if message.get("op") == "shutdown":
+                        asyncio.get_running_loop().create_task(self.stop())
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            self._connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats_payload(self) -> Dict[str, Any]:
+        """The daemon-wide stats object (``--stats-json`` schema)."""
+        return stats_payload(
+            "serve",
+            records=self.stats.records,
+            requests=self.stats.requests,
+            batches=self.stats.batches,
+            coalesced_requests=self.stats.coalesced_requests,
+            max_batch=self.stats.max_batch,
+            tenants=len(self._tenants),
+            protocol_errors=self.stats.protocol_errors,
+            batch_window_ms=round(self.batch_window * 1000.0, 3),
+            cache=self.cache.stats(),
+            accountant=None,
+            budget_refusals=self.stats.budget_refusals,
+            lp_solves=solve_call_count() - self._solves_at_start,
+            plans_compiled=self._plans_compiled,
+            densifications=Mechanism.densifications - self._densifications_at_start,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI prints it on shutdown)."""
+        cache = self.cache.stats()
+        return (
+            f"requests={self.stats.requests} records={self.stats.records} "
+            f"batches={self.stats.batches} "
+            f"coalesced={self.stats.coalesced_requests} "
+            f"max_batch={self.stats.max_batch} tenants={len(self._tenants)} "
+            f"budget_refusals={self.stats.budget_refusals} "
+            f"cache_hits={cache.hits} plans_compiled={self._plans_compiled}"
+        )

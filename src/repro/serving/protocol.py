@@ -1,0 +1,278 @@
+"""Wire protocol of the multi-tenant serving daemon (``repro-mechanisms serve``).
+
+One connection carries line-delimited JSON: every request is a single JSON
+object on its own line, and every request gets exactly one JSON response
+line.  The protocol is deliberately tiny — four operations — because the
+daemon's value is in *how* it serves (cross-tenant coalescing, per-tenant
+budgets), not in a rich RPC surface:
+
+``{"op": "hello", "tenant": "t1", "seed": 7, "budget_alpha": 0.5}``
+    Bind this connection to a tenant session (creating it on first sight).
+    ``seed`` pins the tenant's substream root for reproducible serving;
+    ``budget_alpha`` overrides the daemon's default per-tenant budget.
+    Reconnecting to an existing tenant resumes its session — accountant,
+    substream position and counters carry over.
+
+``{"op": "release", "id": 3, "counts": [1, 4], "n": 16, "alpha": 0.9,
+"properties": "WH+CM"}``
+    Release a batch of true counts through the requested design.  ``id``
+    is echoed back verbatim so clients may pipeline.
+
+``{"op": "stats"}``
+    One machine-readable statistics object (the same schema as the CLI's
+    ``--stats-json``; see :mod:`repro.serving.stats`) plus this tenant's
+    budget and traffic counters.
+
+``{"op": "shutdown"}``
+    Gracefully stop the daemon: in-flight batches are flushed and answered
+    before the process exits.
+
+Responses carry ``status`` and a numeric ``code`` mirroring the
+``serve-stream`` exit-status conventions: ``0`` — served; ``1`` — refused
+(privacy budget exhausted before sampling; nothing was drawn); ``2`` —
+error (malformed request, unknown design parameters, tenant limit).
+
+The module also provides :class:`AsyncDaemonClient`, the asyncio client the
+benchmarks, tests and ``examples/daemon_client.py`` drive the daemon with,
+and :func:`tenant_seed_sequence`, the substream-root derivation that makes
+per-tenant streams independent and reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+#: Response codes, aligned with the ``serve-stream`` CLI exit statuses.
+OK = 0
+REFUSED = 1
+ERROR = 2
+
+STATUS_BY_CODE = {OK: "ok", REFUSED: "refused", ERROR: "error"}
+
+#: StreamReader line limit: a release of 10^5 counts is ~700 KB of JSON,
+#: so allow generous headroom before a line is considered hostile.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserveable request (mapped to a code-2 response)."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: Union[bytes, str]) -> dict:
+    """Parse one protocol line into a message dict.
+
+    Raises :class:`ProtocolError` (never a bare ``json`` error) so the
+    daemon can answer malformed input with a code-2 response instead of
+    dropping the connection.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object per line, got {type(message).__name__}"
+        )
+    return message
+
+
+def ok_response(**fields: Any) -> dict:
+    return {"status": STATUS_BY_CODE[OK], "code": OK, **fields}
+
+
+def refusal_response(error: str, **fields: Any) -> dict:
+    return {"status": STATUS_BY_CODE[REFUSED], "code": REFUSED, "error": error, **fields}
+
+
+def error_response(error: str, **fields: Any) -> dict:
+    return {"status": STATUS_BY_CODE[ERROR], "code": ERROR, "error": error, **fields}
+
+
+@dataclass(frozen=True)
+class ReleaseCommand:
+    """A validated ``release`` request, ready for the batcher."""
+
+    request_id: Any
+    counts: np.ndarray
+    n: int
+    alpha: float
+    properties: str
+
+
+def parse_release(message: dict) -> ReleaseCommand:
+    """Validate a ``release`` message (raises :class:`ProtocolError`).
+
+    Count-range validation against ``n`` happens here — *before* the
+    request is admitted to a batch — so an invalid request can never burn
+    budget or consume a substream spawn.
+    """
+    raw_counts = message.get("counts")
+    if raw_counts is None and "count" in message:
+        raw_counts = [message["count"]]
+    if not isinstance(raw_counts, (list, tuple)) or not raw_counts:
+        raise ProtocolError("release requires a non-empty 'counts' array")
+    try:
+        counts = np.asarray(raw_counts, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise ProtocolError(f"counts must be integers: {error}") from error
+    if counts.ndim != 1:
+        raise ProtocolError("counts must be a flat array")
+    try:
+        n = int(message["n"])
+        alpha = float(message["alpha"])
+    except KeyError as error:
+        raise ProtocolError(f"release requires {error.args[0]!r}") from error
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"invalid design parameters: {error}") from error
+    if n < 1:
+        raise ProtocolError(f"group size n must be positive, got {n}")
+    if not (0.0 <= alpha <= 1.0):
+        raise ProtocolError(f"alpha must lie in [0, 1], got {alpha!r}")
+    if counts.min() < 0 or counts.max() > n:
+        raise ProtocolError(
+            f"counts must lie in [0, {n}]; got [{counts.min()}, {counts.max()}]"
+        )
+    properties = message.get("properties", "")
+    if not isinstance(properties, str):
+        raise ProtocolError("properties must be a string such as 'WH+CM'")
+    return ReleaseCommand(
+        request_id=message.get("id"),
+        counts=counts,
+        n=n,
+        alpha=alpha,
+        properties=properties,
+    )
+
+
+def tenant_seed_sequence(
+    name: str,
+    server_seed: Optional[int] = None,
+    tenant_seed: Optional[int] = None,
+) -> np.random.SeedSequence:
+    """The substream root of one tenant session.
+
+    An explicit ``tenant_seed`` (from the ``hello``) wins.  Otherwise the
+    root is derived from the daemon's ``--seed`` plus a SHA-256 digest of
+    the tenant name used as the spawn key, so distinct tenants get
+    independent, collision-resistant streams while a fixed ``(server seed,
+    tenant name)`` pair is fully reproducible across daemon restarts.
+    With neither seed the root is fresh OS entropy.
+    """
+    if tenant_seed is not None:
+        return np.random.SeedSequence(int(tenant_seed))
+    if server_seed is None:
+        return np.random.SeedSequence()
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    words = np.frombuffer(digest[:16], dtype=np.uint32)
+    return np.random.SeedSequence(
+        entropy=int(server_seed), spawn_key=tuple(int(word) for word in words)
+    )
+
+
+class AsyncDaemonClient:
+    """Minimal asyncio client for the daemon protocol.
+
+    >>> client = await AsyncDaemonClient.connect(path="/tmp/repro.sock")
+    >>> await client.hello("tenant-a", seed=7)
+    >>> response = await client.release([3, 5], n=16, alpha=0.9)
+    >>> response["released"]
+    [4, 5]
+
+    One request is in flight per client at a time (the closed-loop shape
+    the benchmark harness measures); open several clients for concurrency.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls,
+        path: Optional[Union[str, os.PathLike]] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> "AsyncDaemonClient":
+        """Connect over a unix socket (``path``) or TCP (``host``/``port``)."""
+        if path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                str(path), limit=MAX_LINE_BYTES
+            )
+        else:
+            if host is None or port is None:
+                raise ValueError("pass either path= or both host= and port=")
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES
+            )
+        return cls(reader, writer)
+
+    async def request(self, message: dict) -> dict:
+        """Send one message and await its one response line."""
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return decode_message(line)
+
+    async def hello(
+        self,
+        tenant: str,
+        seed: Optional[int] = None,
+        budget_alpha: Optional[float] = None,
+    ) -> dict:
+        message: dict = {"op": "hello", "tenant": tenant}
+        if seed is not None:
+            message["seed"] = int(seed)
+        if budget_alpha is not None:
+            message["budget_alpha"] = float(budget_alpha)
+        return await self.request(message)
+
+    async def release(
+        self,
+        counts: Union[Sequence[int], np.ndarray],
+        n: int,
+        alpha: float,
+        properties: str = "",
+        request_id: Any = None,
+    ) -> dict:
+        message: dict = {
+            "op": "release",
+            "counts": [int(c) for c in np.asarray(counts).ravel()],
+            "n": int(n),
+            "alpha": float(alpha),
+        }
+        if properties:
+            message["properties"] = properties
+        if request_id is not None:
+            message["id"] = request_id
+        return await self.request(message)
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def shutdown(self) -> dict:
+        return await self.request({"op": "shutdown"})
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - already gone
+            pass

@@ -1,0 +1,104 @@
+"""One machine-readable statistics schema for every serving surface.
+
+``serve-batch --stats-json``, ``serve-stream --stats-json`` and the
+daemon's ``{"op": "stats"}`` response all emit the same JSON object shape,
+so dashboards and the CI smoke checks parse one schema regardless of which
+front-end served the traffic:
+
+.. code-block:: json
+
+    {
+      "command": "serve-stream",
+      "records": 100000,
+      "chunks": 13,
+      "budget": {"alpha_target": 0.5, "alpha_spent": 0.81,
+                 "alpha_remaining": 0.617, "releases": 2,
+                 "budget_refusals": 0},
+      "cache": {"hits": 0, "misses": 1, "hit_rate": 0.0, "disk_hits": 0,
+                "evictions": 0, "size": 1, "disk_errors": 0},
+      "lp_solves": 0,
+      "plans_compiled": 1,
+      "densifications": 0
+    }
+
+``budget`` fields are ``null`` on unmetered sessions (except
+``budget_refusals``, which is always a number); ``cache`` is ``null`` when
+no design cache was involved.  Extra per-surface counters (``batches``,
+``coalesced_requests``, ``tenants`` …) appear as additional top-level
+keys — consumers must ignore keys they do not know.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.privacy import PrivacyAccountant
+from repro.serving.cache import CacheStats
+
+
+def cache_payload(stats: Optional[CacheStats]) -> Optional[Dict[str, Any]]:
+    """The ``cache`` sub-object from a :class:`~repro.serving.cache.CacheStats`."""
+    if stats is None:
+        return None
+    return {
+        "hits": int(stats.hits),
+        "misses": int(stats.misses),
+        "hit_rate": round(float(stats.hit_rate), 6),
+        "disk_hits": int(stats.disk_hits),
+        "evictions": int(stats.evictions),
+        "size": int(stats.size),
+        "disk_errors": int(stats.disk_errors),
+    }
+
+
+def budget_payload(
+    accountant: Optional[PrivacyAccountant], budget_refusals: int = 0
+) -> Dict[str, Any]:
+    """The ``budget`` sub-object; ``null`` fields on unmetered sessions."""
+    if accountant is None:
+        return {
+            "alpha_target": None,
+            "alpha_spent": None,
+            "alpha_remaining": None,
+            "releases": None,
+            "budget_refusals": int(budget_refusals),
+        }
+    return {
+        "alpha_target": float(accountant.alpha_target),
+        "alpha_spent": float(accountant.spent_alpha()),
+        "alpha_remaining": float(accountant.remaining_alpha()),
+        "releases": len(accountant.history()),
+        "budget_refusals": int(budget_refusals),
+    }
+
+
+def stats_payload(
+    command: str,
+    *,
+    records: int,
+    cache: Optional[CacheStats] = None,
+    accountant: Optional[PrivacyAccountant] = None,
+    budget_refusals: int = 0,
+    lp_solves: Optional[int] = None,
+    plans_compiled: Optional[int] = None,
+    densifications: Optional[int] = None,
+    **counters: Any,
+) -> Dict[str, Any]:
+    """Assemble the shared stats object for one serving surface.
+
+    ``counters`` lands as extra top-level keys (sorted, for stable output);
+    pass surface-specific totals such as ``chunks=`` or ``batches=`` there.
+    """
+    payload: Dict[str, Any] = {"command": command, "records": int(records)}
+    for key in sorted(counters):
+        payload[key] = counters[key]
+    payload["budget"] = budget_payload(accountant, budget_refusals)
+    payload["cache"] = cache_payload(cache)
+    payload["lp_solves"] = None if lp_solves is None else int(lp_solves)
+    payload["plans_compiled"] = (
+        None if plans_compiled is None else int(plans_compiled)
+    )
+    payload["densifications"] = (
+        None if densifications is None else int(densifications)
+    )
+    return payload

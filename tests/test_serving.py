@@ -175,6 +175,59 @@ class TestDesignCache:
         assert mechanism.metadata["design_cache"] == "memory"
         assert cache.stats().hits == 1
 
+    def test_thread_pool_hammer(self):
+        """Concurrent tenants on one cache: consistent counters, one solve per key.
+
+        The serving daemon shares a single cache across tenants; before the
+        RLock, concurrent ``get_or_design``/``_evict`` calls could corrupt
+        the LRU ``OrderedDict`` mid-iteration.  Hammer a capacity-bounded
+        cache from a thread pool and check every invariant the lock must
+        protect: no exceptions, hits + misses == requests, the LRU never
+        exceeds capacity, and concurrent misses on one key serialise into
+        exactly one design (every returned mechanism per key is identical).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        # GM/EM closed forms only — no LP solves, so the hammer stays fast.
+        settings = [(3, 0.9, ""), (4, 0.8, ""), (5, 0.9, "F"), (6, 0.7, ""),
+                    (7, 0.9, "F"), (8, 0.6, "")]
+        cache = DesignCache(capacity=4)  # smaller than the key set: evictions
+
+        def worker(worker_index):
+            results = []
+            for step in range(30):
+                n, alpha, properties = settings[(worker_index + step) % len(settings)]
+                mechanism, decision = cache.get_or_design(
+                    n, alpha, properties=properties
+                )
+                results.append((n, mechanism, decision.branch))
+            return results
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = [future.result() for future in
+                        [pool.submit(worker, i) for i in range(8)]]
+
+        by_n = {}
+        for results in outcomes:
+            for n, mechanism, branch in results:
+                assert mechanism.n == n
+                by_n.setdefault(n, []).append((mechanism, branch))
+        for n, produced in by_n.items():
+            first, first_branch = produced[0]
+            for mechanism, branch in produced[1:]:
+                assert branch == first_branch
+                assert mechanism.allclose(first)  # one design per key, ever
+
+        stats = cache.stats()
+        assert stats.requests == 8 * 30
+        assert stats.hits + stats.misses == stats.requests
+        assert len(cache) <= cache.capacity
+        # Conservation under the lock: every miss inserts one entry, every
+        # eviction removes one, hits change nothing — a torn update would
+        # break this exact balance.
+        assert stats.misses == stats.evictions + len(cache)
+        assert stats.misses >= len(settings)
+
 
 # --------------------------------------------------------------------- #
 # BatchReleaseSession
