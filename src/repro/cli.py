@@ -249,8 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the long-lived multi-tenant serving daemon (request coalescing)",
         epilog="protocol: line-delimited JSON over TCP or a unix socket; "
                "response codes mirror serve-stream exit statuses (0 served, "
-               "1 refused over budget — nothing drawn, 2 error). See "
-               "examples/daemon_client.py for a complete client.",
+               "1 refused over budget — nothing drawn, 2 error, 3 overloaded "
+               "— shed for capacity or deadline, retriable, nothing charged). "
+               "With --state-dir every tenant's budget is journaled durably "
+               "and a restarted daemon resumes exact spend, refusals and "
+               "substream positions. See examples/daemon_client.py for a "
+               "complete client.",
     )
     daemon.add_argument("--host", default="127.0.0.1", help="TCP bind address")
     daemon.add_argument("--port", type=int, default=None,
@@ -283,6 +287,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="in-memory LRU capacity of the shared design cache "
                              "(also bounds the compiled-plans LRU)")
     daemon.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    daemon.add_argument("--state-dir", type=Path, default=None,
+                        help="durable mode: journal every tenant's budget "
+                             "charges (and refusals) to per-tenant ledgers "
+                             "under this directory, fsync'd before each "
+                             "batch's samples; on restart the ledgers are "
+                             "replayed so tenants resume with exact spend and "
+                             "bit-identical substreams (requires a budget: "
+                             "--budget-alpha or per-hello budget_alpha)")
+    daemon.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on tenant-ledger appends (faster, "
+                             "but a power loss may forget recent charges; "
+                             "process crashes are still covered)")
+    daemon.add_argument("--request-timeout", type=float, default=None,
+                        help="seconds from admission after which an unserved "
+                             "request is shed with a retriable code-3 "
+                             "response, consuming no budget and no substream")
+    daemon.add_argument("--client-timeout", type=float, default=None,
+                        help="seconds one response write may take before the "
+                             "stalled client's connection is dropped (the "
+                             "batcher and other tenants never wait on a slow "
+                             "reader)")
+    daemon.add_argument("--max-pending", type=int, default=None,
+                        help="admission cap on the batcher queue: past this "
+                             "many pending requests, new ones are shed with a "
+                             "retriable code-3 'overloaded' response")
+    daemon.add_argument("--max-inflight", type=int, default=None,
+                        help="per-tenant cap on unanswered requests; past it, "
+                             "that tenant's requests shed with code 3 while "
+                             "other tenants are unaffected")
+    daemon.add_argument("--max-line-bytes", type=int, default=None,
+                        help="bound on one request line (default 1 MiB); an "
+                             "oversized request gets a clean code-2 error and "
+                             "the connection is closed")
     daemon.add_argument("--stats", action="store_true",
                         help="print serving statistics on shutdown")
     daemon.add_argument("--stats-json", action="store_true",
@@ -794,7 +831,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from repro.serving.daemon import ServingDaemon
+    from repro.serving.daemon import DEFAULT_MAX_LINE_BYTES, ServingDaemon
 
     if args.batch_window_ms < 0:
         raise SystemExit("--batch-window-ms must be non-negative")
@@ -802,6 +839,20 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--max-batch must be positive")
     if args.max_tenants < 1:
         raise SystemExit("--max-tenants must be positive")
+    for flag, value in (
+        ("--request-timeout", args.request_timeout),
+        ("--client-timeout", args.client_timeout),
+    ):
+        if value is not None and not value > 0:
+            raise SystemExit(f"{flag} must be positive")
+    for flag, value in (
+        ("--max-pending", args.max_pending),
+        ("--max-inflight", args.max_inflight),
+    ):
+        if value is not None and value < 1:
+            raise SystemExit(f"{flag} must be positive")
+    if args.max_line_bytes is not None and args.max_line_bytes < 1024:
+        raise SystemExit("--max-line-bytes must be at least 1024")
 
     async def _serve() -> ServingDaemon:
         daemon = ServingDaemon(
@@ -813,6 +864,17 @@ def _command_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             cache_size=args.cache_size,
             backend=args.backend,
+            state_dir=args.state_dir,
+            request_timeout=args.request_timeout,
+            client_timeout=args.client_timeout,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
+            max_line_bytes=(
+                DEFAULT_MAX_LINE_BYTES
+                if args.max_line_bytes is None
+                else args.max_line_bytes
+            ),
+            fsync=not args.no_fsync,
         )
         await daemon.start(
             host=args.host, port=args.port, unix_path=args.unix_socket
@@ -820,6 +882,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         # The bound address line is the startup handshake: with --port 0 a
         # harness parses the picked port from it, so flush immediately.
         print(f"serving on {daemon.address}", flush=True)
+        if args.state_dir is not None:
+            # The recovery summary, after the handshake, so supervisors can
+            # log how many tenants resumed and how many were quarantined.
+            print(f"recovered {daemon.health_payload()['recovered_tenants']} "
+                  f"tenant(s), "
+                  f"{daemon.health_payload()['quarantined_tenants']} "
+                  f"quarantined, "
+                  f"{daemon.health_payload()['config_rejected_tenants']} "
+                  "config-rejected", flush=True)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

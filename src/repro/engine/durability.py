@@ -45,6 +45,22 @@ Record types
 ``done``
     ``{chunk, size, records, records_total, offset}`` — the chunk's output
     reached durable storage at byte ``offset``.
+``refusal``
+    ``{chunk, label}`` — the release at this index was *refused* over
+    budget.  Nothing was spent, but the index itself is consumed: the
+    serving daemon's per-tenant ledgers use record indices as substream
+    spawn positions, and a refusal consumes a spawn (exactly as in
+    in-memory serving), so restart recovery must replay refusals to land
+    on the same stream position.
+
+Multi-tenant note
+-----------------
+The serving daemon keeps one ledger *per tenant* (see
+:mod:`repro.serving.tenant_store`); those ledgers use the daemon-specific
+fault site ``tenant_ledger_append`` (the ``torn_tenant_ledger`` spec) and
+group-commit their appends — ``charge(..., sync=False)`` buffers several
+records, one :meth:`sync` makes them durable before any sample leaves the
+process.
 """
 
 from __future__ import annotations
@@ -55,7 +71,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.engine import faults as _faults
 from repro.privacy import BudgetExceededError, PrivacyAccountant
@@ -69,6 +85,20 @@ _RECORD_HEAD = struct.Struct("<II")
 #: Sanity cap on a record payload: ledger records are small JSON documents,
 #: so a length beyond this is corruption, not a big record.
 _MAX_PAYLOAD = 1 << 20
+
+
+def datasync(fileno: int) -> None:
+    """Flush file *data* (and the metadata needed to read it) to disk.
+
+    ``fdatasync`` is the standard WAL sync: it skips the inode-only
+    metadata (mtime etc.) a full ``fsync`` would also journal, which
+    matters when a serving daemon group-commits many small appends per
+    batch.  Falls back to ``fsync`` where unavailable.
+    """
+    if hasattr(os, "fdatasync"):
+        os.fdatasync(fileno)
+    else:  # pragma: no cover - non-POSIX fallback
+        os.fsync(fileno)
 
 
 class LedgerError(RuntimeError):
@@ -94,9 +124,17 @@ def chunk_crc(chunk) -> int:
     Stored in ``charge`` records so a resumed run can detect that the
     input stream it is skipping over is not the stream that was charged.
     """
-    import numpy as np
+    global _np
+    if _np is None:
+        import numpy
 
-    return zlib.crc32(np.ascontiguousarray(chunk, dtype="<i8").tobytes())
+        _np = numpy
+    return zlib.crc32(_np.ascontiguousarray(chunk, dtype="<i8").tobytes())
+
+
+#: Lazily-bound numpy module (:func:`chunk_crc` is this module's only user,
+#: and the ledger itself must stay importable without numpy).
+_np = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +170,8 @@ class AccountantLedger:
         fsync: bool,
         charges: Dict[int, dict],
         done: Dict[int, dict],
+        refusals: Optional[Dict[int, dict]] = None,
+        fault_site: str = "ledger_append",
     ) -> None:
         self.path = path
         self._handle = handle
@@ -140,6 +180,28 @@ class AccountantLedger:
         self._fsync = fsync
         self._charges = charges
         self._done = done
+        self._refusals: Dict[int, dict] = {} if refusals is None else refusals
+        self.fault_site = fault_site
+        #: Buffered appends awaiting a group-commit :meth:`sync`.
+        self._dirty = False
+        #: ``(offset, blob)`` of appends deferred with ``sync=False``,
+        #: until either a full :meth:`sync` of this file or a
+        #: :meth:`drain_unsynced` hand-off to an external commit log.
+        self._unsynced: List[Tuple[int, bytes]] = []
+        #: Done records deferred with ``mark_done(..., defer=True)``;
+        #: serialised and appended at the next :meth:`sync` (checkpoint or
+        #: close), not per request.
+        self._pending_done: List[dict] = []
+        #: Append position, tracked in userspace (the handle is positioned
+        #: at EOF by :meth:`open` and only ever appends) — saves a
+        #: ``tell()`` per record on the serving hot path.
+        self._offset: int = handle.tell()
+        #: Pre-serialised ``(head, tail)`` byte templates for charge
+        #: records, keyed by everything except ``chunk``/``crc`` (the only
+        #: fields that vary between a tenant's steady-state charges).
+        #: ``None`` marks a key whose record shape the template cannot
+        #: reproduce byte-for-byte — those fall back to ``json.dumps``.
+        self._charge_templates: Dict[tuple, Optional[Tuple[bytes, bytes]]] = {}
         self._closed = False
         self._crashed = False
 
@@ -153,6 +215,7 @@ class AccountantLedger:
         alpha_target: Optional[float] = None,
         config: Optional[dict] = None,
         fsync: bool = True,
+        fault_site: str = "ledger_append",
     ) -> "AccountantLedger":
         """Open (creating or recovering) a ledger at ``path``.
 
@@ -166,14 +229,17 @@ class AccountantLedger:
         """
         path = Path(path)
         if path.exists() and path.stat().st_size > 0:
-            return cls._recover(path, alpha_target, config, fsync)
+            return cls._recover(path, alpha_target, config, fsync, fault_site)
         if alpha_target is None:
             raise LedgerError(
                 f"{path}: creating a new ledger requires alpha_target"
             )
         accountant = PrivacyAccountant(alpha_target=alpha_target)
         handle = path.open("wb+")
-        ledger = cls(path, handle, accountant, dict(config or {}), fsync, {}, {})
+        ledger = cls(
+            path, handle, accountant, dict(config or {}), fsync, {}, {},
+            fault_site=fault_site,
+        )
         ledger._append(
             {
                 "type": "header",
@@ -192,6 +258,7 @@ class AccountantLedger:
         alpha_target: Optional[float],
         config: Optional[dict],
         fsync: bool,
+        fault_site: str = "ledger_append",
     ) -> "AccountantLedger":
         handle = path.open("rb+")
         try:
@@ -204,7 +271,10 @@ class AccountantLedger:
             # write: nothing was ever charged, so start over.
             handle.close()
             path.unlink()
-            return cls.open(path, alpha_target=alpha_target, config=config, fsync=fsync)
+            return cls.open(
+                path, alpha_target=alpha_target, config=config, fsync=fsync,
+                fault_site=fault_site,
+            )
         header = records[0]
         if header.get("type") != "header" or header.get("version") != LEDGER_VERSION:
             handle.close()
@@ -231,11 +301,12 @@ class AccountantLedger:
         accountant = PrivacyAccountant(alpha_target=stored_target)
         charges: Dict[int, dict] = {}
         done: Dict[int, dict] = {}
+        refusals: Dict[int, dict] = {}
         for record in records[1:]:
             kind = record.get("type")
             if kind == "charge":
                 chunk = int(record["chunk"])
-                if chunk in charges:
+                if chunk in charges or chunk in refusals:
                     handle.close()
                     raise LedgerCorruptionError(
                         f"{path}: chunk {chunk} is charged twice in the log"
@@ -262,6 +333,14 @@ class AccountantLedger:
                         f"{path}: chunk {chunk} is marked done but never charged"
                     )
                 done[chunk] = record
+            elif kind == "refusal":
+                chunk = int(record["chunk"])
+                if chunk in charges or chunk in refusals:
+                    handle.close()
+                    raise LedgerCorruptionError(
+                        f"{path}: chunk {chunk} is recorded twice in the log"
+                    )
+                refusals[chunk] = record
             else:
                 handle.close()
                 raise LedgerCorruptionError(
@@ -275,7 +354,10 @@ class AccountantLedger:
             if fsync:
                 os.fsync(handle.fileno())
         handle.seek(0, os.SEEK_END)
-        return cls(path, handle, accountant, stored_config, fsync, charges, done)
+        return cls(
+            path, handle, accountant, stored_config, fsync, charges, done,
+            refusals=refusals, fault_site=fault_site,
+        )
 
     @staticmethod
     def _read_records(path: Path, handle) -> tuple:
@@ -318,35 +400,123 @@ class AccountantLedger:
     # ------------------------------------------------------------------ #
     # Appending
     # ------------------------------------------------------------------ #
-    def _append(self, record: dict, faultable: bool = True) -> None:
+    def _append(
+        self,
+        record: dict,
+        faultable: bool = True,
+        sync: Optional[bool] = None,
+        payload: Optional[bytes] = None,
+    ) -> None:
         """Serialise, checksum, append and fsync one record.
 
         The in-memory accountant is only updated *after* this returns, so
         a crash anywhere inside leaves the durable state ahead of (never
-        behind) the memory state.
+        behind) the memory state.  ``sync=False`` defers the fsync to a
+        later group-commit :meth:`sync` — the caller promises nothing
+        derived from this record leaves the process before that sync.
+        ``payload`` lets a hot caller hand in the record's serialisation
+        (it must equal the canonical ``json.dumps`` below byte-for-byte —
+        :meth:`_charge_template` verifies that once per record shape).
         """
         if self._closed:
             raise LedgerError(f"{self.path}: ledger is closed")
-        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        if payload is None:
+            payload = json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
         blob = _RECORD_HEAD.pack(len(payload), zlib.crc32(payload)) + payload
         if faultable:
             injector = _faults.get_injector()
-            if injector.io_error("ledger_append"):
-                raise OSError(f"injected I/O error appending to {self.path}")
-            if injector.torn("ledger_append"):
-                # Crash mid-write: half the record reaches the disk, the
-                # process dies.  close() must not tidy up after a corpse.
-                self._handle.write(blob[: max(1, len(blob) // 2)])
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
-                self._crashed = True
-                raise _faults.InjectedCrash(
-                    f"torn write injected at {self.path}"
-                )
+            # Cheap guard for the serving hot path: only walk the full
+            # predicate calls when a fault that can reach a ledger append
+            # is actually configured (production injectors are all-off).
+            if (
+                injector.io_error_rate > 0.0
+                or injector.torn_write is not None
+                or injector.torn_tenant_ledger is not None
+            ):
+                self._faulted_append(injector, blob)
+        offset = self._offset
         self._handle.write(blob)
+        self._offset = offset + len(blob)
+        if sync is False:
+            # Deferred append: leave the bytes in the userspace buffer —
+            # the group-commit barrier (sync()/drain_unsynced()) flushes
+            # them once per batch.  Nothing derived from this record may
+            # leave the process before that barrier, so there is no
+            # reader the buffering could disappoint.
+            self._dirty = True
+            if self._fsync:
+                self._unsynced.append((offset, blob))
+            return
         self._handle.flush()
         if self._fsync:
+            datasync(self._handle.fileno())
+            self._dirty = False
+            self._unsynced.clear()
+        else:
+            self._dirty = True
+
+    def _faulted_append(self, injector, blob: bytes) -> None:
+        """The slow half of :meth:`_append`'s fault checks (injector armed)."""
+        if injector.io_error(self.fault_site):
+            raise OSError(f"injected I/O error appending to {self.path}")
+        if injector.torn(self.fault_site):
+            # Crash mid-write: half the record reaches the disk, the
+            # process dies.  close() must not tidy up after a corpse.
+            torn = blob[: max(1, len(blob) // 2)]
+            self._offset += len(torn)
+            self._handle.write(torn)
+            self._handle.flush()
             os.fsync(self._handle.fileno())
+            self._crashed = True
+            raise _faults.InjectedCrash(
+                f"torn write injected at {self.path}"
+            )
+
+    def sync(self) -> None:
+        """Group-commit barrier: sync any appends buffered with ``sync=False``."""
+        if self._closed or self._crashed:
+            return
+        if self._pending_done:
+            # Materialise done marks deferred off the serving hot path.
+            # They are advisory (losing one costs a bit-identical replay),
+            # so they skip fault injection: a checkpoint must not crash on
+            # a record whose loss is defined to be harmless.
+            pending, self._pending_done = self._pending_done, []
+            for record in pending:
+                self._append(record, faultable=False, sync=False)
+        if not self._dirty:
+            return
+        self._handle.flush()
+        if self._fsync:
+            datasync(self._handle.fileno())
+        self._dirty = False
+        self._unsynced.clear()
+
+    def drain_unsynced(self) -> List[Tuple[int, bytes]]:
+        """Hand off appends buffered with ``sync=False`` for external commit.
+
+        Returns ``(ledger_offset, raw_record_bytes)`` pairs in append order
+        and forgets them: the caller (the serving daemon's tenant store)
+        takes over durability by copying the bytes into its own group-commit
+        log and syncing *that* — one device flush per batch instead of one
+        per touched tenant ledger.  This ledger file itself stays dirty, so
+        a later :meth:`sync` (checkpoint/shutdown) still flushes it; until
+        then restart recovery re-applies the commit-log copy at these exact
+        byte offsets, which is idempotent against whatever prefix the page
+        cache already persisted.
+        """
+        pending = self._unsynced
+        self._unsynced = []
+        # Deliberately NO flush here: pushing the ledger's dirty pages to
+        # the OS every batch drags this file's metadata into the same
+        # ext4 journal transaction the commit log's sync commits, making
+        # that one ``fdatasync`` pay for every touched ledger anyway.
+        # The drained records are fully recoverable from the commit log
+        # (by byte offset), so the userspace buffer is loss-free; the
+        # file itself catches up at :meth:`sync` (checkpoint/shutdown).
+        return pending
 
     def charge(
         self,
@@ -355,6 +525,8 @@ class AccountantLedger:
         size: int,
         label: str = "",
         crc: Optional[int] = None,
+        extra: Optional[dict] = None,
+        sync: Optional[bool] = None,
     ) -> bool:
         """Durably charge one chunk; idempotent by chunk index.
 
@@ -363,55 +535,183 @@ class AccountantLedger:
         the chunk is *not* double-counted, but its parameters must match
         the recorded ones or :class:`LedgerCorruptionError` is raised).
         An over-budget or invalid ``alpha`` raises *before* anything is
-        appended: a refused release leaves no trace, durable or otherwise.
+        appended: a refused release leaves no trace, durable or otherwise
+        (the serving daemon journals the refusal separately via
+        :meth:`record_refusal` because refusals consume substream spawns).
+        ``extra`` lands as additional record keys (e.g. the daemon's design
+        parameters, read back for idempotent request replay); ``sync=False``
+        defers the fsync to a group-commit :meth:`sync`.
         """
         chunk = int(chunk)
+        alpha = float(alpha)
+        size = int(size)
         existing = self._charges.get(chunk)
         if existing is not None:
             if (
-                float(existing["alpha"]) != float(alpha)
-                or int(existing["size"]) != int(size)
+                float(existing["alpha"]) != alpha
+                or int(existing["size"]) != size
                 or (crc is not None and int(existing.get("crc", crc)) != int(crc))
             ):
                 raise LedgerCorruptionError(
                     f"{self.path}: chunk {chunk} was charged as "
                     f"(alpha={existing['alpha']:g}, size={existing['size']}) but is "
-                    f"now presented as (alpha={float(alpha):g}, size={int(size)}); "
+                    f"now presented as (alpha={alpha:g}, size={size}); "
                     "the resumed run does not match the recorded one"
                 )
             return False
         # Validate + budget-check before the WAL append, so refusals are
         # trace-free; mirrors charge_release()'s non-positive-alpha rule.
-        if not (0.0 < float(alpha) <= 1.0):
+        # The budget comparison is can_release() inlined — alpha is already
+        # validated here, so the accountant's re-validation is skipped.
+        if not (0.0 < alpha <= 1.0):
             raise BudgetExceededError(
-                f"release at alpha={float(alpha):g} has unbounded privacy cost "
+                f"release at alpha={alpha:g} has unbounded privacy cost "
                 "(epsilon = inf); an accountant-guarded path cannot serve it"
             )
-        if not self.accountant.can_release(alpha):
+        accountant = self.accountant
+        if accountant.spent_alpha() * alpha < accountant.alpha_target - 1e-15:
             raise BudgetExceededError(
-                f"release at alpha={float(alpha):g} would push the guarantee below "
-                f"the target {self.accountant.alpha_target:g} "
-                f"(already spent alpha={self.accountant.spent_alpha():g})"
+                f"release at alpha={alpha:g} would push the guarantee below "
+                f"the target {accountant.alpha_target:g} "
+                f"(already spent alpha={accountant.spent_alpha():g})"
             )
         record = {
             "type": "charge",
             "chunk": chunk,
-            "alpha": float(alpha),
-            "size": int(size),
+            "alpha": alpha,
+            "size": size,
             "label": label,
         }
         if crc is not None:
             record["crc"] = int(crc)
-        self._append(record)
-        self.accountant.record(float(alpha), label=label)
+        for key, value in (extra or {}).items():
+            record.setdefault(key, value)
+        payload = None
+        if crc is not None:
+            # Steady-state serving charges differ only in chunk and crc;
+            # everything else is a per-tenant constant.  Serialise through
+            # a cached, once-verified byte template instead of a full
+            # sorted json.dumps per request.
+            try:
+                cache_key = (
+                    alpha,
+                    size,
+                    label,
+                    tuple(extra.items()) if extra else None,
+                )
+                template = self._charge_templates.get(cache_key, False)
+            except TypeError:  # unhashable extra value (e.g. a dict)
+                cache_key = (alpha, size, label, repr(extra))
+                template = self._charge_templates.get(cache_key, False)
+            if template is False:
+                template = self._charge_template(record)
+                if len(self._charge_templates) < 64:
+                    self._charge_templates[cache_key] = template
+            if template is not None:
+                head, tail = template
+                payload = (
+                    head + b"%d" % chunk + b',"crc":' + b"%d" % record["crc"] + tail
+                )
+        if payload is not None and sync is False and not self._closed:
+            # _append inlined for the serving hot path (template hit,
+            # deferred sync): same framing, fault hook and offset/queue
+            # bookkeeping, minus the call and the generic branches.
+            blob = _RECORD_HEAD.pack(len(payload), zlib.crc32(payload)) + payload
+            injector = _faults.get_injector()
+            if (
+                injector.io_error_rate > 0.0
+                or injector.torn_write is not None
+                or injector.torn_tenant_ledger is not None
+            ):
+                self._faulted_append(injector, blob)
+            self._handle.write(blob)
+            if self._fsync:
+                self._unsynced.append((self._offset, blob))
+            self._offset += len(blob)
+            self._dirty = True
+        else:
+            self._append(record, sync=sync, payload=payload)
+        # The inlined can_release() above already admitted this alpha;
+        # record the spend without re-checking.
+        accountant.record_admitted(alpha, label=label)
         self._charges[chunk] = record
         return True
 
-    def mark_done(self, chunk: int, size: int, records: int, offset: int) -> None:
+    @staticmethod
+    def _charge_template(record: dict) -> Optional[Tuple[bytes, bytes]]:
+        """``(head, tail)`` bytes around a charge record's chunk/crc fields.
+
+        Built once per record shape and verified against the canonical
+        ``json.dumps(..., sort_keys=True)`` serialisation of ``record``
+        itself — any shape the composition cannot reproduce exactly (an
+        ``extra`` key sorting before ``"crc"``, say) returns ``None`` and
+        stays on the generic path forever.
+        """
+        if sorted(record)[:3] != ["alpha", "chunk", "crc"]:
+            return None
+        head = ('{"alpha":%s,"chunk":' % json.dumps(record["alpha"])).encode("utf-8")
+        rest = ",".join(
+            "%s:%s"
+            % (
+                json.dumps(key),
+                json.dumps(record[key], sort_keys=True, separators=(",", ":")),
+            )
+            for key in sorted(record)[3:]
+        )
+        tail = (",%s}" % rest).encode("utf-8")
+        composed = (
+            head + b"%d" % record["chunk"] + b',"crc":' + b"%d" % record["crc"] + tail
+        )
+        canonical = json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        return (head, tail) if composed == canonical else None
+
+    def record_refusal(
+        self, chunk: int, label: str = "", sync: Optional[bool] = None
+    ) -> bool:
+        """Durably journal an over-budget refusal at ``chunk``; idempotent.
+
+        Nothing is spent — the record exists because the *index* is
+        consumed: the daemon's per-tenant ledgers map record indices to
+        substream spawns, and a refusal consumes its spawn exactly as
+        in-memory serving does, so recovery must count it to land on the
+        same stream position.  Returns ``False`` when the ledger already
+        holds this refusal (a replayed request).
+        """
+        chunk = int(chunk)
+        if chunk in self._refusals:
+            return False
+        if chunk in self._charges:
+            raise LedgerError(
+                f"{self.path}: chunk {chunk} is already charged; it cannot "
+                "also be refused"
+            )
+        record = {"type": "refusal", "chunk": chunk, "label": label}
+        self._append(record, sync=sync)
+        self._refusals[chunk] = record
+        return True
+
+    def mark_done(
+        self,
+        chunk: int,
+        size: int,
+        records: int,
+        offset: int,
+        sync: Optional[bool] = None,
+        defer: bool = False,
+    ) -> None:
         """Record that a charged chunk's output is durably at byte ``offset``.
 
         ``records`` is the *cumulative* released-count total through this
         chunk — what a resumed writer needs to rebuild its length header.
+        ``sync=False`` skips the fsync: losing a done mark to a crash only
+        costs one redundant (bit-identical) replay, never a double charge.
+        ``defer=True`` goes further and skips the append itself until the
+        next :meth:`sync` (checkpoint/close): the serving daemon marks
+        hundreds of requests done per second and none of those marks is
+        load-bearing — recovery treats a missing done mark exactly like a
+        crash between charge and response, which replays bit-identically.
         """
         chunk = int(chunk)
         if chunk not in self._charges:
@@ -427,7 +727,11 @@ class AccountantLedger:
             "records": int(records),
             "offset": int(offset),
         }
-        self._append(record)
+        if defer:
+            self._done[chunk] = record
+            self._pending_done.append(record)
+            return
+        self._append(record, sync=sync)
         self._done[chunk] = record
 
     # ------------------------------------------------------------------ #
@@ -437,9 +741,32 @@ class AccountantLedger:
         """Whether the ledger holds a charge for ``chunk``."""
         return int(chunk) in self._charges
 
+    def refused(self, chunk: int) -> bool:
+        """Whether the ledger holds a refusal for ``chunk``."""
+        return int(chunk) in self._refusals
+
     def is_done(self, chunk: int) -> bool:
         """Whether ``chunk``'s output is recorded as durable."""
         return int(chunk) in self._done
+
+    def charge_record(self, chunk: int) -> Optional[dict]:
+        """The recorded charge for ``chunk`` (``None`` when not charged)."""
+        record = self._charges.get(int(chunk))
+        return None if record is None else dict(record)
+
+    def refusal_count(self) -> int:
+        """How many refusals the ledger holds."""
+        return len(self._refusals)
+
+    def next_index(self) -> int:
+        """One past the highest recorded charge/refusal index (0 when empty).
+
+        The daemon assigns request indices sequentially and every consumed
+        index leaves a durable record (charge or refusal), so this is the
+        restart position of a tenant's substream root.
+        """
+        indices = self._charges.keys() | self._refusals.keys()
+        return 1 + max(indices) if indices else 0
 
     def verify_chunk(self, chunk: int, crc: int) -> None:
         """Check a skipped chunk's input counts against the recorded checksum.
@@ -478,6 +805,7 @@ class AccountantLedger:
         """One-line summary for CLI ``--stats`` output."""
         return (
             f"ledger={self.path.name} charges={len(self._charges)} "
+            f"refusals={len(self._refusals)} "
             f"done={len(self._done)} {self.accountant.describe()}"
         )
 
@@ -489,6 +817,7 @@ class AccountantLedger:
         if self._closed or self._crashed:
             self._closed = True
             return
+        self.sync()
         self._handle.close()
         self._closed = True
 

@@ -40,6 +40,23 @@ Supported faults
     The ``k``-th design-cache disk store crashes after writing half the
     temp file — proving the atomic-rename path never exposes a truncated
     entry.
+``torn_tenant_ledger[:k]``
+    The ``k``-th append to a *tenant* budget ledger (the serving daemon's
+    per-tenant :class:`~repro.engine.durability.AccountantLedger` under
+    ``--state-dir``) writes only half its record before raising
+    :class:`InjectedCrash` — the daemon translates that into a hard
+    process exit, leaving a torn tail for restart recovery to truncate.
+``kill_daemon[:n]``
+    The serving daemon calls ``os._exit`` immediately after completing its
+    ``n``-th coalesced batch flush (default 1) — after the batch's charges
+    were fsync'd and its samples drawn, *before* any response reaches a
+    client.  Every request of that batch lands in the charged-but-not-done
+    crash window the durable tenant store exists for.
+``client_stall[:k]``
+    The daemon's ``k``-th response write (default 0) stalls for
+    ``hang_seconds`` before draining — simulating a client that stops
+    reading so the write-side ``--client-timeout`` must reap the
+    connection without blocking the batcher or other tenants.
 
 One-shot semantics: each ``torn_*`` spec fires exactly once per injector
 instance, and ``kill_worker``/``hang_worker`` fire only on attempt 0 of
@@ -61,6 +78,10 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: Exit status an injected worker death uses (visible in pool diagnostics).
 KILLED_WORKER_EXIT = 43
+
+#: Exit status an injected daemon death uses (``kill_daemon`` and the
+#: daemon's hard-exit translation of a torn tenant-ledger append).
+KILLED_DAEMON_EXIT = 44
 
 
 class InjectedCrash(RuntimeError):
@@ -92,6 +113,11 @@ class FaultInjector:
     torn_write: Optional[int] = None
     torn_npy: Optional[int] = None
     torn_cache: Optional[int] = None
+    torn_tenant_ledger: Optional[int] = None
+    #: Batch count after which the serving daemon hard-exits (``kill_daemon``).
+    kill_daemon: Optional[int] = None
+    #: Index of the daemon response write that stalls (``client_stall``).
+    client_stall: Optional[int] = None
     _counters: Dict[str, int] = field(default_factory=dict)
     _fired: Dict[str, bool] = field(default_factory=dict)
 
@@ -121,11 +147,18 @@ class FaultInjector:
                 injector.torn_npy = int(arg) if arg else 0
             elif name == "torn_cache":
                 injector.torn_cache = int(arg) if arg else 0
+            elif name == "torn_tenant_ledger":
+                injector.torn_tenant_ledger = int(arg) if arg else 0
+            elif name == "kill_daemon":
+                injector.kill_daemon = int(arg) if arg else 1
+            elif name == "client_stall":
+                injector.client_stall = int(arg) if arg else 0
             else:
                 raise ValueError(
                     f"unknown fault {name!r} in {FAULTS_ENV} spec {spec!r} "
                     "(known: kill_worker, hang_worker, io_error, torn_write, "
-                    "torn_npy, torn_cache)"
+                    "torn_npy, torn_cache, torn_tenant_ledger, kill_daemon, "
+                    "client_stall)"
                 )
         return injector
 
@@ -143,6 +176,9 @@ class FaultInjector:
             or self.torn_write is not None
             or self.torn_npy is not None
             or self.torn_cache is not None
+            or self.torn_tenant_ledger is not None
+            or self.kill_daemon is not None
+            or self.client_stall is not None
         )
 
     # ------------------------------------------------------------------ #
@@ -180,7 +216,8 @@ class FaultInjector:
         """Whether the current call at a ``torn_*`` site crashes mid-write.
 
         Sites: ``ledger_append`` (``torn_write``), ``npy_write``
-        (``torn_npy``), ``cache_store`` (``torn_cache``).  Each spec fires
+        (``torn_npy``), ``cache_store`` (``torn_cache``),
+        ``tenant_ledger_append`` (``torn_tenant_ledger``).  Each spec fires
         exactly once — the ``k``-th call at its site — so a restarted run
         that replays the site does not crash again.
         """
@@ -188,6 +225,7 @@ class FaultInjector:
             "ledger_append": self.torn_write,
             "npy_write": self.torn_npy,
             "cache_store": self.torn_cache,
+            "tenant_ledger_append": self.torn_tenant_ledger,
         }.get(site)
         if target is None or self._fired.get(site):
             if target is not None:
@@ -197,6 +235,35 @@ class FaultInjector:
         self._counters[f"torn:{site}"] = count + 1
         if count == target:
             self._fired[site] = True
+            return True
+        return False
+
+    def should_kill_daemon(self, batches_completed: int) -> bool:
+        """Whether the daemon hard-exits now, ``batches_completed`` flushes in.
+
+        Fires once, after the configured batch count is reached — the
+        charges of the final batch are durably in the tenant ledgers, its
+        responses are not yet on the wire.
+        """
+        if self.kill_daemon is None or self._fired.get("kill_daemon"):
+            return False
+        if batches_completed >= self.kill_daemon:
+            self._fired["kill_daemon"] = True
+            return True
+        return False
+
+    def should_stall_client(self) -> bool:
+        """Whether the current daemon response write stalls (one-shot).
+
+        The ``k``-th write (and only it) sleeps ``hang_seconds`` before
+        draining, so the write-side client timeout is what ends it.
+        """
+        if self.client_stall is None or self._fired.get("client_stall"):
+            return False
+        count = self._counters.get("client_stall", 0)
+        self._counters["client_stall"] = count + 1
+        if count == self.client_stall:
+            self._fired["client_stall"] = True
             return True
         return False
 

@@ -122,15 +122,23 @@ class PrivacyAccountant:
 
     alpha_target: float
     _releases: List[Tuple[str, float]] = field(default_factory=list)
+    #: Running left-to-right product of the recorded α's — exactly what
+    #: ``compose_sequential`` would recompute, kept incrementally so the
+    #: serving hot path (one budget check per request) is O(1) in the
+    #: number of past releases instead of O(history).
+    _spent: float = field(default=1.0, repr=False)
 
     def __post_init__(self) -> None:
         self.alpha_target = _check_alpha(self.alpha_target)
+        self._spent = (
+            compose_sequential(alpha for _, alpha in self._releases)
+            if self._releases
+            else 1.0
+        )
 
     def spent_alpha(self) -> float:
         """The composed α of everything recorded so far (1.0 if nothing yet)."""
-        if not self._releases:
-            return 1.0
-        return compose_sequential(alpha for _, alpha in self._releases)
+        return self._spent
 
     def spent_epsilon(self) -> float:
         """The composed ε of everything recorded so far."""
@@ -151,7 +159,17 @@ class PrivacyAccountant:
                 f"release at alpha={alpha:g} would push the guarantee below the "
                 f"target {self.alpha_target:g} (already spent alpha={self.spent_alpha():g})"
             )
+        self.record_admitted(alpha, label=label)
+
+    def record_admitted(self, alpha: float, label: str = "") -> None:
+        """Record a release the caller has *already* checked with
+        :meth:`can_release` — the second half of a check-then-record pair.
+
+        Skips the redundant budget re-check; the serving hot path pays for
+        exactly one :meth:`can_release` per request.
+        """
         self._releases.append((label or f"release {len(self._releases) + 1}", float(alpha)))
+        self._spent *= float(alpha)
 
     def remaining_releases(self, alpha: float) -> int:
         """How many further releases at ``alpha`` the remaining budget supports.

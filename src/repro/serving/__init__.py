@@ -21,7 +21,9 @@ configurations — needs neither repeated: this package adds
   :class:`~repro.privacy.PrivacyAccountant` sessions over one shared
   cache/plans-LRU, with a coalescing batcher that merges same-plan
   requests from different tenants into single vectorised draws while
-  staying bit-identical to per-request serving;
+  staying bit-identical to per-request serving — with durable per-tenant
+  budgets (:class:`~repro.serving.tenant_store.TenantStore` under
+  ``--state-dir``), restart recovery, deadlines and backpressure;
 * :class:`~repro.serving.protocol.AsyncDaemonClient` and the line-delimited
   JSON protocol helpers (:mod:`repro.serving.protocol`), plus the shared
   machine-readable statistics schema (:mod:`repro.serving.stats`).
@@ -43,7 +45,8 @@ from repro.serving.protocol import (
     tenant_seed_sequence,
 )
 from repro.serving.session import BatchReleaseSession, ReleaseRequest, ReleasedCount
-from repro.serving.stats import stats_payload
+from repro.serving.stats import health_payload, stats_payload
+from repro.serving.tenant_store import RecoveredTenant, TenantStore, tenant_slug
 
 __all__ = [
     "AsyncDaemonClient",
@@ -52,11 +55,15 @@ __all__ = [
     "DaemonStats",
     "DesignCache",
     "ProtocolError",
+    "RecoveredTenant",
     "ReleaseRequest",
     "ReleasedCount",
     "ServingDaemon",
     "TenantSession",
+    "TenantStore",
     "design_key",
+    "health_payload",
     "stats_payload",
     "tenant_seed_sequence",
+    "tenant_slug",
 ]

@@ -14,10 +14,8 @@ amortises both across a process lifetime — and across *tenants*:
   tenants instead of chunks.
 
 * **One shared plans-LRU.**  A single :class:`~repro.serving.cache
-  .DesignCache` (thread-safe since this PR) plus one compiled
-  :class:`~repro.engine.plan.ReleasePlan` per distinct ``(n, alpha,
-  properties)`` serve *all* tenants: the second tenant to request a design
-  never compiles, let alone solves, anything.
+  .DesignCache` plus one compiled :class:`~repro.engine.plan.ReleasePlan`
+  per distinct ``(n, alpha, properties)`` serve *all* tenants.
 
 * **Coalescing batcher.**  In-flight requests are collected for a short
   window (``batch_window_ms``, default 2 ms) and same-plan requests from
@@ -28,53 +26,86 @@ amortises both across a process lifetime — and across *tenants*:
   samplers are elementwise in ``(count, uniform)`` pairs, so the merged
   batch is bit-identical to serving each request alone (``batch_window_ms
   = 0``).  The window is a *cap*: a batch flushes early when every open
-  connection has a request waiting (closed-loop traffic never idles the
-  window out) or when ``max_batch`` requests are pending.
+  connection has a request waiting or when ``max_batch`` requests are
+  pending.
 
 * **Budget shedding.**  Each batched request is charged against its
   tenant's accountant *before* any sampling, in arrival order.  An
   over-budget request is shed from the batch with a code-1 refusal —
-  consuming zero uniforms from its substream — while the rest of the batch
-  proceeds untouched.  Charges against distinct tenants' accountants
-  commute, so batching order cannot change any tenant's spend.
+  consuming its substream spawn but zero uniforms — while the rest of the
+  batch proceeds untouched.
 
-* **Graceful shutdown.**  ``stop()`` (or the ``shutdown`` op, or SIGTERM
-  via the CLI) stops accepting connections, flushes the in-flight batch so
-  every admitted request is answered, then closes.
+* **Durable budgets** (``state_dir``).  Each tenant's accountant is backed
+  by its own :class:`~repro.engine.durability.AccountantLedger` through a
+  :class:`~repro.serving.tenant_store.TenantStore`: every charge (and every
+  refusal — refusals consume spawns) is group-committed to disk *before*
+  the batch samples, and the ledger header pins the tenant's substream-root
+  lineage.  A restarted daemon replays the ledgers, restoring each tenant's
+  exact ``alpha_spent``, refusal count and stream position, so post-restart
+  draws are bit-identical to an uninterrupted run.  A request that was
+  charged but whose response was lost to the crash is *replayed* — client
+  re-sends its ``seq``; the daemon re-derives the same substream and
+  answers with the same bits, charged exactly once.  Damaged ledgers
+  quarantine only their tenant; everyone else serves on.
 
-See ``docs/architecture.md`` (serving-daemon section) for the lifecycle
-diagram and ``benchmarks/test_bench_daemon.py`` for the throughput/p99
-harness.
+* **Deadlines and backpressure.**  ``request_timeout`` sheds requests that
+  expire before the batcher reaches them; ``max_pending``/``max_inflight``
+  shed for capacity — all with retriable code-3 ``overloaded`` responses
+  that consume nothing.  ``client_timeout`` bounds each response write so
+  a stalled client is reaped without blocking the batcher, and
+  ``max_line_bytes`` bounds request framing.
+
+* **Graceful shutdown.**  ``stop()`` (or the ``shutdown``/``drain`` ops,
+  or SIGTERM via the CLI) stops accepting connections, flushes the
+  in-flight batch so every admitted request is answered, checkpoints the
+  tenant ledgers, then closes.
+
+See ``docs/architecture.md`` (daemon-durability section) for the recovery
+state machine and ``benchmarks/test_bench_daemon.py`` for the
+throughput/p99 harness (including the durable-mode overhead gate).
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.mechanism import Mechanism
+from repro.engine import faults as _faults
+from repro.engine.durability import (
+    AccountantLedger,
+    LedgerError,
+    chunk_crc,
+    datasync as _datasync,
+)
 from repro.engine.plan import ReleasePlan
 from repro.lp.solver import DEFAULT_BACKEND, solve_call_count
 from repro.privacy import BudgetExceededError, PrivacyAccountant
 from repro.serving.cache import DesignCache, design_key
 from repro.serving.protocol import (
-    MAX_LINE_BYTES,
+    DEFAULT_MAX_LINE_BYTES,
+    LineTooLongError,
     ProtocolError,
     ReleaseCommand,
     decode_message,
     encode_message,
     error_response,
     ok_response,
+    overloaded_response,
     parse_release,
+    read_message_line,
     refusal_response,
     tenant_seed_sequence,
 )
-from repro.serving.stats import budget_payload, stats_payload
+from repro.serving.stats import budget_payload, health_payload, stats_payload
+from repro.serving.tenant_store import TenantStore
 
 #: Default coalescing window in milliseconds.
 DEFAULT_BATCH_WINDOW_MS = 2.0
@@ -84,6 +115,10 @@ DEFAULT_MAX_BATCH = 256
 
 #: Default cap on distinct tenant sessions.
 DEFAULT_MAX_TENANTS = 64
+
+#: The response a served request's connection runs after the bytes are on
+#: the wire (durable daemons: the ledger's ``done`` mark).
+_OnWritten = Optional[Callable[[], None]]
 
 
 class TenantSession:
@@ -96,26 +131,47 @@ class TenantSession:
         accountant: Optional[PrivacyAccountant],
         seed: Optional[int] = None,
         budget_alpha: Optional[float] = None,
+        ledger: Optional[AccountantLedger] = None,
     ) -> None:
         self.name = name
         self.root = root
         self.accountant = accountant
         self.seed = seed
         self.budget_alpha = budget_alpha
+        #: Durable backing for the accountant (``None`` = in-memory only).
+        self.ledger = ledger
         self.requests = 0
         self.records = 0
         self.refusals = 0
+        #: Releases currently admitted but unanswered (``max_inflight``).
+        self.inflight = 0
 
     def next_substream(self) -> np.random.SeedSequence:
-        """The substream of this tenant's next admitted request.
+        """The substream of this tenant's next consumed sequence number.
 
-        Spawned in admission order, so request ``k`` is always the ``k``-th
-        spawn — whether it is later served alone, coalesced with other
-        tenants, or shed over budget (a shed request consumes its spawn but
-        zero uniforms, exactly as in per-request serving).
+        Spawned in flush order == admission order, so request ``k`` is
+        always the ``k``-th spawn — whether it is served alone, coalesced
+        with other tenants, or shed over budget (a shed request consumes
+        its spawn but zero uniforms, exactly as in per-request serving).
+        On a durable daemon the spawn happens only *after* the charge or
+        refusal record reached the ledger, so a failed append burns no
+        sequence number and a retry converges bit-identically.
         """
         self.requests += 1
         return self.root.spawn(1)[0]
+
+    def substream_at(self, seq: int) -> np.random.SeedSequence:
+        """Re-derive the ``seq``-th spawn without advancing the root.
+
+        This is :meth:`numpy.random.SeedSequence.spawn`'s child derivation
+        applied at an explicit position — the replay path's way to re-draw
+        an already-charged request's exact uniforms.
+        """
+        return np.random.SeedSequence(
+            self.root.entropy,
+            spawn_key=tuple(self.root.spawn_key) + (int(seq),),
+            pool_size=self.root.pool_size,
+        )
 
     def payload(self) -> Dict[str, Any]:
         """This tenant's slice of the ``stats`` response."""
@@ -123,6 +179,8 @@ class TenantSession:
             "tenant": self.name,
             "requests": self.requests,
             "records": self.records,
+            "inflight": self.inflight,
+            "durable": self.ledger is not None,
             "budget": budget_payload(self.accountant, self.refusals),
         }
 
@@ -135,8 +193,12 @@ class _PendingRequest:
     key: str
     plan: ReleasePlan
     command: ReleaseCommand
-    child: np.random.SeedSequence
-    future: "asyncio.Future[dict]"
+    future: "asyncio.Future[Tuple[dict, _OnWritten]]"
+    #: ``time.monotonic()`` moment after which the request is shed unserved.
+    deadline: Optional[float] = None
+    #: Assigned at flush time, after the durable charge/refusal record.
+    seq: Optional[int] = None
+    child: Optional[np.random.SeedSequence] = None
 
 
 @dataclass
@@ -152,6 +214,16 @@ class DaemonStats:
     max_batch: int = 0
     budget_refusals: int = 0
     protocol_errors: int = 0
+    #: Code-3 sheds: queue full, per-tenant in-flight cap, expired deadline.
+    overloaded: int = 0
+    #: The subset of ``overloaded`` shed for an expired ``request_timeout``.
+    deadline_expired: int = 0
+    #: Connections aborted because a response write exceeded ``client_timeout``.
+    clients_reaped: int = 0
+    #: Already-charged sequence numbers re-served without re-charging.
+    replays: int = 0
+    #: Tolerated ledger append failures (failed charge = nothing consumed).
+    ledger_errors: int = 0
 
 
 class ServingDaemon:
@@ -161,10 +233,8 @@ class ServingDaemon:
     ----------
     batch_window_ms:
         Coalescing window: how long the batcher may hold the first pending
-        request while waiting for more.  ``0`` disables coalescing (each
-        request is served the moment it arrives — the per-request baseline
-        the benchmark compares against).  Outputs are bit-identical either
-        way.
+        request while waiting for more.  ``0`` disables coalescing.
+        Outputs are bit-identical either way.
     max_batch:
         Flush immediately once this many requests are pending.
     max_tenants:
@@ -172,14 +242,36 @@ class ServingDaemon:
     budget_alpha:
         Default per-tenant budget: every new tenant gets a fresh
         :class:`~repro.privacy.PrivacyAccountant` with this target unless
-        its ``hello`` overrides it.  ``None`` = unmetered tenants.
+        its ``hello`` overrides it.  ``None`` = unmetered tenants
+        (disallowed when ``state_dir`` is set — a durable daemon must have
+        a budget to journal).
     seed:
         Server seed for :func:`~repro.serving.protocol.tenant_seed_sequence`
         — fixes every tenant's substream root (absent per-tenant seeds) so
-        whole serving runs are reproducible.
+        whole serving runs are reproducible.  A durable daemon pins this
+        into each tenant ledger; restarting with a different seed rejects
+        the affected tenants instead of silently forking their streams.
     cache / cache_dir / cache_size / backend:
         The shared :class:`~repro.serving.cache.DesignCache` (or the
         parameters to build one) and the LP backend for cold designs.
+    state_dir:
+        Durable-mode root (``--state-dir``): per-tenant budget ledgers live
+        under ``<state_dir>/tenants/``; construction replays them (see
+        :class:`~repro.serving.tenant_store.TenantStore`).
+    request_timeout:
+        Seconds from admission after which an unserved request is shed with
+        a retriable code-3 response, consuming nothing.
+    client_timeout:
+        Seconds one response write may take before the stalled client's
+        connection is aborted (the batcher and other tenants never wait).
+    max_pending / max_inflight:
+        Admission caps: total batcher queue depth / per-tenant unanswered
+        requests.  Past either, requests shed with code 3.
+    max_line_bytes:
+        Server-side bound on one request line (code-2 + close past it).
+    fsync:
+        Whether tenant ledgers fsync (tests may disable for speed; real
+        durability requires it).
     """
 
     def __init__(
@@ -193,6 +285,13 @@ class ServingDaemon:
         cache_dir: Optional[Union[str, Path]] = None,
         cache_size: int = 128,
         backend: str = DEFAULT_BACKEND,
+        state_dir: Optional[Union[str, Path]] = None,
+        request_timeout: Optional[float] = None,
+        client_timeout: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        fsync: bool = True,
     ) -> None:
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be non-negative")
@@ -200,12 +299,35 @@ class ServingDaemon:
             raise ValueError("max_batch must be a positive integer")
         if int(max_tenants) != max_tenants or max_tenants < 1:
             raise ValueError("max_tenants must be a positive integer")
+        if request_timeout is not None and not request_timeout > 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if client_timeout is not None and not client_timeout > 0:
+            raise ValueError("client_timeout must be positive (or None)")
+        if max_pending is not None and (
+            int(max_pending) != max_pending or max_pending < 1
+        ):
+            raise ValueError("max_pending must be a positive integer (or None)")
+        if max_inflight is not None and (
+            int(max_inflight) != max_inflight or max_inflight < 1
+        ):
+            raise ValueError("max_inflight must be a positive integer (or None)")
+        if int(max_line_bytes) != max_line_bytes or max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be an integer >= 1024")
         self.batch_window = float(batch_window_ms) / 1000.0
         self.max_batch = int(max_batch)
         self.max_tenants = int(max_tenants)
         self.budget_alpha = budget_alpha
         self.seed = seed
         self.backend = backend
+        self.request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
+        self.client_timeout = (
+            None if client_timeout is None else float(client_timeout)
+        )
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.max_line_bytes = int(max_line_bytes)
         self.cache = (
             cache
             if cache is not None
@@ -213,6 +335,30 @@ class ServingDaemon:
         )
         self.stats = DaemonStats()
         self._tenants: Dict[str, TenantSession] = {}
+        self._store: Optional[TenantStore] = None
+        if state_dir is not None:
+            self._store = TenantStore(
+                state_dir,
+                server_seed=seed,
+                default_budget_alpha=budget_alpha,
+                fsync=fsync,
+            )
+            for recovered in self._store.recover().values():
+                session = TenantSession(
+                    recovered.name,
+                    recovered.root,
+                    recovered.ledger.accountant,
+                    seed=recovered.tenant_seed,
+                    budget_alpha=(
+                        float(recovered.ledger.accountant.alpha_target)
+                        if recovered.budget_source == "hello"
+                        else None
+                    ),
+                    ledger=recovered.ledger,
+                )
+                session.requests = recovered.next_seq
+                session.refusals = recovered.refusals
+                self._tenants[recovered.name] = session
         #: Shared compiled plans, LRU-bounded by the cache capacity (the
         #: same knob that bounds the design cache itself).
         self._plans: "OrderedDict[str, ReleasePlan]" = OrderedDict()
@@ -243,7 +389,9 @@ class ServingDaemon:
             raise RuntimeError("daemon already started")
         if unix_path is not None:
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=str(unix_path), limit=MAX_LINE_BYTES
+                self._handle_connection,
+                path=str(unix_path),
+                limit=self.max_line_bytes,
             )
             self.address = str(unix_path)
         else:
@@ -251,14 +399,14 @@ class ServingDaemon:
                 self._handle_connection,
                 host=host,
                 port=0 if port is None else int(port),
-                limit=MAX_LINE_BYTES,
+                limit=self.max_line_bytes,
             )
             name = self._server.sockets[0].getsockname()
             self.address = f"{name[0]}:{name[1]}"
             self.port = int(name[1])
 
     async def stop(self) -> None:
-        """Graceful shutdown: flush in-flight batches, answer, then close."""
+        """Graceful shutdown: flush, answer, checkpoint ledgers, close."""
         if self._closing:
             await self._stopped.wait()
             return
@@ -275,11 +423,22 @@ class ServingDaemon:
             await asyncio.sleep(0.005)
         if self._server is not None:
             await self._server.wait_closed()
+        if self._store is not None:
+            try:
+                self._store.sync_all()
+                self._store.close_all()
+            except OSError:  # pragma: no cover - best-effort checkpoint
+                pass
         self._stopped.set()
 
     async def wait_closed(self) -> None:
         """Block until :meth:`stop` has completed."""
         await self._stopped.wait()
+
+    @staticmethod
+    def _hard_exit() -> None:
+        """Simulated crash (``kill_daemon`` / torn tenant-ledger faults)."""
+        os._exit(_faults.KILLED_DAEMON_EXIT)
 
     # ------------------------------------------------------------------ #
     # Tenants and plans
@@ -290,6 +449,12 @@ class ServingDaemon:
             raise ProtocolError("hello requires a non-empty 'tenant' string")
         seed = message.get("seed")
         budget = message.get("budget_alpha")
+        if self._store is not None:
+            reason = self._store.rejection_reason(name)
+            if reason is not None:
+                raise ProtocolError(
+                    f"tenant {name!r} cannot be served by this daemon: {reason}"
+                )
         existing = self._tenants.get(name)
         if existing is not None:
             # Reconnecting resumes the session; conflicting parameters
@@ -309,34 +474,52 @@ class ServingDaemon:
                 "raise --max-tenants or retire a session"
             )
         effective_budget = self.budget_alpha if budget is None else float(budget)
-        accountant = (
-            PrivacyAccountant(alpha_target=float(effective_budget))
-            if effective_budget is not None
-            else None
-        )
+        if self._store is not None and effective_budget is None:
+            raise ProtocolError(
+                "a durable daemon (--state-dir) meters every tenant: pass "
+                "budget_alpha in hello or start the daemon with --budget-alpha"
+            )
         root = tenant_seed_sequence(
             name,
             server_seed=self.seed,
             tenant_seed=None if seed is None else int(seed),
         )
+        ledger: Optional[AccountantLedger] = None
+        if self._store is not None:
+            # The ledger (pinning the root's lineage) must exist before the
+            # root spawns anything, or a crash here could lose the stream.
+            try:
+                ledger = self._store.create(
+                    name,
+                    root,
+                    tenant_seed=None if seed is None else int(seed),
+                    budget_alpha=float(effective_budget),
+                    budget_source="default" if budget is None else "hello",
+                )
+            except OSError as error:
+                raise ProtocolError(
+                    f"cannot create tenant {name!r}'s ledger: {error}"
+                ) from error
+            accountant: Optional[PrivacyAccountant] = ledger.accountant
+        else:
+            accountant = (
+                PrivacyAccountant(alpha_target=float(effective_budget))
+                if effective_budget is not None
+                else None
+            )
         session = TenantSession(
             name,
             root,
             accountant,
             seed=None if seed is None else int(seed),
             budget_alpha=None if budget is None else float(budget),
+            ledger=ledger,
         )
         self._tenants[name] = session
         return session
 
     def _plan_for(self, command: ReleaseCommand) -> ReleasePlan:
-        """The shared compiled plan for a design request (one per key).
-
-        Compilation (and any LP solve, through the shared cache) happens
-        once per distinct ``(n, alpha, properties)`` across *all* tenants;
-        repeat traffic from any tenant reuses the same prepared plan
-        instance and its warmed sampling state.
-        """
+        """The shared compiled plan for a design request (one per key)."""
         try:
             key = design_key(
                 command.n, command.alpha, command.properties, None, self.backend
@@ -370,24 +553,171 @@ class ServingDaemon:
     # ------------------------------------------------------------------ #
     # The coalescing batcher
     # ------------------------------------------------------------------ #
-    async def _admit(self, tenant: TenantSession, command: ReleaseCommand) -> dict:
-        """Queue one validated release and await its response.
+    async def _admit(
+        self, tenant: TenantSession, command: ReleaseCommand
+    ) -> Tuple[dict, _OnWritten]:
+        """Queue one validated release and await its ``(response, on_written)``.
 
-        The tenant's substream spawn happens here, in admission order, so
-        batching can never permute a tenant's per-request substreams.
+        Capacity sheds (code 3) and already-charged ``seq`` replays answer
+        immediately without entering the batcher; everything else waits for
+        its flush.
         """
         plan = self._plan_for(command)  # ProtocolError propagates to the handler
-        child = tenant.next_substream()
+        if (
+            tenant.ledger is not None
+            and command.seq is not None
+            and command.seq < tenant.requests
+        ):
+            return self._replay(tenant, plan, command)
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self.stats.overloaded += 1
+            return (
+                overloaded_response(
+                    f"daemon queue is full ({self.max_pending} pending "
+                    "requests, --max-pending); retry shortly",
+                    id=command.request_id,
+                ),
+                None,
+            )
+        if self.max_inflight is not None and tenant.inflight >= self.max_inflight:
+            self.stats.overloaded += 1
+            return (
+                overloaded_response(
+                    f"tenant {tenant.name!r} already has {tenant.inflight} "
+                    f"requests in flight (--max-inflight {self.max_inflight}); "
+                    "retry shortly",
+                    id=command.request_id,
+                ),
+                None,
+            )
         self.stats.requests += 1
-        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        tenant.inflight += 1
+        deadline = (
+            None
+            if self.request_timeout is None
+            else time.monotonic() + self.request_timeout
+        )
+        future: "asyncio.Future[Tuple[dict, _OnWritten]]" = (
+            asyncio.get_running_loop().create_future()
+        )
         self._pending.append(
             _PendingRequest(
                 tenant=tenant, key=plan.key, plan=plan,
-                command=command, child=child, future=future,
+                command=command, future=future, deadline=deadline,
             )
         )
         self._maybe_flush()
-        return await future
+        try:
+            return await future
+        finally:
+            tenant.inflight -= 1
+
+    def _replay(
+        self, tenant: TenantSession, plan: ReleasePlan, command: ReleaseCommand
+    ) -> Tuple[dict, _OnWritten]:
+        """Re-serve an already-consumed sequence number, charged exactly once.
+
+        The crash window of a durable daemon is charged-but-not-done: the
+        budget was durably spent but the response never reached the client.
+        The client re-sends the request with its ``seq``; the recorded
+        charge is verified against the re-sent parameters (checksum and
+        design), the same substream is re-derived, and the same bits go
+        out — no re-charge, no new spawn.  A recorded refusal replays as a
+        refusal.
+        """
+        assert tenant.ledger is not None and command.seq is not None
+        ledger = tenant.ledger
+        seq = int(command.seq)
+        self.stats.requests += 1
+        if ledger.refused(seq):
+            self.stats.replays += 1
+            return (
+                refusal_response(
+                    f"replayed refusal: sequence {seq} was refused over "
+                    "budget before the restart; nothing was spent",
+                    id=command.request_id, seq=seq, replayed=True,
+                ),
+                None,
+            )
+        record = ledger.charge_record(seq)
+        if record is None:  # pragma: no cover - defensive: indices are dense
+            return (
+                error_response(
+                    f"sequence {seq} precedes tenant {tenant.name!r}'s next "
+                    f"sequence {tenant.requests} but has no ledger record",
+                    id=command.request_id,
+                ),
+                None,
+            )
+        size = int(command.counts.shape[0])
+        mismatch = None
+        if int(record["size"]) != size:
+            mismatch = "counts size"
+        elif "crc" in record and int(record["crc"]) != chunk_crc(command.counts):
+            mismatch = "counts checksum"
+        elif float(record["alpha"]) != float(command.alpha):
+            mismatch = "alpha"
+        elif "n" in record and int(record["n"]) != int(command.n):
+            mismatch = "n"
+        elif "properties" in record and record["properties"] != command.properties:
+            mismatch = "properties"
+        if mismatch is not None:
+            return (
+                error_response(
+                    f"replay of sequence {seq} does not match the recorded "
+                    f"request ({mismatch} differs); refusing to serve a "
+                    "diverged replay",
+                    id=command.request_id,
+                ),
+                None,
+            )
+        uniforms = np.random.default_rng(tenant.substream_at(seq)).random(size)
+        try:
+            released = plan.execute_with_uniforms(command.counts, uniforms)
+        except Exception as error:  # pragma: no cover - defensive
+            return (
+                error_response(
+                    f"internal error while sampling: {error}",
+                    id=command.request_id,
+                ),
+                None,
+            )
+        self.stats.replays += 1
+        tenant.records += size
+        self.stats.records += size
+        response = ok_response(
+            id=command.request_id,
+            released=[int(value) for value in released],
+            mechanism=plan.mechanism.name,
+            branch=plan.branch,
+            alpha=command.alpha,
+            coalesced=1,
+            seq=seq,
+            replayed=True,
+        )
+        return response, self._done_callback(ledger, seq, size)
+
+    def _done_callback(
+        self, ledger: AccountantLedger, seq: int, size: int
+    ) -> Callable[[], None]:
+        """The post-write ``done`` mark for one durably-charged request.
+
+        Losing a done mark (crash, tolerated I/O error, ledger already
+        checkpointed by ``stop()``) only widens the replay window by one
+        bit-identical re-serve — never a double charge — so failures here
+        are counted, not raised; ``defer=True`` keeps the mark out of the
+        hot path entirely (appended at the next checkpoint/shutdown sync).
+        """
+
+        def _mark() -> None:
+            try:
+                ledger.mark_done(seq, size=size, records=size, offset=0, defer=True)
+            except (LedgerError, OSError):
+                self.stats.ledger_errors += 1
+            except _faults.InjectedCrash:
+                self._hard_exit()
+
+        return _mark
 
     def _maybe_flush(self) -> None:
         """Flush now, or arm the window timer for the first pending request.
@@ -414,13 +744,18 @@ class ServingDaemon:
     def _flush(self) -> None:
         """Serve everything pending: charge per request, merge per plan, draw once.
 
-        Phase 1 charges every request against its tenant's accountant in
-        admission order — all charging strictly precedes all sampling, and
-        a refused request is shed with a code-1 response having consumed
-        zero uniforms.  Phase 2 groups the survivors by plan, draws each
-        request's uniforms from its own substream, and answers every group
-        with a single merged ``execute_with_uniforms`` call, scattering the
-        released slices back to the per-request futures.
+        Phase 1 walks the batch in admission order: expired deadlines are
+        shed first (code 3, nothing consumed), then each request is charged
+        — durably, on a ledger-backed tenant, with the charge (or refusal)
+        record appended *before* the sequence number's substream spawn is
+        consumed, so a failed append burns nothing and a retry converges.
+        A group-commit barrier then flushes the batch's ledger appends
+        through the store's commit log (one ``fdatasync`` per batch): all
+        charging strictly precedes all sampling, durably.  Phase 2 groups
+        the survivors by plan, draws each request's uniforms from its own
+        substream, and answers every group with a single merged
+        ``execute_with_uniforms`` call, scattering the released slices back
+        to the per-request futures.
         """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -433,30 +768,153 @@ class ServingDaemon:
         if len(batch) > 1:
             self.stats.coalesced_requests += len(batch)
 
+        now = time.monotonic()
         survivors: List[_PendingRequest] = []
+        touched: Dict[int, AccountantLedger] = {}
         for item in batch:
-            try:
-                item.plan.charge(
-                    item.tenant.accountant,
-                    label=(
-                        f"{item.tenant.name}: {item.plan.mechanism.name} "
-                        f"release ({item.command.counts.shape[0]} counts)"
+            if item.deadline is not None and now > item.deadline:
+                self.stats.overloaded += 1
+                self.stats.deadline_expired += 1
+                self._resolve(
+                    item,
+                    overloaded_response(
+                        "deadline expired before serving (--request-timeout); "
+                        "nothing was charged or drawn",
+                        id=item.command.request_id,
                     ),
                 )
-            except BudgetExceededError as error:
-                item.tenant.refusals += 1
-                self.stats.budget_refusals += 1
+                continue
+            tenant = item.tenant
+            seq = tenant.requests
+            if item.command.seq is not None and item.command.seq != seq:
+                # Raced: another connection of this tenant consumed the
+                # sequence first.  Re-sending either replays (seq now in
+                # the past) or lands fresh — the client converges.
                 self._resolve(
-                    item, refusal_response(str(error), id=item.command.request_id)
+                    item,
+                    error_response(
+                        f"seq {item.command.seq} raced: tenant "
+                        f"{tenant.name!r} is now at sequence {seq}; re-send",
+                        id=item.command.request_id, retriable=True,
+                    ),
                 )
                 continue
+            label = (
+                f"{tenant.name}: {item.plan.mechanism.name} "
+                f"release ({item.command.counts.shape[0]} counts)"
+            )
+            if tenant.ledger is not None:
+                try:
+                    tenant.ledger.charge(
+                        seq,
+                        alpha=float(item.command.alpha),
+                        size=int(item.command.counts.shape[0]),
+                        label=label,
+                        crc=chunk_crc(item.command.counts),
+                        extra={
+                            "n": int(item.command.n),
+                            "properties": item.command.properties,
+                        },
+                        sync=False,
+                    )
+                except BudgetExceededError as error:
+                    try:
+                        tenant.ledger.record_refusal(seq, label=label, sync=False)
+                    except OSError as append_error:
+                        self.stats.ledger_errors += 1
+                        self._resolve(
+                            item,
+                            error_response(
+                                f"tenant ledger append failed: {append_error}",
+                                id=item.command.request_id, retriable=True,
+                            ),
+                        )
+                        continue
+                    except _faults.InjectedCrash:
+                        self._hard_exit()
+                    touched[id(tenant.ledger)] = tenant.ledger
+                    tenant.next_substream()  # the refusal consumes its spawn
+                    tenant.refusals += 1
+                    self.stats.budget_refusals += 1
+                    self._resolve(
+                        item,
+                        refusal_response(
+                            str(error), id=item.command.request_id, seq=seq
+                        ),
+                    )
+                    continue
+                except OSError as error:
+                    # The charge never reached the log: nothing durable,
+                    # nothing consumed — a retry lands on this same seq.
+                    self.stats.ledger_errors += 1
+                    self._resolve(
+                        item,
+                        error_response(
+                            f"tenant ledger append failed: {error}",
+                            id=item.command.request_id, retriable=True,
+                        ),
+                    )
+                    continue
+                except _faults.InjectedCrash:
+                    # Torn tenant-ledger append: the half-record is on disk
+                    # and the process is "dead" — exit as hard as a crash
+                    # would, leaving the torn tail for restart recovery.
+                    self._hard_exit()
+                touched[id(tenant.ledger)] = tenant.ledger
+            else:
+                try:
+                    item.plan.charge(tenant.accountant, label=label)
+                except BudgetExceededError as error:
+                    tenant.next_substream()  # the refusal consumes its spawn
+                    tenant.refusals += 1
+                    self.stats.budget_refusals += 1
+                    self._resolve(
+                        item,
+                        refusal_response(
+                            str(error), id=item.command.request_id
+                        ),
+                    )
+                    continue
+            item.seq = seq
+            item.child = tenant.next_substream()
             survivors.append(item)
+
+        # Group-commit barrier: every buffered charge/refusal must be
+        # durable before any *response* leaves the process.  The store
+        # copies the batch's record bytes into its commit log (one file
+        # regardless of how many tenants the batch touched); the single
+        # device flush runs after sampling, still strictly before any
+        # response reaches a socket — resolved futures cannot write until
+        # this (synchronous) method returns to the event loop.  A store
+        # that cannot commit can no longer promise
+        # durability-before-release; crash now (crash-only design) so
+        # restart recovery re-derives a consistent state from disk and
+        # clients converge via seq replay.
+        descriptor = None
+        if touched:
+            try:
+                descriptor = self._store.stage_commit(touched.values())
+            except OSError:  # pragma: no cover - disk-level write failure
+                os._exit(2)
 
         groups: "OrderedDict[str, List[_PendingRequest]]" = OrderedDict()
         for item in survivors:
             groups.setdefault(item.key, []).append(item)
         for items in groups.values():
             self._serve_group(items)
+
+        if descriptor is not None:
+            try:
+                _datasync(descriptor)
+            except OSError:  # pragma: no cover - disk-level sync failure
+                os._exit(2)
+
+        injector = _faults.get_injector()
+        if injector.should_kill_daemon(self.stats.batches):
+            # The batch's charges are durably on disk and its samples are
+            # drawn, but no response has reached any client: every request
+            # of this batch dies in the charged-but-not-done window.
+            self._hard_exit()
 
     def _serve_group(self, items: List[_PendingRequest]) -> None:
         """One merged draw for every same-plan request in a flush.
@@ -496,26 +954,51 @@ class ServingDaemon:
             offset += size
             item.tenant.records += size
             self.stats.records += size
-            self._resolve(
-                item,
-                ok_response(
-                    id=item.command.request_id,
-                    released=[int(value) for value in released],
-                    mechanism=plan.mechanism.name,
-                    branch=plan.branch,
-                    alpha=item.command.alpha,
-                    coalesced=len(items),
-                ),
+            response = ok_response(
+                id=item.command.request_id,
+                released=[int(value) for value in released],
+                mechanism=plan.mechanism.name,
+                branch=plan.branch,
+                alpha=item.command.alpha,
+                coalesced=len(items),
             )
+            on_written: _OnWritten = None
+            if item.tenant.ledger is not None and item.seq is not None:
+                response["seq"] = item.seq
+                on_written = self._done_callback(
+                    item.tenant.ledger, item.seq, size
+                )
+            self._resolve(item, response, on_written)
 
     @staticmethod
-    def _resolve(item: _PendingRequest, response: dict) -> None:
+    def _resolve(
+        item: _PendingRequest, response: dict, on_written: _OnWritten = None
+    ) -> None:
         if not item.future.done():
-            item.future.set_result(response)
+            item.future.set_result((response, on_written))
 
     # ------------------------------------------------------------------ #
     # Connections
     # ------------------------------------------------------------------ #
+    async def _drain_response(self, writer: asyncio.StreamWriter) -> None:
+        """One response write's drain, bounded by ``client_timeout``.
+
+        The injected ``client_stall`` fault sleeps here — inside the timed
+        region — standing in for a peer that stopped reading (a real stall
+        parks ``drain()`` on the transport's high-water mark instead).
+        """
+        injector = _faults.get_injector()
+
+        async def _drain() -> None:
+            if injector.should_stall_client():
+                await asyncio.sleep(injector.hang_seconds)
+            await writer.drain()
+
+        if self.client_timeout is None:
+            await _drain()
+        else:
+            await asyncio.wait_for(_drain(), timeout=self.client_timeout)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -523,11 +1006,23 @@ class ServingDaemon:
         tenant: Optional[TenantSession] = None
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await read_message_line(reader, self.max_line_bytes)
+                except LineTooLongError as error:
+                    # Framing is untrustworthy past an overlong line:
+                    # answer once, then close instead of resyncing.
+                    self.stats.protocol_errors += 1
+                    writer.write(encode_message(error_response(str(error))))
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
                 if not line:
                     break
                 closing = False
                 message: Any = None
+                on_written: _OnWritten = None
                 try:
                     message = decode_message(line)
                     op = message.get("op", "release")
@@ -540,6 +1035,11 @@ class ServingDaemon:
                                 if tenant.accountant is None
                                 else tenant.accountant.alpha_target
                             ),
+                            budget=budget_payload(
+                                tenant.accountant, tenant.refusals
+                            ),
+                            next_seq=tenant.requests,
+                            durable=tenant.ledger is not None,
                         )
                     elif op == "release":
                         if self._closing:
@@ -549,7 +1049,9 @@ class ServingDaemon:
                         command = parse_release(message)
                         self._inflight += 1
                         try:
-                            response = await self._admit(tenant, command)
+                            response, on_written = await self._admit(
+                                tenant, command
+                            )
                         finally:
                             self._inflight -= 1
                     elif op == "stats":
@@ -557,6 +1059,13 @@ class ServingDaemon:
                             stats=self.stats_payload(),
                             tenant=None if tenant is None else tenant.payload(),
                         )
+                    elif op == "health":
+                        response = ok_response(health=self.health_payload())
+                    elif op == "drain":
+                        response = ok_response(
+                            message="draining", stats=self.stats_payload()
+                        )
+                        closing = True
                     elif op == "shutdown":
                         response = ok_response(message="shutting down")
                         closing = True
@@ -572,15 +1081,33 @@ class ServingDaemon:
                     )
                     response = error_response(str(error), id=request_id)
                 writer.write(encode_message(response))
-                await writer.drain()
+                try:
+                    await self._drain_response(writer)
+                except asyncio.TimeoutError:
+                    # Slow-client protection: this peer stopped reading.
+                    # Abort its transport; the batcher, the other tenants
+                    # and this request's durable charge are unaffected
+                    # (the skipped done-mark only means one replay).
+                    self.stats.clients_reaped += 1
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    break
+                if on_written is not None:
+                    on_written()
                 if closing:
-                    if message.get("op") == "shutdown":
+                    if message.get("op") in ("shutdown", "drain"):
                         asyncio.get_running_loop().create_task(self.stop())
                     break
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+        except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._connections -= 1
+            # A connection that died mid-batch changed the every-connection-
+            # has-a-request-waiting arithmetic: re-check, or the survivors
+            # would idle out the full window for a peer that is gone.
+            if self._pending and len(self._pending) >= self._connections:
+                self._maybe_flush()
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -590,6 +1117,28 @@ class ServingDaemon:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def health_payload(self) -> Dict[str, Any]:
+        """The ``health`` op's answer: liveness, load, durability state."""
+        extras: Dict[str, Any] = {
+            "overloaded": self.stats.overloaded,
+            "clients_reaped": self.stats.clients_reaped,
+            "replays": self.stats.replays,
+            "ledger_errors": self.stats.ledger_errors,
+        }
+        if self._store is not None:
+            extras["recovered_tenants"] = len(self._store.recovered)
+            extras["quarantined_tenants"] = len(self._store.quarantined)
+            extras["config_rejected_tenants"] = len(self._store.config_rejected)
+        return health_payload(
+            draining=self._closing,
+            pending=len(self._pending),
+            inflight=self._inflight,
+            connections=self._connections,
+            tenants=len(self._tenants),
+            durable=self._store is not None,
+            **extras,
+        )
+
     def stats_payload(self) -> Dict[str, Any]:
         """The daemon-wide stats object (``--stats-json`` schema)."""
         return stats_payload(
@@ -602,6 +1151,12 @@ class ServingDaemon:
             tenants=len(self._tenants),
             protocol_errors=self.stats.protocol_errors,
             batch_window_ms=round(self.batch_window * 1000.0, 3),
+            overloaded=self.stats.overloaded,
+            deadline_expired=self.stats.deadline_expired,
+            clients_reaped=self.stats.clients_reaped,
+            replays=self.stats.replays,
+            ledger_errors=self.stats.ledger_errors,
+            durable=self._store is not None,
             cache=self.cache.stats(),
             accountant=None,
             budget_refusals=self.stats.budget_refusals,
@@ -613,11 +1168,16 @@ class ServingDaemon:
     def describe(self) -> str:
         """One-line human summary (the CLI prints it on shutdown)."""
         cache = self.cache.stats()
-        return (
+        line = (
             f"requests={self.stats.requests} records={self.stats.records} "
             f"batches={self.stats.batches} "
             f"coalesced={self.stats.coalesced_requests} "
             f"max_batch={self.stats.max_batch} tenants={len(self._tenants)} "
             f"budget_refusals={self.stats.budget_refusals} "
+            f"overloaded={self.stats.overloaded} "
+            f"replays={self.stats.replays} "
             f"cache_hits={cache.hits} plans_compiled={self._plans_compiled}"
         )
+        if self._store is not None:
+            line += f" {self._store.describe()}"
+        return line

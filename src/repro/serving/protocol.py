@@ -14,23 +14,39 @@ budgets), not in a rich RPC surface:
     substream position and counters carry over.
 
 ``{"op": "release", "id": 3, "counts": [1, 4], "n": 16, "alpha": 0.9,
-"properties": "WH+CM"}``
+"properties": "WH+CM", "seq": 7}``
     Release a batch of true counts through the requested design.  ``id``
-    is echoed back verbatim so clients may pipeline.
+    is echoed back verbatim so clients may pipeline.  ``seq`` (optional)
+    is the tenant's request sequence number; against a durable daemon
+    (``--state-dir``) re-sending an already-charged ``seq`` after a crash
+    *replays* it — same substream, same released bits, charged exactly
+    once — instead of spending budget again.
 
 ``{"op": "stats"}``
     One machine-readable statistics object (the same schema as the CLI's
     ``--stats-json``; see :mod:`repro.serving.stats`) plus this tenant's
     budget and traffic counters.
 
+``{"op": "health"}``
+    Liveness/readiness for supervisors: pending queue depth, in-flight
+    count, tenant totals, durability state, draining flag.
+
+``{"op": "drain"}``
+    Stop accepting new work, flush in-flight batches, checkpoint every
+    tenant ledger, then exit 0 — the supervisor-friendly shutdown.
+
 ``{"op": "shutdown"}``
     Gracefully stop the daemon: in-flight batches are flushed and answered
-    before the process exits.
+    before the process exits (ledgers are checkpointed exactly as for
+    ``drain``).
 
 Responses carry ``status`` and a numeric ``code`` mirroring the
 ``serve-stream`` exit-status conventions: ``0`` — served; ``1`` — refused
 (privacy budget exhausted before sampling; nothing was drawn); ``2`` —
-error (malformed request, unknown design parameters, tenant limit).
+error (malformed request, unknown design parameters, tenant limit,
+quarantined tenant ledger); ``3`` — overloaded (queue full, per-tenant
+in-flight cap, or deadline expired before serving — *retriable*, nothing
+was charged or drawn, no substream spawn was consumed).
 
 The module also provides :class:`AsyncDaemonClient`, the asyncio client the
 benchmarks, tests and ``examples/daemon_client.py`` drive the daemon with,
@@ -53,16 +69,52 @@ import numpy as np
 OK = 0
 REFUSED = 1
 ERROR = 2
+#: Shed for capacity (queue depth, in-flight cap, deadline): retriable.
+OVERLOADED = 3
 
-STATUS_BY_CODE = {OK: "ok", REFUSED: "refused", ERROR: "error"}
+STATUS_BY_CODE = {OK: "ok", REFUSED: "refused", ERROR: "error", OVERLOADED: "overloaded"}
 
-#: StreamReader line limit: a release of 10^5 counts is ~700 KB of JSON,
-#: so allow generous headroom before a line is considered hostile.
+#: Client-side StreamReader limit: a served release of 10^5 counts is
+#: ~700 KB of JSON, so allow generous headroom on the *response* path.
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Default server-side bound on one request line (``--max-line-bytes``):
+#: a buggy or hostile client cannot grow the reader's buffer without
+#: bound — past this, the request is answered with a clean code-2 error
+#: and the connection is closed.
+DEFAULT_MAX_LINE_BYTES = 1024 * 1024
 
 
 class ProtocolError(ValueError):
     """A malformed or unserveable request (mapped to a code-2 response)."""
+
+
+class LineTooLongError(ProtocolError):
+    """A request line exceeded the server's ``--max-line-bytes`` bound.
+
+    Framing cannot be trusted past an overlong line, so the daemon answers
+    with code 2 and then closes the connection instead of resyncing.
+    """
+
+
+async def read_message_line(
+    reader: asyncio.StreamReader, max_bytes: int = DEFAULT_MAX_LINE_BYTES
+) -> bytes:
+    """One request line from ``reader``, bounded by the reader's limit.
+
+    Returns ``b""`` at a clean EOF.  Raises :class:`LineTooLongError`
+    when the peer sends more than the reader's configured limit without a
+    newline (``asyncio`` raises a bare ``ValueError`` for that; the bound
+    itself comes from the ``limit=`` the listening socket was created
+    with — pass the same value here for an accurate message).
+    """
+    try:
+        return await reader.readline()
+    except ValueError as error:
+        raise LineTooLongError(
+            f"request line exceeds the {max_bytes}-byte bound "
+            "(--max-line-bytes); closing the connection"
+        ) from error
 
 
 def encode_message(message: dict) -> bytes:
@@ -102,6 +154,17 @@ def error_response(error: str, **fields: Any) -> dict:
     return {"status": STATUS_BY_CODE[ERROR], "code": ERROR, "error": error, **fields}
 
 
+def overloaded_response(error: str, **fields: Any) -> dict:
+    """A retriable capacity shed: nothing charged, drawn, or spawned."""
+    return {
+        "status": STATUS_BY_CODE[OVERLOADED],
+        "code": OVERLOADED,
+        "error": error,
+        "retriable": True,
+        **fields,
+    }
+
+
 @dataclass(frozen=True)
 class ReleaseCommand:
     """A validated ``release`` request, ready for the batcher."""
@@ -111,6 +174,8 @@ class ReleaseCommand:
     n: int
     alpha: float
     properties: str
+    #: Tenant request sequence number (durable daemons: replay/exactly-once).
+    seq: Optional[int] = None
 
 
 def parse_release(message: dict) -> ReleaseCommand:
@@ -149,12 +214,19 @@ def parse_release(message: dict) -> ReleaseCommand:
     properties = message.get("properties", "")
     if not isinstance(properties, str):
         raise ProtocolError("properties must be a string such as 'WH+CM'")
+    seq = message.get("seq")
+    if seq is not None:
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+            raise ProtocolError(
+                f"seq must be a non-negative integer, got {seq!r}"
+            )
     return ReleaseCommand(
         request_id=message.get("id"),
         counts=counts,
         n=n,
         alpha=alpha,
         properties=properties,
+        seq=seq,
     )
 
 
@@ -251,6 +323,7 @@ class AsyncDaemonClient:
         alpha: float,
         properties: str = "",
         request_id: Any = None,
+        seq: Optional[int] = None,
     ) -> dict:
         message: dict = {
             "op": "release",
@@ -262,10 +335,18 @@ class AsyncDaemonClient:
             message["properties"] = properties
         if request_id is not None:
             message["id"] = request_id
+        if seq is not None:
+            message["seq"] = int(seq)
         return await self.request(message)
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def health(self) -> dict:
+        return await self.request({"op": "health"})
+
+    async def drain(self) -> dict:
+        return await self.request({"op": "drain"})
 
     async def shutdown(self) -> dict:
         return await self.request({"op": "shutdown"})

@@ -24,8 +24,13 @@ front-end served the traffic:
 ``budget`` fields are ``null`` on unmetered sessions (except
 ``budget_refusals``, which is always a number); ``cache`` is ``null`` when
 no design cache was involved.  Extra per-surface counters (``batches``,
-``coalesced_requests``, ``tenants`` …) appear as additional top-level
-keys — consumers must ignore keys they do not know.
+``coalesced_requests``, ``tenants``, ``overloaded``, ``replays`` …) appear
+as additional top-level keys — consumers must ignore keys they do not
+know.
+
+The daemon's ``{"op": "health"}`` answer uses the sibling
+:func:`health_payload` schema — the small, fast object a supervisor polls
+between ``drain`` and SIGKILL.
 """
 
 from __future__ import annotations
@@ -70,6 +75,37 @@ def budget_payload(
         "releases": len(accountant.history()),
         "budget_refusals": int(budget_refusals),
     }
+
+
+def health_payload(
+    *,
+    draining: bool,
+    pending: int,
+    inflight: int,
+    connections: int,
+    tenants: int,
+    durable: bool,
+    **extras: Any,
+) -> Dict[str, Any]:
+    """The daemon ``health`` op's answer: cheap liveness/readiness state.
+
+    Deliberately tiny and allocation-light — a supervisor polls it between
+    ``drain`` and SIGKILL, and a load balancer may poll it per second.
+    ``extras`` lands as additional sorted keys (shed counters, durability
+    recovery totals …); consumers must ignore keys they do not know.
+    """
+    payload: Dict[str, Any] = {
+        "status": "draining" if draining else "ok",
+        "draining": bool(draining),
+        "pending": int(pending),
+        "inflight": int(inflight),
+        "connections": int(connections),
+        "tenants": int(tenants),
+        "durable": bool(durable),
+    }
+    for key in sorted(extras):
+        payload[key] = extras[key]
+    return payload
 
 
 def stats_payload(
