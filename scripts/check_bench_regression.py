@@ -13,11 +13,13 @@ reference run and fails CI when the trajectory degrades:
 * a case that was substantial in the baseline (``--min-seconds``) got more
   than ``--max-ratio`` times slower,
 * a structured case metric (recorded via ``benchmarks/_metrics.py`` under
-  the case's ``"metrics"`` key) regressed: ``req_per_s`` is
-  higher-is-better and gated whenever baselined; ``p50_ms``/``p99_ms`` are
-  lower-is-better and gated when the baseline latency clears
-  ``--min-latency-ms`` (sub-millisecond percentiles on shared runners are
-  noise).  Metrics use their own ``--metric-max-ratio`` (looser than the
+  the case's ``"metrics"`` key) regressed: ``req_per_s`` and speedup
+  factors (``*_x``) are higher-is-better and gated whenever baselined;
+  ``p50_ms``/``p99_ms`` are lower-is-better and gated when the baseline
+  latency clears ``--min-latency-ms`` (sub-millisecond percentiles on
+  shared runners are noise); duration metrics (``*_s``/``*_seconds``,
+  e.g. the solve times in ``BENCH_registry.json``) are lower-is-better
+  and gated when the baseline clears 50 ms.  Metrics use their own ``--metric-max-ratio`` (looser than the
   wall-clock gate: a percentile from a short closed-loop run is a noisier
   estimator than an aggregate duration).  A baselined metric that
   vanishes from the artifact fails, like a vanished case.
@@ -52,6 +54,29 @@ METRIC_GATES = {
     "p99_ms": "lower",
 }
 
+#: Seconds metrics below this baseline value are not gated: a sub-50ms
+#: duration on a shared runner is scheduler noise, like the latency floor.
+MIN_METRIC_SECONDS = 0.05
+
+
+def metric_direction(name: str):
+    """Better-direction for a metric name, or ``None`` when ungated.
+
+    Beyond the explicit :data:`METRIC_GATES` table, duration metrics
+    (``*_s`` / ``*_seconds``, e.g. ``cold_solve_s`` from
+    ``BENCH_registry.json``) are lower-is-better and speedup factors
+    (``*_x``) are higher-is-better.  Rate names like ``req_per_s`` end in
+    ``per_s`` and are *not* durations — the explicit table wins first and
+    the suffix rule excludes them.
+    """
+    if name in METRIC_GATES:
+        return METRIC_GATES[name]
+    if name.endswith("_seconds") or (name.endswith("_s") and not name.endswith("per_s")):
+        return "lower"
+    if name.endswith("_x"):
+        return "higher"
+    return None
+
 
 def load_bench(path: Path) -> dict:
     payload = json.loads(path.read_text())
@@ -70,11 +95,13 @@ def compare_metrics(
     max_ratio: float,
     min_latency_ms: float,
 ) -> tuple[list[str], list[str]]:
-    """Gate one case's structured metrics (req/s up, latency down)."""
+    """Gate one case's structured metrics (throughput up, durations down)."""
     failures: list[str] = []
     notes: list[str] = []
-    for name in sorted(set(base_metrics) & set(METRIC_GATES)):
-        direction = METRIC_GATES[name]
+    for name in sorted(base_metrics):
+        direction = metric_direction(name)
+        if direction is None:
+            continue
         if name not in new_metrics:
             failures.append(
                 f"{suite}::{case}: baselined metric {name!r} missing from artifact"
@@ -82,14 +109,18 @@ def compare_metrics(
             continue
         base_value = float(base_metrics[name])
         value = float(new_metrics[name])
+        is_seconds = name not in METRIC_GATES and direction == "lower"
         if direction == "lower":
-            if base_value < min_latency_ms:
-                continue  # sub-threshold latencies are runner noise
+            floor = MIN_METRIC_SECONDS if is_seconds else min_latency_ms
+            if base_value < floor:
+                continue  # sub-threshold durations are runner noise
             ratio = value / base_value if base_value > 0 else float("inf")
-            detail = f"{value:.3f}ms vs baseline {base_value:.3f}ms"
+            unit = "s" if is_seconds else "ms"
+            detail = f"{value:.3f}{unit} vs baseline {base_value:.3f}{unit}"
         else:
             ratio = base_value / value if value > 0 else float("inf")
-            detail = f"{value:.1f}/s vs baseline {base_value:.1f}/s"
+            unit = "x" if name.endswith("_x") else "/s"
+            detail = f"{value:.1f}{unit} vs baseline {base_value:.1f}{unit}"
         if ratio > max_ratio:
             failures.append(
                 f"{suite}::{case}: {name} regressed — {detail} "

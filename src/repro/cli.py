@@ -326,6 +326,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the machine-readable JSON statistics object "
                              "to stderr on shutdown")
 
+    warm = subparsers.add_parser(
+        "warm",
+        help="precompile a design grid into a cache directory's plan registry",
+        epilog="example: repro-mechanisms warm --cache-dir ~/.cache/repro-designs "
+               "--grid n=8,16,32 alpha=0.9,0.95,0.99 props=WH+CM --workers 4 "
+               "-- a daemon later started with the same --cache-dir serves the "
+               "whole grid with zero LP solves",
+    )
+    warm.add_argument("--cache-dir", type=Path, required=True,
+                      help="cache directory whose plan registry to fill "
+                           "(the daemon's --cache-dir)")
+    warm.add_argument("--grid", nargs="+", required=True, metavar="AXIS=V1,V2,...",
+                      help="grid axes as key=value tokens: n=8,16 alpha=0.9,0.95 "
+                           "[props=WH+CM,...] (props defaults to WH+CM; 'none' "
+                           "for the unconstrained LP)")
+    warm.add_argument("--backend", choices=("scipy", "simplex"), default="scipy",
+                      help="LP backend to precompile with; 'simplex' chains "
+                           "warm starts along each group's alpha axis")
+    warm.add_argument("--workers", type=int, default=None,
+                      help="fan (n, props) groups out across this many worker "
+                           "processes (default: in-process)")
+    warm.add_argument("--stats-json", action="store_true",
+                      help="emit the warm-run summary as one JSON object to stderr")
+
     experiments = subparsers.add_parser(
         "experiments", help="run the paper-figure reproduction experiments"
     )
@@ -915,6 +939,33 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_warm(args: argparse.Namespace) -> int:
+    from repro.serving.warm import GridError, parse_grid, warm_grid
+
+    try:
+        axes = parse_grid(args.grid)
+    except GridError as error:
+        raise SystemExit(f"warm: {error}")
+    summary = warm_grid(
+        args.cache_dir,
+        ns=axes["n"],
+        alphas=axes["alpha"],
+        props_list=axes["props"],
+        backend=args.backend,
+        max_workers=args.workers,
+    )
+    print(
+        f"warm: {summary['solved']} solved "
+        f"({summary['warm_started']} warm-started), "
+        f"{summary['skipped']} already present, "
+        f"{summary['registry_entries']} registry entries "
+        f"in {summary['seconds']:.2f}s -> {args.cache_dir}"
+    )
+    if args.stats_json:
+        print(json.dumps({"command": "warm", **summary}), file=sys.stderr)
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     runner.run_experiments(
         names=args.only, fast=args.fast, csv_dir=args.csv_dir, max_workers=args.max_workers
@@ -929,6 +980,7 @@ _COMMANDS = {
     "serve-batch": _command_serve_batch,
     "serve-stream": _command_serve_stream,
     "serve": _command_serve,
+    "warm": _command_warm,
     "experiments": _command_experiments,
 }
 

@@ -13,14 +13,51 @@ reproduces the fully constrained designs of Figure 2.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.constraints import MechanismLP, build_mechanism_lp
 from repro.core.losses import Objective
 from repro.core.mechanism import Mechanism, SparseMechanism
 from repro.core.properties import StructuralProperty, combination_label, parse_properties
 from repro.lp.solver import DEFAULT_BACKEND, solve
+
+# Process-wide accumulators for LP wall-time, surfaced by the serving
+# layer's ``--stats-json`` / daemon ``stats`` payloads.  Guarded by a lock
+# because the daemon designs from worker threads.
+_TIMING_LOCK = threading.Lock()
+_LP_BUILD_SECONDS = 0.0
+_LP_SOLVE_SECONDS = 0.0
+
+
+def lp_timing_totals() -> Dict[str, float]:
+    """Cumulative LP build/solve wall-time (seconds) in this process."""
+    with _TIMING_LOCK:
+        return {
+            "lp_build_seconds": _LP_BUILD_SECONDS,
+            "lp_solve_seconds": _LP_SOLVE_SECONDS,
+        }
+
+
+def reset_lp_timing_totals() -> Dict[str, float]:
+    """Zero the LP timing accumulators and return the previous totals."""
+    global _LP_BUILD_SECONDS, _LP_SOLVE_SECONDS
+    with _TIMING_LOCK:
+        previous = {
+            "lp_build_seconds": _LP_BUILD_SECONDS,
+            "lp_solve_seconds": _LP_SOLVE_SECONDS,
+        }
+        _LP_BUILD_SECONDS = 0.0
+        _LP_SOLVE_SECONDS = 0.0
+    return previous
+
+
+def _record_lp_timing(build_seconds: float, solve_seconds: float) -> None:
+    global _LP_BUILD_SECONDS, _LP_SOLVE_SECONDS
+    with _TIMING_LOCK:
+        _LP_BUILD_SECONDS += float(build_seconds)
+        _LP_SOLVE_SECONDS += float(solve_seconds)
 
 
 def design_mechanism(
@@ -32,6 +69,7 @@ def design_mechanism(
     name: Optional[str] = None,
     output_alpha: Optional[float] = None,
     representation: str = "dense",
+    warm_start: Optional[Sequence[int]] = None,
 ) -> Mechanism:
     """Solve for the optimal mechanism satisfying BASICDP plus the given properties.
 
@@ -64,6 +102,11 @@ def design_mechanism(
         :class:`Mechanism`; ``"sparse"`` keeps only the non-zero entries in
         a :class:`~repro.core.mechanism.SparseMechanism` — LP optima are
         sparse/banded, so this is what the serving layer caches.
+    warm_start:
+        Optional standard-form simplex basis from a neighbouring design
+        (same ``n``/properties, nearby ``alpha``), forwarded to
+        :func:`repro.lp.solver.solve`.  Only the ``simplex`` backend uses
+        it; a stale basis falls back to the cold path automatically.
 
     Returns
     -------
@@ -84,6 +127,7 @@ def design_mechanism(
         name=name,
         build_seconds=build_seconds,
         representation=representation,
+        warm_start=warm_start,
     )
     if output_alpha is not None:
         mechanism.metadata["output_alpha"] = float(output_alpha)
@@ -96,6 +140,7 @@ def solve_mechanism_lp(
     name: Optional[str] = None,
     build_seconds: Optional[float] = None,
     representation: str = "dense",
+    warm_start: Optional[Sequence[int]] = None,
 ) -> Mechanism:
     """Solve an already-built :class:`MechanismLP` and wrap the result.
 
@@ -109,8 +154,9 @@ def solve_mechanism_lp(
     if representation not in ("dense", "sparse"):
         raise ValueError(f"unknown mechanism representation {representation!r}")
     solve_start = time.perf_counter()
-    solution = solve(mechanism_lp.program, backend=backend)
+    solution = solve(mechanism_lp.program, backend=backend, warm_start=warm_start)
     solve_seconds = time.perf_counter() - solve_start
+    _record_lp_timing(build_seconds or 0.0, solve_seconds)
     label = combination_label(mechanism_lp.properties)
     mechanism_name = name or f"LP[{label}]"
     metadata = {
@@ -128,6 +174,12 @@ def solve_mechanism_lp(
     }
     if build_seconds is not None:
         metadata["lp_build_seconds"] = float(build_seconds)
+    if solution.basis is not None:
+        # Standard-form optimal basis (simplex backend only): cached in the
+        # plan registry so neighbouring alphas can warm-start from it.
+        metadata["lp_basis"] = [int(i) for i in solution.basis]
+    if solution.warm_started:
+        metadata["lp_warm_started"] = True
     if representation == "sparse":
         csc = mechanism_lp.sparse_matrix_from_values(solution.values)
         metadata["nnz"] = int(csc.nnz)

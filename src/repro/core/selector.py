@@ -26,7 +26,7 @@ to solving the full LP directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple, Union
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.losses import Objective
 from repro.core.mechanism import Mechanism
@@ -165,6 +165,7 @@ def choose_mechanism(
     backend: str = DEFAULT_BACKEND,
     cache: Optional[object] = None,
     representation: str = "auto",
+    warm_start: Optional[Sequence[int]] = None,
 ) -> Tuple[Mechanism, SelectorDecision]:
     """Return the optimal mechanism for the requested properties plus the decision.
 
@@ -185,6 +186,11 @@ def choose_mechanism(
     so repeated designs skip both the flowchart and the LP solver; this is
     what high-volume callers (the serving layer, the ``serve-batch`` CLI)
     rely on.
+
+    ``warm_start`` (a standard-form simplex basis from a neighbouring
+    design) is forwarded to the LP branches; the closed-form branches and
+    the scipy backend ignore it.  It is only meaningful for direct calls —
+    when routing through a cache the cache itself decides warm-starting.
     """
     if representation not in ("auto", "dense", "sparse"):
         raise ValueError(f"unknown mechanism representation {representation!r}")
@@ -212,6 +218,7 @@ def choose_mechanism(
             objective=objective,
             backend=backend,
             representation=lp_representation,
+            warm_start=warm_start,
         )
     else:
         mechanism = weakly_honest_mechanism(
@@ -221,6 +228,7 @@ def choose_mechanism(
             objective=objective,
             backend=backend,
             representation=lp_representation,
+            warm_start=warm_start,
         )
     mechanism.metadata["selector_branch"] = decision.branch
     mechanism.metadata["selector_reason"] = decision.reason

@@ -408,6 +408,27 @@ class ReleasePlan:
             "storage_bytes": self.mechanism.storage_bytes(),
         }
 
+    def descriptor(self) -> Dict[str, Any]:
+        """The plan's identity as a plan-registry row (indexed columns).
+
+        Mirrors :func:`repro.serving.registry.parse_design_key` applied to
+        the plan's design-cache key, so a plan can be matched to — or looked
+        up in — a :class:`~repro.serving.registry.PlanRegistry` without
+        reconstructing the request.  ``None`` when the plan was built from a
+        bare mechanism with no cache key (nothing to look up).
+        """
+        if self.key is None:
+            return {"key": None}
+        from repro.serving.registry import parse_design_key
+
+        fields = parse_design_key(self.key) or {}
+        descriptor: Dict[str, Any] = {"key": self.key}
+        descriptor.update(fields)
+        descriptor["warm_started"] = bool(
+            self.mechanism.metadata.get("lp_warm_started", False)
+        )
+        return descriptor
+
     def describe(self) -> str:
         """One-line summary used by the CLI's ``--stats`` output."""
         return (

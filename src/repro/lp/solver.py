@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -80,6 +81,14 @@ class LPSolution:
     iterations: int = 0
     message: str = ""
     variable_names: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+    #: Optimal basis in standard-form column indices (simplex backend only).
+    #: Entries ``>= num_structural_columns`` mark artificial variables kept
+    #: basic at zero on redundant rows; :mod:`repro.lp.simplex` knows how to
+    #: re-import them.  ``None`` for backends without a basis interface
+    #: (scipy/HiGHS exposes none through ``linprog``).
+    basis: Optional[Tuple[int, ...]] = field(default=None, repr=False)
+    #: True when this solve skipped phase 1 by starting from a prior basis.
+    warm_started: bool = False
 
     def __post_init__(self) -> None:
         self._by_name_cache: Optional[Dict[str, float]] = None
@@ -108,7 +117,7 @@ class LPSolution:
         duplicate name-to-value mapping, so the payload carries each solution
         value exactly once.
         """
-        return {
+        payload: Dict[str, object] = {
             "status": self.status.value,
             "values": [float(v) for v in self.values],
             "objective": float(self.objective),
@@ -117,6 +126,11 @@ class LPSolution:
             "message": self.message,
             "variable_names": list(self.variable_names or ()),
         }
+        if self.basis is not None:
+            payload["basis"] = [int(i) for i in self.basis]
+        if self.warm_started:
+            payload["warm_started"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "LPSolution":
@@ -129,6 +143,8 @@ class LPSolution:
             iterations=int(payload.get("iterations", 0)),  # type: ignore[arg-type]
             message=str(payload.get("message", "")),
             variable_names=tuple(str(name) for name in payload.get("variable_names", ())) or None,
+            basis=tuple(int(i) for i in payload["basis"]) if payload.get("basis") else None,
+            warm_started=bool(payload.get("warm_started", False)),
         )
         if solution.variable_names is None and "by_name" in payload:
             solution._by_name_cache = {
@@ -143,6 +159,16 @@ def available_backends() -> Tuple[str, ...]:
     return BACKENDS
 
 
+def warm_start_enabled() -> bool:
+    """Whether LP warm-starting is allowed in this process.
+
+    ``REPRO_NO_WARMSTART=1`` (any value other than empty or ``"0"``) disables
+    warm-starting everywhere, keeping every solve byte-identical to the cold
+    two-phase path regardless of what callers pass for ``warm_start``.
+    """
+    return os.environ.get("REPRO_NO_WARMSTART", "") in ("", "0")
+
+
 def solve(
     program: LinearProgram,
     backend: str = DEFAULT_BACKEND,
@@ -150,6 +176,7 @@ def solve(
     max_iterations: Optional[int] = None,
     check: bool = True,
     sparse: Optional[bool] = None,
+    warm_start: Optional[Sequence[int]] = None,
 ) -> LPSolution:
     """Solve a linear program and return an :class:`LPSolution`.
 
@@ -174,6 +201,16 @@ def solve(
         than densifying them.  Defaults to ``True`` for the scipy backend
         (HiGHS consumes sparse matrices natively) and is ignored by the
         dense-only simplex backend.
+    warm_start:
+        Optional standard-form basis from a previous ``simplex`` solve of a
+        structurally identical program (same shape after
+        ``to_standard_form``; typically a neighbouring ``alpha``).  When the
+        basis is still primal-feasible, phase 1 is skipped entirely.  The
+        result is verified like any other solve; if a warm-started solve
+        fails its feasibility check the cold path re-runs automatically, so
+        a stale basis can never change the answer.  Ignored by the scipy
+        backend (``linprog`` exposes no basis interface) and disabled
+        globally by ``REPRO_NO_WARMSTART=1``.
 
     Raises
     ------
@@ -186,7 +223,11 @@ def solve(
     _SOLVE_CALLS += 1
     if sparse is None:
         sparse = backend == "scipy"
+    if warm_start is not None and (backend != "simplex" or not warm_start_enabled()):
+        warm_start = None
 
+    basis: Optional[Tuple[int, ...]] = None
+    warm_started = False
     if backend == "scipy":
         arrays = program.to_sparse_arrays() if sparse else program.to_standard_arrays()
         raw = scipy_backend.solve_general_form(
@@ -216,11 +257,28 @@ def solve(
             arrays["upper"],
             tolerance=tolerance,
             max_iterations=max_iterations,
+            warm_basis=warm_start,
         )
         status_text = result.status
         x = result.x
         iterations = result.iterations
         message = result.message
+        warm_started = bool(result.warm_started)
+        if result.basis is not None:
+            basis = tuple(int(i) for i in result.basis)
+
+    if warm_started and (status_text != "optimal" or x is None):
+        # Verification gate, part 1: a warm-started solve that did not reach
+        # a clean optimum falls back to the cold two-phase path instead of
+        # surfacing the failure — a stale basis must never change behaviour.
+        return solve(
+            program,
+            backend=backend,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            check=check,
+            sparse=sparse,
+        )
 
     if status_text == "infeasible":
         raise LPInfeasibleError(f"{program.summary()}: infeasible ({message})")
@@ -233,6 +291,17 @@ def solve(
     if check:
         violations = program.violated_constraints(values, tolerance=max(1e-6, 100 * tolerance))
         if violations:
+            if warm_started:
+                # Verification gate, part 2: an infeasible warm-started point
+                # means the imported basis was stale — re-solve cold.
+                return solve(
+                    program,
+                    backend=backend,
+                    tolerance=tolerance,
+                    max_iterations=max_iterations,
+                    check=check,
+                    sparse=sparse,
+                )
             raise LPError(
                 f"{program.summary()}: backend {backend!r} returned an infeasible point; "
                 f"violated: {violations[:5]}"
@@ -247,4 +316,6 @@ def solve(
         iterations=iterations,
         message=message,
         variable_names=program.variable_names(),
+        basis=basis,
+        warm_started=warm_started,
     )

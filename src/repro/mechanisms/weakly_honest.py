@@ -17,7 +17,7 @@ flowchart:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.design import design_mechanism
 from repro.core.losses import Objective
@@ -35,6 +35,7 @@ def weakly_honest_mechanism(
     objective: Optional[Objective] = None,
     backend: str = DEFAULT_BACKEND,
     representation: str = "dense",
+    warm_start: Optional[Sequence[int]] = None,
 ) -> Mechanism:
     """Solve the LP for the weakly honest mechanism WM.
 
@@ -58,6 +59,9 @@ def weakly_honest_mechanism(
     representation:
         ``"dense"`` or ``"sparse"`` (WM solutions are banded; the serving
         layer requests sparse storage).
+    warm_start:
+        Optional simplex basis from a neighbouring design, forwarded to
+        :func:`repro.core.design.design_mechanism`.
     """
     properties = {StructuralProperty.WEAK_HONESTY}
     if column_monotone:
@@ -74,6 +78,7 @@ def weakly_honest_mechanism(
         backend=backend,
         name="WM" if column_monotone else "WM[WH]",
         representation=representation,
+        warm_start=warm_start,
     )
     mechanism.metadata["definition"] = (
         "weakly honest mechanism (LP with WH"

@@ -6,9 +6,17 @@ scratch; ``Mechanism.sample`` draws one noisy count.  Production traffic —
 many users, many groups, a handful of distinct ``(n, alpha, properties)``
 configurations — needs neither repeated: this package adds
 
-* :class:`~repro.serving.cache.DesignCache` — an LRU (optionally on-disk)
-  memo of designed mechanisms keyed by the full design request, so repeated
-  requests never touch the LP solver;
+* :class:`~repro.serving.cache.DesignCache` — an LRU memo of designed
+  mechanisms keyed by the full design request, so repeated requests never
+  touch the LP solver; its persistent tier is
+* :class:`~repro.serving.registry.PlanRegistry` — one WAL-mode sqlite
+  artifact store per cache directory, safe for concurrent multi-process
+  readers and a writer, with per-row checksums, schema versioning and a
+  ``(n, alpha)`` index that feeds LP warm-starting (a cold miss starts the
+  simplex from its nearest cached neighbour's optimal basis);
+* :func:`~repro.serving.warm.warm_grid` — the offline grid precompiler
+  behind ``repro-mechanisms warm``, which fills a registry so a freshly
+  started daemon serves every grid point with zero LP solves;
 * :class:`~repro.serving.session.BatchReleaseSession` — routes mixed streams
   of ``(group, count, design request)`` records through the cache into
   compiled :class:`~repro.engine.plan.ReleasePlan` executions, optionally
@@ -39,6 +47,13 @@ for the throughput guarantees.
 
 from repro.serving.cache import CacheStats, DesignCache, design_key
 from repro.serving.daemon import DaemonStats, ServingDaemon, TenantSession
+from repro.serving.registry import (
+    PlanRegistry,
+    RegistryError,
+    RegistryVersionError,
+    parse_design_key,
+)
+from repro.serving.warm import parse_grid, warm_grid
 from repro.serving.protocol import (
     AsyncDaemonClient,
     ProtocolError,
@@ -54,8 +69,11 @@ __all__ = [
     "CacheStats",
     "DaemonStats",
     "DesignCache",
+    "PlanRegistry",
     "ProtocolError",
     "RecoveredTenant",
+    "RegistryError",
+    "RegistryVersionError",
     "ReleaseRequest",
     "ReleasedCount",
     "ServingDaemon",
@@ -63,7 +81,10 @@ __all__ = [
     "TenantStore",
     "design_key",
     "health_payload",
+    "parse_design_key",
+    "parse_grid",
     "stats_payload",
+    "warm_grid",
     "tenant_seed_sequence",
     "tenant_slug",
 ]

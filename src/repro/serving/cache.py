@@ -12,9 +12,18 @@ later processes skip the solver too.
 Entries store each mechanism's *representation descriptor* — a closed-form
 factory call for the Figure-5 GM/EM branches, CSC arrays for LP-designed
 mechanisms — rather than a dense matrix blob, so cached designs stay small
-at any group size.  A corrupt or truncated disk entry (killed writer, full
-disk) is treated as a cache miss: the design is re-solved and the bad file
-overwritten.
+at any group size.  The persistent tier is a
+:class:`~repro.serving.registry.PlanRegistry` (one WAL-mode sqlite file per
+cache directory, safe for concurrent multi-process readers and a writer); a
+corrupt row (killed writer, bad disk) is treated as a cache miss: the
+design is re-solved and the bad row overwritten.  Legacy loose
+``design-*.json`` directories are imported into the registry on first open.
+
+On a cold miss with the ``simplex`` backend, the cache additionally asks
+the registry for the *nearest cached neighbour* on the alpha axis and
+warm-starts the simplex from that neighbour's optimal basis — skipping
+phase 1 entirely when the basis is still feasible, with automatic fallback
+to the cold path otherwise (``REPRO_NO_WARMSTART=1`` disables this).
 
 >>> from repro.serving import DesignCache
 >>> cache = DesignCache(capacity=64)
@@ -26,20 +35,18 @@ overwritten.
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.losses import Objective
 from repro.core.mechanism import Mechanism
 from repro.core.properties import StructuralProperty, parse_properties
 from repro.core.selector import SelectorDecision
-from repro.lp.solver import DEFAULT_BACKEND
+from repro.lp.solver import DEFAULT_BACKEND, warm_start_enabled
+from repro.serving.registry import PlanRegistry, parse_design_key
 
 PropertiesLike = Union[None, str, Iterable[Union[str, StructuralProperty]]]
 
@@ -79,9 +86,20 @@ class CacheStats:
     evictions: int
     disk_hits: int
     size: int
-    #: Disk-tier stores that failed (I/O error) and were swallowed; the
+    #: Registry stores that failed (I/O error) and were swallowed; the
     #: in-memory tier keeps serving, so these are observability, not errors.
     disk_errors: int = 0
+    #: Cold simplex misses where a neighbour basis was found and tried.
+    warm_attempts: int = 0
+    #: Warm attempts whose basis was accepted (phase 1 skipped).
+    warm_hits: int = 0
+    #: Warm attempts that fell back to the cold two-phase path.
+    warm_fallbacks: int = 0
+    #: Registry rows that failed checksum/shape verification and were
+    #: dropped (each one became a miss and a re-solve).
+    corrupt_rows: int = 0
+    #: Legacy loose ``design-*.json`` entries imported on registry open.
+    imported_legacy: int = 0
 
     @property
     def requests(self) -> int:
@@ -91,6 +109,15 @@ class CacheStats:
     def hit_rate(self) -> float:
         total = self.requests
         return self.hits / total if total else 0.0
+
+    @property
+    def tiers(self) -> Dict[str, int]:
+        """Requests served per tier: in-process memory, registry, LP solve."""
+        return {
+            "memory": self.hits - self.disk_hits,
+            "registry": self.disk_hits,
+            "solve": self.misses,
+        }
 
 
 class DesignCache:
@@ -102,10 +129,13 @@ class DesignCache:
         Maximum number of designs held in memory; the least recently used
         entry is evicted beyond this.  Must be at least 1.
     directory:
-        Optional directory for the on-disk tier.  Every design (fresh or
-        loaded) is mirrored there as one JSON file per key, so a new process
-        pointed at the same directory serves every previously seen request
-        without an LP solve.  The directory is created on first write.
+        Optional directory for the persistent tier.  Every design (fresh or
+        loaded) is mirrored into the directory's
+        :class:`~repro.serving.registry.PlanRegistry` (``registry.sqlite``),
+        so a new process pointed at the same directory serves every
+        previously seen request without an LP solve.  A directory holding
+        legacy loose ``design-*.json`` files is imported once on open, the
+        loose files left untouched.
 
     Notes
     -----
@@ -126,6 +156,9 @@ class DesignCache:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = int(capacity)
         self.directory = Path(directory) if directory is not None else None
+        self.registry: Optional[PlanRegistry] = (
+            PlanRegistry(self.directory) if self.directory is not None else None
+        )
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
@@ -133,6 +166,9 @@ class DesignCache:
         self._evictions = 0
         self._disk_hits = 0
         self._disk_errors = 0
+        self._warm_attempts = 0
+        self._warm_hits = 0
+        self._warm_fallbacks = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -155,15 +191,24 @@ class DesignCache:
                 disk_hits=self._disk_hits,
                 size=len(self._entries),
                 disk_errors=self._disk_errors,
+                warm_attempts=self._warm_attempts,
+                warm_hits=self._warm_hits,
+                warm_fallbacks=self._warm_fallbacks,
+                corrupt_rows=self.registry.corrupt_rows if self.registry else 0,
+                imported_legacy=self.registry.imported_legacy if self.registry else 0,
             )
 
     def clear(self, disk: bool = False) -> None:
-        """Drop every in-memory entry (and the on-disk tier when ``disk``)."""
+        """Drop every in-memory entry (and the registry tier when ``disk``)."""
         with self._lock:
             self._entries.clear()
-            if disk and self.directory is not None and self.directory.exists():
-                for path in self.directory.glob("design-*.json"):
-                    path.unlink()
+            if disk and self.registry is not None:
+                self.registry.clear()
+
+    def close(self) -> None:
+        """Release the registry connection (the in-memory tier keeps working)."""
+        if self.registry is not None:
+            self.registry.close()
 
     # ------------------------------------------------------------------ #
     # The main entry point
@@ -215,9 +260,22 @@ class DesignCache:
             self._misses += 1
             from repro.core.selector import choose_mechanism  # deferred: avoids import cycle
 
+            warm_basis = self._neighbour_basis(key, backend)
+            if warm_basis is not None:
+                self._warm_attempts += 1
             mechanism, decision = choose_mechanism(
-                n, alpha, properties=properties, objective=objective, backend=backend
+                n,
+                alpha,
+                properties=properties,
+                objective=objective,
+                backend=backend,
+                warm_start=warm_basis,
             )
+            if warm_basis is not None:
+                if mechanism.metadata.get("lp_warm_started"):
+                    self._warm_hits += 1
+                else:
+                    self._warm_fallbacks += 1
             entry = {
                 "key": key,
                 "mechanism": mechanism.to_dict(),
@@ -247,84 +305,70 @@ class DesignCache:
         mechanism.metadata["design_cache_key"] = key
         return mechanism, _decision_from_dict(entry["decision"])
 
-    def _disk_path(self, key: str) -> Optional[Path]:
-        if self.directory is None:
+    def _neighbour_basis(self, key: str, backend: str) -> Optional[List[int]]:
+        """Nearest-neighbour simplex basis for a cold miss, if usable.
+
+        Only the ``simplex`` backend has a basis interface; scipy rows
+        carry no ``lp_basis`` so they can never seed a warm start.  The
+        neighbour search is keyed on everything but alpha: a basis is
+        valid across alphas because ``to_standard_form`` gives every
+        ``(n, properties, objective)`` program the same column layout.
+        """
+        if self.registry is None or backend != "simplex" or not warm_start_enabled():
             return None
-        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
-        return self.directory / f"design-{digest}.json"
+        fields = parse_design_key(key)
+        if fields is None:
+            return None
+        neighbour = self.registry.nearest(
+            fields["n"],
+            fields["props"],
+            fields["objective"],
+            fields["backend"],
+            fields["alpha"],
+            exclude_key=key,
+        )
+        if neighbour is None:
+            return None
+        metadata = neighbour[1].get("mechanism", {}).get("metadata", {})
+        basis = metadata.get("lp_basis")
+        if not basis:
+            return None
+        try:
+            return [int(i) for i in basis]
+        except (TypeError, ValueError):
+            return None
 
     def _load_from_disk(self, key: str) -> Optional[Dict[str, Any]]:
-        """Read a disk entry; any corrupt or truncated file is a cache miss.
+        """Read a registry entry; a corrupt row is dropped and is a miss.
 
-        A partially written file (process killed mid-write, disk full) may
-        be invalid JSON, valid JSON of the wrong shape, or a stale payload
-        for a colliding hash — all of these return ``None`` so the caller
-        re-solves and overwrites the bad file.
+        The registry verifies checksum, JSON shape and recorded key before
+        returning anything, so a killed writer or bit-rotted row surfaces
+        here as ``None`` and the caller re-solves and overwrites it.
         """
-        path = self._disk_path(key)
-        if path is None or not path.exists():
+        if self.registry is None:
             return None
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        if not isinstance(payload, dict) or payload.get("key") != key:
-            return None  # hash collision, stale or truncated file
-        if "mechanism" not in payload or "decision" not in payload:
-            return None
-        return payload
+        return self.registry.get(key)
 
     def _remove_from_disk(self, key: str) -> None:
-        path = self._disk_path(key)
-        if path is None:
-            return
-        try:
-            path.unlink(missing_ok=True)
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
+        if self.registry is not None:
+            self.registry.delete(key)
 
     def _store_to_disk(self, key: str, entry: Dict[str, Any]) -> None:
-        """Mirror one entry to disk atomically (temp file + ``os.replace``).
+        """Mirror one entry into the registry (one atomic transaction).
 
-        A crash mid-write must never leave a truncated entry at the final
-        path: the payload goes to a same-directory temp file first and is
-        renamed over the target only once fully written, so readers see
-        either the old entry, the new entry, or nothing — never half a
-        file.  Disk-tier failures (I/O errors, full disk) are counted and
+        Registry failures (I/O errors, full disk) are counted and
         swallowed: the cache result itself is already in memory, and a
         cache that cannot persist must not fail the design it memoises.
+        An injected crash (``torn_cache``) propagates — it models process
+        death, and the rolled-back transaction guarantees a restart sees
+        a clean miss, never a partial row.
         """
-        path = self._disk_path(key)
-        if path is None:
+        if self.registry is None:
             return
-        from repro.engine import faults as _faults
-
-        injector = _faults.get_injector()
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        payload = json.dumps(entry)
         try:
-            if injector.io_error("cache_store"):
-                raise OSError(f"injected I/O error storing {path}")
-            with temp.open("w") as handle:
-                if injector.torn("cache_store"):
-                    # Crash mid-write: half the payload lands in the temp
-                    # file and the process dies — the final path is never
-                    # touched, so a restart sees a clean miss.
-                    handle.write(payload[: max(1, len(payload) // 2)])
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                    raise _faults.InjectedCrash(f"torn cache store injected at {temp}")
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp, path)
+            self.registry.put(key, entry)
         except OSError:
             self._disk_errors += 1
-            try:
-                temp.unlink(missing_ok=True)
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
 
 
 def _decision_to_dict(decision: SelectorDecision) -> Dict[str, Any]:

@@ -15,11 +15,27 @@ front-end served the traffic:
                  "alpha_remaining": 0.617, "releases": 2,
                  "budget_refusals": 0},
       "cache": {"hits": 0, "misses": 1, "hit_rate": 0.0, "disk_hits": 0,
-                "evictions": 0, "size": 1, "disk_errors": 0},
+                "evictions": 0, "size": 1, "disk_errors": 0,
+                "warm_attempts": 0, "warm_hits": 0, "warm_fallbacks": 0,
+                "corrupt_rows": 0, "imported_legacy": 0,
+                "tiers": {"memory": 0, "registry": 0, "solve": 1}},
       "lp_solves": 0,
+      "lp_build_seconds": 0.0,
+      "lp_solve_seconds": 0.0,
       "plans_compiled": 1,
       "densifications": 0
     }
+
+The ``cache`` sub-object's registry keys: ``warm_attempts`` /
+``warm_hits`` / ``warm_fallbacks`` count cold simplex misses that tried a
+nearest-neighbour warm start, those whose basis was accepted (phase 1
+skipped), and those that fell back to the cold path; ``corrupt_rows``
+counts registry rows dropped on checksum/shape failure (each became a
+re-solve); ``imported_legacy`` counts loose ``design-*.json`` entries
+migrated on first open; ``tiers`` breaks requests down by serving tier
+(in-process ``memory``, persistent ``registry``, fresh LP ``solve``).
+The top-level ``lp_build_seconds`` / ``lp_solve_seconds`` are cumulative
+process-wide LP wall-times from :func:`repro.core.design.lp_timing_totals`.
 
 ``budget`` fields are ``null`` on unmetered sessions (except
 ``budget_refusals``, which is always a number); ``cache`` is ``null`` when
@@ -53,6 +69,12 @@ def cache_payload(stats: Optional[CacheStats]) -> Optional[Dict[str, Any]]:
         "evictions": int(stats.evictions),
         "size": int(stats.size),
         "disk_errors": int(stats.disk_errors),
+        "warm_attempts": int(stats.warm_attempts),
+        "warm_hits": int(stats.warm_hits),
+        "warm_fallbacks": int(stats.warm_fallbacks),
+        "corrupt_rows": int(stats.corrupt_rows),
+        "imported_legacy": int(stats.imported_legacy),
+        "tiers": {key: int(value) for key, value in stats.tiers.items()},
     }
 
 
@@ -116,6 +138,8 @@ def stats_payload(
     accountant: Optional[PrivacyAccountant] = None,
     budget_refusals: int = 0,
     lp_solves: Optional[int] = None,
+    lp_build_seconds: Optional[float] = None,
+    lp_solve_seconds: Optional[float] = None,
     plans_compiled: Optional[int] = None,
     densifications: Optional[int] = None,
     **counters: Any,
@@ -124,13 +148,26 @@ def stats_payload(
 
     ``counters`` lands as extra top-level keys (sorted, for stable output);
     pass surface-specific totals such as ``chunks=`` or ``batches=`` there.
+
+    ``lp_build_seconds`` / ``lp_solve_seconds`` default to the process-wide
+    accumulators from :func:`repro.core.design.lp_timing_totals`; pass
+    explicit values to report a delta instead.
     """
+    from repro.core.design import lp_timing_totals  # deferred: avoids import cycle
+
+    totals = lp_timing_totals()
+    if lp_build_seconds is None:
+        lp_build_seconds = totals["lp_build_seconds"]
+    if lp_solve_seconds is None:
+        lp_solve_seconds = totals["lp_solve_seconds"]
     payload: Dict[str, Any] = {"command": command, "records": int(records)}
     for key in sorted(counters):
         payload[key] = counters[key]
     payload["budget"] = budget_payload(accountant, budget_refusals)
     payload["cache"] = cache_payload(cache)
     payload["lp_solves"] = None if lp_solves is None else int(lp_solves)
+    payload["lp_build_seconds"] = round(float(lp_build_seconds), 6)
+    payload["lp_solve_seconds"] = round(float(lp_solve_seconds), 6)
     payload["plans_compiled"] = (
         None if plans_compiled is None else int(plans_compiled)
     )

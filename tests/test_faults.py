@@ -101,20 +101,20 @@ class TestFaultSpecParsing:
 
 @pytest.mark.usefixtures("no_ambient_faults")
 class TestCacheAtomicity:
-    """Satellite: DesignCache disk stores are temp-file + os.replace atomic."""
+    """Satellite: plan-registry stores are single atomic sqlite transactions."""
 
-    def test_crash_mid_store_never_exposes_a_truncated_entry(self, tmp_path):
+    def test_crash_mid_store_never_exposes_a_partial_row(self, tmp_path):
         cache = DesignCache(capacity=4, directory=tmp_path)
         with faults.injected("torn_cache"):
             with pytest.raises(InjectedCrash):
                 cache.get_or_design(8, 0.9, properties="F")
-        # The final path was never touched: a restarted process sees a
-        # clean miss, not a truncated JSON the recovery path papers over.
-        assert list(tmp_path.glob("design-*.json")) == []
+        # The transaction rolled back before the simulated death: a
+        # restarted process sees a clean miss, never a partial row.
         fresh = DesignCache(capacity=4, directory=tmp_path)
+        assert len(fresh.registry) == 0
         mechanism, decision = fresh.get_or_design(8, 0.9, properties="F")
         assert decision.n == 8
-        assert len(list(tmp_path.glob("design-*.json"))) == 1
+        assert len(fresh.registry) == 1
         # And the stored entry round-trips for the next process.
         third = DesignCache(capacity=4, directory=tmp_path)
         again, _ = third.get_or_design(8, 0.9, properties="F")
@@ -127,12 +127,17 @@ class TestCacheAtomicity:
             mechanism, _ = cache.get_or_design(8, 0.9, properties="F")
         assert mechanism is not None  # the design itself must not fail
         assert cache.stats().disk_errors == 1
-        assert list(tmp_path.glob("design-*.json")) == []
+        assert len(cache.registry) == 0
 
-    def test_no_temp_files_survive_a_successful_store(self, tmp_path):
+    def test_successful_store_leaves_only_registry_artifacts(self, tmp_path):
         cache = DesignCache(capacity=4, directory=tmp_path)
         cache.get_or_design(8, 0.9, properties="F")
-        assert list(tmp_path.glob("*.tmp.*")) == []
+        leftovers = [
+            path.name
+            for path in tmp_path.iterdir()
+            if not path.name.startswith("registry.sqlite")
+        ]
+        assert leftovers == []
 
 
 @pytest.mark.usefixtures("no_ambient_faults")

@@ -154,3 +154,90 @@ class TestSolveGeneralForm:
             assert ours.status == "optimal"
             assert reference.status == 0
             assert ours.objective == pytest.approx(reference.fun, abs=1e-7)
+
+
+class TestWarmStart:
+    """Warm-basis import: skip phase 1 when a neighbouring basis still works."""
+
+    def _program(self, rhs: float):
+        # min x + y  s.t.  x + 2y >= rhs, x + y <= 10, x,y >= 0
+        c = np.array([1.0, 1.0])
+        A_ub = np.array([[-1.0, -2.0], [1.0, 1.0]])
+        b_ub = np.array([-rhs, 10.0])
+        return c, A_ub, b_ub
+
+    def test_warm_start_reaches_the_same_objective(self):
+        c, A_ub, b_ub = self._program(4.0)
+        cold = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        assert cold.status == "optimal"
+        assert cold.basis is not None
+        # A nearby program: same shape, slightly different rhs.
+        c2, A2, b2 = self._program(4.5)
+        warm = simplex.solve_general_form(
+            c2, A2, b2, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf),
+            warm_basis=cold.basis,
+        )
+        reference = simplex.solve_general_form(
+            c2, A2, b2, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        assert warm.status == "optimal"
+        assert warm.warm_started
+        assert warm.objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_stale_basis_falls_back_to_cold(self):
+        c, A_ub, b_ub = self._program(4.0)
+        cold = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        # Garbage bases of every unusable kind fall through to the cold path.
+        for bad in ([0], [0, 0], [0, 99], [-1, 1]):
+            result = simplex.solve_general_form(
+                c, A_ub, b_ub, *_empty(2), lower=np.zeros(2),
+                upper=np.full(2, np.inf), warm_basis=np.asarray(bad, dtype=int),
+            )
+            assert result.status == "optimal"
+            assert not result.warm_started
+            assert result.objective == pytest.approx(cold.objective, abs=1e-12)
+
+    def test_infeasible_warm_basis_falls_back(self):
+        # Move the rhs far enough that the old optimal basis is no longer
+        # primal-feasible; the solve must quietly run two phases instead.
+        c, A_ub, b_ub = self._program(1.0)
+        cold = simplex.solve_general_form(
+            c, A_ub, b_ub, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        c2, A2, b2 = self._program(9.9)
+        warm = simplex.solve_general_form(
+            c2, A2, b2, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf),
+            warm_basis=cold.basis,
+        )
+        reference = simplex.solve_general_form(
+            c2, A2, b2, *_empty(2), lower=np.zeros(2), upper=np.full(2, np.inf)
+        )
+        assert warm.status == "optimal"
+        assert warm.objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_artificial_markers_survive_round_trip(self):
+        # A redundant equality row leaves an artificial basic at zero; its
+        # marker must re-import as the pinned unit column, not be rejected.
+        c = np.array([1.0, 2.0])
+        A_eq = np.array([[1.0, 1.0], [2.0, 2.0]])  # second row redundant
+        b_eq = np.array([3.0, 6.0])
+        cold = simplex.solve_general_form(
+            c, np.zeros((0, 2)), np.zeros(0), A_eq, b_eq,
+            lower=np.zeros(2), upper=np.full(2, np.inf),
+        )
+        assert cold.status == "optimal"
+        assert cold.basis is not None
+        num_cols = 2  # x, y (no slacks; both bounds at 0/inf add nothing)
+        assert (cold.basis >= num_cols).sum() >= 1  # the redundant row's marker
+        warm = simplex.solve_general_form(
+            c, np.zeros((0, 2)), np.zeros(0), A_eq, b_eq,
+            lower=np.zeros(2), upper=np.full(2, np.inf), warm_basis=cold.basis,
+        )
+        assert warm.status == "optimal"
+        assert warm.warm_started
+        assert warm.iterations == 0  # same program: already optimal
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-12)

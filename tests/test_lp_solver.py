@@ -123,3 +123,61 @@ class TestSparseSolvePath:
         payload = json.loads(json.dumps(solution.to_dict()))
         restored = LPSolution.from_dict(payload)
         assert restored.by_name == pytest.approx(solution.by_name)
+
+
+class TestWarmStartDispatch:
+    """solve(warm_start=...): gating, fallback and basis serialisation."""
+
+    def test_simplex_reports_a_basis_and_scipy_does_not(self):
+        lp = _knapsack_lp()
+        via_simplex = solve(lp, backend="simplex")
+        assert via_simplex.basis is not None
+        assert not via_simplex.warm_started
+        via_scipy = solve(lp, backend="scipy")
+        assert via_scipy.basis is None
+
+    def test_warm_start_same_objective(self):
+        lp = _knapsack_lp()
+        seed = solve(lp, backend="simplex")
+        warm = solve(lp, backend="simplex", warm_start=seed.basis)
+        assert warm.warm_started
+        assert warm.iterations == 0  # same program: the basis is optimal
+        assert warm.objective == pytest.approx(seed.objective, abs=1e-12)
+
+    def test_scipy_ignores_warm_start(self):
+        lp = _knapsack_lp()
+        seed = solve(lp, backend="simplex")
+        result = solve(lp, backend="scipy", warm_start=seed.basis)
+        assert result.status is LPStatus.OPTIMAL
+        assert not result.warm_started
+
+    def test_env_opt_out_forces_the_cold_path(self, monkeypatch):
+        lp = _knapsack_lp()
+        seed = solve(lp, backend="simplex")
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        cold = solve(lp, backend="simplex", warm_start=seed.basis)
+        assert not cold.warm_started
+        reference = solve(lp, backend="simplex")
+        assert cold.iterations == reference.iterations
+        np.testing.assert_array_equal(cold.values, reference.values)
+
+    def test_garbage_warm_start_falls_back(self):
+        lp = _knapsack_lp()
+        reference = solve(lp, backend="simplex")
+        result = solve(lp, backend="simplex", warm_start=(0, 0, 0))
+        assert result.status is LPStatus.OPTIMAL
+        assert not result.warm_started
+        assert result.objective == pytest.approx(reference.objective, abs=1e-12)
+
+    def test_solution_round_trips_with_basis(self):
+        solution = solve(_knapsack_lp(), backend="simplex")
+        payload = solution.to_dict()
+        assert payload["basis"] == [int(i) for i in solution.basis]
+        restored = LPSolution.from_dict(payload)
+        assert restored.basis == solution.basis
+        assert restored.warm_started == solution.warm_started
+        # Legacy payloads without the new keys keep loading.
+        del payload["basis"]
+        legacy = LPSolution.from_dict(payload)
+        assert legacy.basis is None
+        assert legacy.warm_started is False

@@ -378,25 +378,31 @@ class TestSelectorAndCacheRepresentations:
 
 
 class TestCacheCorruptionRecovery:
-    """Satellite: a corrupt/truncated on-disk entry is a miss, not an error."""
+    """Satellite: a corrupt registry row is a miss, not an error."""
 
-    def _first_entry(self, tmp_path):
-        return next(tmp_path.glob("design-*.json"))
+    def _only_key(self, tmp_path):
+        from repro.serving import PlanRegistry
 
-    def test_truncated_json_resolves_and_overwrites(self, tmp_path):
+        with_registry = PlanRegistry(tmp_path)
+        (key,) = with_registry.keys()
+        with_registry.close()
+        return key
+
+    def test_corrupted_row_resolves_and_overwrites(self, tmp_path):
         cache = repro.DesignCache(directory=tmp_path)
         cache.get_or_design(4, 0.9, properties="F")
-        path = self._first_entry(tmp_path)
-        healthy = path.read_text()
-        path.write_text(healthy[: len(healthy) // 2])  # deliberately truncated
+        key = self._only_key(tmp_path)
+        cache.registry.corrupt_row(key)  # deliberately bad checksum
+        cache.close()
 
         fresh = repro.DesignCache(directory=tmp_path)
         mechanism, decision = fresh.get_or_design(4, 0.9, properties="F")
         assert mechanism.metadata["design_cache"] == "solve"
         assert decision.branch == "EM"
         assert fresh.stats().misses == 1 and fresh.stats().disk_hits == 0
-        # The bad file was overwritten: the next cold cache loads it cleanly.
-        assert json.loads(path.read_text())["key"]
+        assert fresh.stats().corrupt_rows == 1
+        fresh.close()
+        # The bad row was overwritten: the next cold cache loads it cleanly.
         reloaded, _ = repro.DesignCache(directory=tmp_path).get_or_design(
             4, 0.9, properties="F"
         )
@@ -405,21 +411,20 @@ class TestCacheCorruptionRecovery:
     def test_valid_json_with_broken_schema_is_a_miss(self, tmp_path):
         cache = repro.DesignCache(directory=tmp_path)
         cache.get_or_design(4, 0.9, properties="F")
-        path = self._first_entry(tmp_path)
-        key = json.loads(path.read_text())["key"]
-        path.write_text(json.dumps({"key": key, "mechanism": {"bogus": True}}))
-        fresh = repro.DesignCache(directory=tmp_path)
-        mechanism, _ = fresh.get_or_design(4, 0.9, properties="F")
+        key = self._only_key(tmp_path)
+        cache.registry.put(key, {"key": key, "mechanism": {"bogus": True}})
+        cache.clear()  # drop the memory tier so the bad row is read back
+        mechanism, _ = cache.get_or_design(4, 0.9, properties="F")
         assert mechanism.metadata["design_cache"] == "solve"
 
     def test_unmaterialisable_payload_is_dropped_and_resolved(self, tmp_path):
         cache = repro.DesignCache(directory=tmp_path)
         cache.get_or_design(4, 0.9, properties="F")
-        path = self._first_entry(tmp_path)
-        payload = json.loads(path.read_text())
+        key = self._only_key(tmp_path)
+        payload = cache.registry.get(key)
         payload["mechanism"] = {"representation": "closed-form", "factory": "GM"}  # no n
-        path.write_text(json.dumps(payload))
-        fresh = repro.DesignCache(directory=tmp_path)
-        mechanism, _ = fresh.get_or_design(4, 0.9, properties="F")
+        cache.registry.put(key, payload)
+        cache.clear()
+        mechanism, _ = cache.get_or_design(4, 0.9, properties="F")
         assert mechanism.metadata["design_cache"] == "solve"
         assert mechanism.name == "EM"

@@ -136,25 +136,32 @@ class TestDesignCache:
     def test_on_disk_round_trip(self, tmp_path):
         warm = DesignCache(directory=tmp_path)
         designed, decision = warm.get_or_design(6, 0.95, properties="WH+CM")
-        assert list(tmp_path.glob("design-*.json"))
+        assert (tmp_path / "registry.sqlite").exists()
+        assert len(warm.registry) == 1
 
         cold = DesignCache(directory=tmp_path)
         before = solve_call_count()
         loaded, loaded_decision = cold.get_or_design(6, 0.95, properties="WH+CM")
-        assert solve_call_count() == before  # served from disk, no LP
+        assert solve_call_count() == before  # served from the registry, no LP
         assert loaded.allclose(designed)
         assert loaded.metadata["design_cache"] == "disk"
         assert loaded_decision == decision
         assert cold.stats().disk_hits == 1
+        assert cold.stats().tiers == {"memory": 0, "registry": 1, "solve": 0}
 
     def test_corrupt_disk_entry_falls_back_to_solving(self, tmp_path):
         cache = DesignCache(directory=tmp_path)
         cache.get_or_design(4, 0.9, properties="F")
-        path = next(tmp_path.glob("design-*.json"))
-        path.write_text("{not json")
+        key = design_key(4, 0.9, properties="F")
+        cache.registry.corrupt_row(key)
         fresh = DesignCache(directory=tmp_path)
         mechanism, _ = fresh.get_or_design(4, 0.9, properties="F")
         assert mechanism.metadata["design_cache"] == "solve"
+        assert fresh.stats().corrupt_rows == 1
+        # The corrupt row was overwritten: the next process hits it again.
+        again = DesignCache(directory=tmp_path)
+        hit, _ = again.get_or_design(4, 0.9, properties="F")
+        assert hit.metadata["design_cache"] == "disk"
 
     def test_clear(self, tmp_path):
         cache = DesignCache(directory=tmp_path)
@@ -162,7 +169,7 @@ class TestDesignCache:
         assert len(cache) == 1
         cache.clear(disk=True)
         assert len(cache) == 0
-        assert not list(tmp_path.glob("design-*.json"))
+        assert len(cache.registry) == 0
 
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
